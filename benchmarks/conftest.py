@@ -1,0 +1,52 @@
+"""Shared builders for the benchmark harness.
+
+Every figure and appendix of the paper has one benchmark module here
+(see DESIGN.md, per-experiment index).  Each bench regenerates the
+paper artifact -- asserting its *shape* -- and measures the cost of the
+code paths involved.  EXPERIMENTS.md records paper-vs-measured.
+"""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.metering.messages import MessageCodec
+from repro.net.addresses import InternetName
+from repro.programs import install_all
+
+HOSTS = {1: "red", 2: "green", 3: "blue", 4: "yellow"}
+
+
+def fresh_session(seed=7, clock_skew=None, net_params=None):
+    cluster = Cluster(seed=seed, clock_skew=clock_skew, net_params=net_params)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    install_all(session)
+    return session
+
+
+def synthetic_send_records(n, codec=None):
+    """n encoded send messages with varying fields (filter workloads)."""
+    codec = codec or MessageCodec(HOSTS)
+    wire = []
+    for i in range(n):
+        dest = InternetName(HOSTS[(i % 4) + 1], 6000 + i % 8, (i % 4) + 1)
+        wire.append(
+            codec.encode(
+                "send",
+                machine=(i % 4) + 1,
+                cpu_time=i * 3,
+                proc_time=(i // 10) * 10,
+                pid=2100 + i % 5,
+                pc=i,
+                sock=0x1000 + 16 * (i % 6),
+                msgLength=16 * (1 + i % 64),
+                destName=dest,
+                **codec.name_lengths(destName=dest)
+            )
+        )
+    return wire
+
+
+@pytest.fixture
+def codec():
+    return MessageCodec(HOSTS)

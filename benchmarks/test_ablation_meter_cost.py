@@ -1,0 +1,63 @@
+"""Ablation -- per-event metering cost vs perturbation.
+
+DESIGN.md treats the CPU charged per meter record as a model
+parameter.  Sweep it and measure the perturbation of a fixed
+computation: perturbation should grow linearly in the per-event cost
+and vanish as it approaches zero (transparency in the limit).
+"""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.kernel import defs
+from repro.metering import flags as mf
+from tests.metering.harness import metered_spawn, start_collector
+
+N_EVENTS = 100
+
+
+def _workload(sys, argv):
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    for __ in range(N_EVENTS):
+        yield sys.compute(1.0)
+        yield sys.sendto(fd, b"x", ("green", 6000))
+    yield sys.exit(0)
+
+
+def _cpu_with_cost(event_cost_ms):
+    original = defs.METER_EVENT_COST_MS
+    defs.METER_EVENT_COST_MS = event_cost_ms
+    try:
+        cluster = Cluster(seed=14)
+        start_collector(cluster)
+        proc = metered_spawn(cluster, "red", _workload, flags=mf.METERSEND)
+        cluster.run_until_exit([proc])
+        return proc.cpu_ms
+    finally:
+        defs.METER_EVENT_COST_MS = original
+
+
+@pytest.mark.parametrize("cost_ms", [0.0, 0.02, 0.1, 0.5])
+def test_ablation_meter_event_cost(benchmark, cost_ms):
+    cpu = benchmark.pedantic(_cpu_with_cost, args=(cost_ms,), rounds=1, iterations=1)
+    baseline = N_EVENTS * 1.0  # pure compute
+    overhead = cpu - baseline
+    print(
+        "\n[ablation/cost] {0:.2f} ms/event: cpu {1:7.2f} ms "
+        "(metering overhead {2:5.2f} ms over {3} events)".format(
+            cost_ms, cpu, overhead, N_EVENTS
+        )
+    )
+    # Overhead ~ syscall costs + N * cost: linear in the event cost.
+    assert overhead >= N_EVENTS * cost_ms
+
+
+def test_ablation_overhead_is_linear_in_event_cost(benchmark):
+    def sweep():
+        return [_cpu_with_cost(c) for c in (0.0, 0.2, 0.4)]
+
+    zero, low, high = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    step1 = low - zero
+    step2 = high - low
+    assert step1 == pytest.approx(N_EVENTS * 0.2, rel=0.05)
+    assert step2 == pytest.approx(step1, rel=0.05)

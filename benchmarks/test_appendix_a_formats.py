@@ -1,0 +1,59 @@
+"""Appendix A -- Meter message formats.
+
+Round-trips every struct of <metermsgs.h> and checks each wire size
+against the C layout (4-byte longs, 16-byte NAMEs, 24-byte header).
+"""
+
+from benchmarks.conftest import HOSTS
+from repro.metering import messages
+from repro.metering.messages import EVENT_TYPES, MessageCodec, message_length
+from repro.net.addresses import InternetName
+
+#: Expected sizes from the C declarations.
+C_LAYOUT_SIZES = {
+    "accept": 80,  # header + 6 longs + 2 NAMEs
+    "connect": 76,  # header + 5 longs + 2 NAMEs
+    "dup": 40,  # header + 4 longs
+    "fork": 36,  # header + 3 longs
+    "receivecall": 36,  # header + 3 longs
+    "receive": 60,  # header + 5 longs + 1 NAME
+    "send": 60,  # header + 5 longs + 1 NAME
+    "socket": 48,  # header + 6 longs
+    "destsocket": 36,  # (documented extension)
+    "termproc": 36,  # (documented extension)
+}
+
+
+def _round_trip_all(codec):
+    name = InternetName("red", 5000, 1)
+    results = {}
+    for event in EVENT_TYPES:
+        body = {}
+        for field, kind in messages.BODY_FIELDS[event]:
+            if kind == "long" and not field.endswith("NameLen"):
+                body[field] = 7
+            elif kind == "name":
+                body[field] = name
+        body.update(
+            codec.name_lengths(
+                **{
+                    f: body[f]
+                    for f, k in messages.BODY_FIELDS[event]
+                    if k == "name"
+                }
+            )
+        )
+        raw = codec.encode(event, machine=1, cpu_time=1, proc_time=0, **body)
+        results[event] = (len(raw), codec.decode(raw))
+    return results
+
+
+def test_appendix_a_all_formats(benchmark):
+    codec = MessageCodec(HOSTS)
+    results = benchmark(_round_trip_all, codec)
+    assert set(results) == set(C_LAYOUT_SIZES)
+    print("\n[appendix A] wire sizes (bytes):")
+    for event, (size, record) in sorted(results.items()):
+        assert size == C_LAYOUT_SIZES[event] == message_length(event), event
+        assert record["event"] == event
+        print("    {0:<12} {1}".format(event, size))

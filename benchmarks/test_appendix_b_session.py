@@ -1,0 +1,87 @@
+"""Appendix B -- Script of the example session.
+
+Replays the measurement session of Section 4.4 command for command and
+checks the transcript against the shapes of the appendix (created/
+started/DONE/removed lines, controller prompt).  The bench measures a
+complete user session end to end.
+"""
+
+import re
+
+from benchmarks.conftest import fresh_session
+from repro.kernel import defs
+
+
+def _prog_a(sys, argv):
+    from repro import guestlib
+
+    fd = yield from guestlib.connect_retry(
+        sys, defs.AF_INET, defs.SOCK_STREAM, ("green", 7777)
+    )
+    for i in range(3):
+        yield sys.write(fd, b"msg-%d" % i)
+        yield sys.read(fd, 100)
+    yield sys.close(fd)
+    yield sys.exit(0)
+
+
+def _prog_b(sys, argv):
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(fd, ("", 7777))
+    yield sys.listen(fd, 5)
+    conn, __peer = yield sys.accept(fd)
+    while True:
+        data = yield sys.read(conn, 100)
+        if not data:
+            break
+        yield sys.write(conn, b"r:" + data)
+    yield sys.close(conn)
+    yield sys.exit(0)
+
+
+APPENDIX_B_EXPECTED = [
+    r"filter 'f1' \.\.\. created: identifier = \d+",
+    r"process 'A' \.\.\. created: identifier = \d+",
+    r"process 'B' \.\.\. created: identifier = \d+",
+    r"new job flags = send receive fork accept connect",
+    r"Process 'A' : Flags set",
+    r"Process 'B' : Flags set",
+    r"'A' started\.",
+    r"'B' started\.",
+    r"DONE: process A in job 'foo' terminated: reason: normal",
+    r"DONE: process B in job 'foo' terminated: reason: normal",
+    r"'A' removed",
+    r"'B' removed",
+]
+
+
+def _replay():
+    session = fresh_session(seed=7)
+    session.install_program("A", _prog_a)
+    session.install_program("B", _prog_b)
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red A")
+    session.command("addprocess foo green B")
+    session.command("setflags foo send receive fork accept connect")
+    session.command("startjob foo")
+    session.settle()
+    session.command("rmjob foo")
+    session.command("getlog f1 trace")
+    session.command("bye")
+    return session
+
+
+def test_appendix_b_session_replay(benchmark):
+    session = benchmark.pedantic(_replay, rounds=3, iterations=1)
+    transcript = session.transcript()
+    position = 0
+    for pattern in APPENDIX_B_EXPECTED:
+        match = re.search(pattern, transcript[position:])
+        assert match, "missing line matching %r" % pattern
+        position += match.start()
+    trace_text = session.read_controller_file("trace")
+    assert "event=accept" in trace_text
+    assert "event=send" in trace_text
+    print("\n[appendix B] transcript reproduced, {0} trace records "
+          "retrieved by getlog".format(len(trace_text.splitlines())))

@@ -1,0 +1,110 @@
+"""Appendix C -- the setmeter(2) manual page.
+
+Conformance walk of the documented behaviours plus the syscall's cost
+(it is on the control path, not the data path, but should still be
+cheap).
+"""
+
+from benchmarks.conftest import fresh_session
+from repro.core.cluster import Cluster
+from repro.kernel import defs, errno
+from repro.kernel.errno import SyscallError
+from repro.metering import flags as mf
+
+
+def test_appendix_c_conformance_and_cost(benchmark):
+    cluster = Cluster(seed=5)
+    outcomes = {}
+
+    def collector(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", 4400))
+        yield sys.listen(fd, defs.SOMAXCONN)
+        while True:
+            conn, __ = yield sys.accept(fd)
+
+    cluster.spawn("blue", collector, uid=0)
+
+    def idle(sys, argv):
+        while True:
+            yield sys.sleep(1000)
+
+    victim = cluster.spawn("red", idle, uid=100)
+
+    calls = {"n": 0}
+
+    def driver(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.connect(fd, ("blue", 4400))
+        # -1 as proc: the calling process.
+        yield sys.setmeter(mf.SELF, mf.METERSEND, fd)
+        outcomes["self"] = True
+        # -1 as flags/socket: no change.
+        yield sys.setmeter(victim.pid, mf.M_ALL, fd)
+        yield sys.setmeter(victim.pid, mf.NO_CHANGE, mf.NO_CHANGE)
+        outcomes["nochange"] = victim.meter_flags == mf.M_ALL
+        # Flags replace the previous mask.
+        yield sys.setmeter(victim.pid, mf.METERFORK, mf.NO_CHANGE)
+        outcomes["replace"] = victim.meter_flags == mf.METERFORK
+        # Errors: EPERM for another user's process (when not root),
+        # ESRCH for a nonexistent socket.
+        try:
+            yield sys.setmeter(mf.SELF, mf.M_ALL, 60)
+        except SyscallError as err:
+            outcomes["esrch"] = err.errno == errno.ESRCH
+        # Non-Internet-stream sockets rejected.
+        dgram = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        try:
+            yield sys.setmeter(mf.SELF, mf.M_ALL, dgram)
+        except SyscallError as err:
+            outcomes["notstream"] = err.errno == errno.EINVAL
+        # Repeated setmeter calls (the benched operation).
+        for __ in range(200):
+            yield sys.setmeter(victim.pid, mf.M_ALL, mf.NO_CHANGE)
+            calls["n"] += 1
+        yield sys.exit(0)
+
+    def run():
+        proc = cluster.spawn("red", driver, uid=0)
+        cluster.run_until_exit([proc])
+        return proc
+
+    proc = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert proc.exit_reason == defs.EXIT_NORMAL
+    assert outcomes == {
+        "self": True,
+        "nochange": True,
+        "replace": True,
+        "esrch": True,
+        "notstream": True,
+    }
+    print(
+        "\n[appendix C] semantics verified; {0} setmeter calls "
+        "executed in {1:.1f} simulated ms".format(calls["n"], cluster.sim.now)
+    )
+
+
+def test_appendix_c_eperm_for_foreign_process(benchmark):
+    cluster = Cluster(seed=5)
+
+    def idle(sys, argv):
+        while True:
+            yield sys.sleep(1000)
+
+    victim = cluster.spawn("red", idle, uid=100)
+    failures = []
+
+    def driver(sys, argv):
+        try:
+            yield sys.setmeter(victim.pid, mf.M_ALL, mf.NO_CHANGE)
+        except SyscallError as err:
+            failures.append(err.errno)
+        yield sys.exit(0)
+
+    def run():
+        proc = cluster.spawn("red", driver, uid=200)
+        cluster.run_until_exit([proc])
+        return proc
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert failures == [errno.EPERM]

@@ -1,0 +1,51 @@
+"""Figure 2.1 -- Overview of the measurement facility.
+
+The three measurement stages in series: *metering* (event -> encoded
+meter message), *filtering* (decode, select, reduce, log line), and
+*analysis* (statistics over the trace).  The bench pushes a fixed
+event stream through all three stages and reports the throughput of
+the full pipeline.
+"""
+
+from benchmarks.conftest import HOSTS, synthetic_send_records
+from repro.analysis import CommunicationStatistics, Trace
+from repro.filtering.descriptions import default_description_set
+from repro.filtering.records import format_record, parse_trace
+from repro.filtering.rules import parse_rules
+
+N_EVENTS = 500
+
+
+def _pipeline():
+    # Stage 1: metering (encode).
+    wire = synthetic_send_records(N_EVENTS)
+    # Stage 2: filtering (decode via descriptions, select, log).
+    descriptions = default_description_set()
+    rules = parse_rules("type=send, msgLength>=64\n")
+    lines = []
+    for raw in wire:
+        record = descriptions.decode_message(raw, HOSTS)
+        saved = rules.apply(record)
+        if saved is not None:
+            lines.append(format_record(saved, descriptions.field_order("send")))
+    log_text = "\n".join(lines)
+    # Stage 3: analysis.
+    trace = Trace(parse_trace(log_text))
+    stats = CommunicationStatistics(trace)
+    return stats
+
+
+def test_fig_2_1_three_stage_pipeline(benchmark):
+    stats = benchmark(_pipeline)
+    # The shape of Figure 2.1: data flows meter -> filter -> analysis,
+    # each stage consuming the previous stage's output.
+    totals = stats.totals()
+    assert totals["events"] > 0
+    assert totals["events"] < N_EVENTS  # the filter reduced the stream
+    assert totals["processes"] == 20  # 5 pids x 4 machines
+    print(
+        "\n[fig 2.1] {0} metered events -> {1} filtered records -> "
+        "stats over {2} processes".format(
+            N_EVENTS, totals["events"], totals["processes"]
+        )
+    )

@@ -1,0 +1,53 @@
+"""Figure 3.1 -- Structure of the 4.2BSD metering tools.
+
+Metered processes + in-kernel meters + a filter + the control process
++ meterdaemons, wired over IPC connections.  The bench stands up the
+whole structure, runs a communicating job through it, and checks each
+box of the figure is present and connected.
+"""
+
+from benchmarks.conftest import fresh_session
+from repro.analysis import Trace
+from repro.kernel import defs
+
+
+def _build_and_run():
+    session = fresh_session(seed=7)
+    session.command("filter f1 blue")
+    session.command("newjob job")
+    session.command("addprocess job red echoserver 5000 1")
+    session.command("addprocess job green echoclient red 5000 5 64 1")
+    session.command("setflags job all")
+    session.command("startjob job")
+    session.settle()
+    return session
+
+
+def test_fig_3_1_full_measurement_structure(benchmark):
+    session = benchmark.pedantic(_build_and_run, rounds=3, iterations=1)
+    cluster = session.cluster
+    # Every machine runs a meterdaemon (the figure's daemon boxes).
+    for name, machine in cluster.machines.items():
+        daemons = [
+            p for p in machine.procs.values()
+            if p.program_name == "meterdaemon" and p.state != defs.PROC_ZOMBIE
+        ]
+        assert len(daemons) == 1, name
+    # One filter process on blue.
+    filters = [
+        p for p in cluster.machine("blue").procs.values()
+        if p.program_name == "filter" and p.state != defs.PROC_ZOMBIE
+    ]
+    assert len(filters) == 1
+    # The control process on yellow.
+    assert session.controller_alive()
+    # Meter messages flowed from both metered processes to the filter.
+    trace = Trace(session.read_trace("f1"))
+    assert len(trace.processes()) == 2
+    red = cluster.host_table.lookup("red").host_id
+    green = cluster.host_table.lookup("green").host_id
+    assert {machine for machine, __ in trace.processes()} == {red, green}
+    print(
+        "\n[fig 3.1] daemons=4 filter=1 controller=1 metered=2, "
+        "{0} events collected".format(len(trace))
+    )

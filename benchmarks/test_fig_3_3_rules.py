@@ -1,0 +1,42 @@
+"""Figure 3.3 -- Simple selection rules.
+
+The two rules of the figure, applied across a synthetic record stream:
+measures filter selection throughput.
+"""
+
+from benchmarks.conftest import HOSTS, synthetic_send_records
+from repro.filtering.descriptions import default_description_set
+from repro.filtering.rules import parse_rules
+
+FIGURE_3_3_RULES = """\
+machine=3, cpuTime<10000
+machine=1, type=1, sock=4112, destName=inet:green:6001
+"""
+
+N_RECORDS = 1000
+
+
+def test_fig_3_3_simple_rules(benchmark):
+    descriptions = default_description_set()
+    records = [
+        descriptions.decode_message(raw, HOSTS)
+        for raw in synthetic_send_records(N_RECORDS)
+    ]
+    rules = parse_rules(FIGURE_3_3_RULES)
+
+    def select():
+        return [r for r in records if rules.apply(r) is not None]
+
+    accepted = benchmark(select)
+    # First rule: everything from machine 3 (time stamps here are small).
+    assert all(
+        r["machine"] == 3
+        or (r["machine"] == 1 and r["sock"] == 4112)
+        for r in accepted
+    )
+    assert 0 < len(accepted) < N_RECORDS
+    print(
+        "\n[fig 3.3] {0}/{1} records accepted by the two simple rules".format(
+            len(accepted), N_RECORDS
+        )
+    )

@@ -1,0 +1,46 @@
+"""Figure 3.4 -- Selection rules with wildcard, discard and
+cross-field comparison.
+
+Rules:  "machine=#*, type=1, pid=#*, size>=512"  (size -> msgLength)
+        "type=8, sockName=peerName"
+"""
+
+from benchmarks.conftest import HOSTS, synthetic_send_records
+from repro.filtering.descriptions import default_description_set
+from repro.filtering.rules import parse_rules
+
+FIGURE_3_4_RULES = """\
+machine=#*, type=1, pid=#*, msgLength>=512
+type=8, sockName=peerName
+"""
+
+N_RECORDS = 1000
+
+
+def test_fig_3_4_wildcard_discard_rules(benchmark):
+    descriptions = default_description_set()
+    records = [
+        descriptions.decode_message(raw, HOSTS)
+        for raw in synthetic_send_records(N_RECORDS)
+    ]
+    rules = parse_rules(FIGURE_3_4_RULES)
+
+    def select_and_reduce():
+        saved = []
+        for record in records:
+            reduced = rules.apply(record)
+            if reduced is not None:
+                saved.append(reduced)
+        return saved
+
+    saved = benchmark(select_and_reduce)
+    assert saved, "some sends exceed 512 bytes"
+    for record in saved:
+        assert record["msgLength"] >= 512
+        # The discard character '#' removed the marked fields.
+        assert "machine" not in record
+        assert "pid" not in record
+    print(
+        "\n[fig 3.4] {0}/{1} records accepted; machine/pid fields "
+        "discarded from each".format(len(saved), N_RECORDS)
+    )

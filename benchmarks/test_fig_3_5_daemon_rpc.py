@@ -1,0 +1,41 @@
+"""Figure 3.5 -- Role of daemon processes.
+
+The controller on machine A "steps over" to machine B through B's
+meterdaemon.  The bench measures the controller/daemon RPC round trip
+(connection + request + reply + teardown, Section 3.5.1) by driving a
+cross-machine process-control cycle.
+"""
+
+from benchmarks.conftest import fresh_session
+from repro.kernel import defs
+
+
+def test_fig_3_5_remote_control_round_trips(benchmark):
+    session = fresh_session(seed=9)
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    out = session.command("addprocess j red nameserver 5353")
+    assert "created" in out
+    counter = {"n": 0}
+
+    def stop_start_cycle():
+        # Each command is one (or more) controller->daemon exchanges
+        # across machine boundaries.
+        if counter["n"] % 2 == 0:
+            session.command("startjob j")
+        else:
+            session.command("stopjob j")
+        counter["n"] += 1
+
+    benchmark(stop_start_cycle)
+    # The remote process really obeyed: it exists on red under daemon
+    # parentage and is not dead.
+    red = session.cluster.machine("red")
+    servers = [p for p in red.procs.values() if p.program_name == "nameserver"]
+    assert servers and servers[0].state != defs.PROC_ZOMBIE
+    daemon = [p for p in red.procs.values() if p.program_name == "meterdaemon"][0]
+    assert servers[0].ppid == daemon.pid
+    print(
+        "\n[fig 3.5] {0} start/stop control cycles executed via the "
+        "red meterdaemon".format(counter["n"])
+    )

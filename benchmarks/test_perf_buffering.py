@@ -1,0 +1,71 @@
+"""P1 -- Buffering of meter messages (Sections 3.2 / 4.1 / Appendix C).
+
+Claim: "The default is to buffer several messages so that the number
+of meter messages is considerably smaller than the number of messages
+sent by the metered process", with M_IMMEDIATE trading efficiency for
+latency.  The bench sweeps the kernel buffer size (including immediate
+mode) on a chatty workload and reports wire messages and bytes per
+metered event.
+"""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.kernel import defs
+from repro.metering import flags as mf
+from tests.metering.harness import metered_spawn, start_collector
+
+N_SENDS = 128
+
+
+def _chatty(sys, argv):
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    for __ in range(N_SENDS):
+        yield sys.sendto(fd, b"x" * 32, ("green", 6000))
+    yield sys.exit(0)
+
+
+def _run_with(buffer_limit, immediate):
+    cluster = Cluster(seed=4)
+    records, __ = start_collector(cluster)
+    machine = cluster.machine("red")
+    machine.meter.buffer_limit = buffer_limit
+    flags = mf.METERSEND | (mf.M_IMMEDIATE if immediate else 0)
+    proc = metered_spawn(cluster, "red", _chatty, flags=flags)
+    cluster.run_until_exit([proc])
+    cluster.run(until_ms=cluster.sim.now + 50)
+    assert len(records) == N_SENDS  # lossless at every setting
+    return machine.meter.wire_sends, machine.meter.wire_bytes
+
+
+@pytest.mark.parametrize("buffer_limit", [1, 2, 4, 8, 16, 32])
+def test_perf_buffering_sweep(benchmark, buffer_limit):
+    wire_sends, wire_bytes = benchmark.pedantic(
+        _run_with, args=(buffer_limit, False), rounds=1, iterations=1
+    )
+    expected = -(-N_SENDS // buffer_limit)  # ceil
+    assert wire_sends == expected
+    print(
+        "\n[P1] buffer={0:>2}: {1} metered events -> {2} wire messages "
+        "({3} bytes)".format(buffer_limit, N_SENDS, wire_sends, wire_bytes)
+    )
+
+
+def test_perf_immediate_mode_sends_one_per_event(benchmark):
+    wire_sends, __ = benchmark.pedantic(
+        _run_with, args=(8, True), rounds=1, iterations=1
+    )
+    assert wire_sends == N_SENDS
+    print("\n[P1] immediate: {0} events -> {0} wire messages".format(N_SENDS))
+
+
+def test_perf_buffering_is_considerably_smaller(benchmark):
+    """The paper's qualitative claim, quantified: default buffering
+    cuts wire messages by the buffer factor (8x here)."""
+    def compare():
+        buffered, __ = _run_with(8, False)
+        immediate, __ = _run_with(8, True)
+        return buffered, immediate
+
+    buffered, immediate = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert immediate / buffered == pytest.approx(8.0, rel=0.05)

@@ -1,0 +1,73 @@
+"""P5 -- Global ordering without synchronized clocks (Section 4.1).
+
+"The separate machines' times ... only roughly correspond to a global
+time.  Statements regarding the global ordering of events can only be
+made on the basis of evidence within the trace ... Given these
+constraints, much of the global ordering can be deduced."
+
+The bench sweeps clock skew, counts raw-timestamp causality
+violations, and measures the fraction of cross-machine event pairs the
+analysis still orders plus the accuracy of the recovered offsets.
+"""
+
+import pytest
+
+from benchmarks.conftest import fresh_session
+from repro.analysis import HappensBefore, Trace, estimate_clock_skews
+
+
+def _run(offset_ms, seed=13):
+    skews = {"red": (offset_ms, 0.0), "green": (-offset_ms, 0.0)}
+    session = fresh_session(seed=seed, clock_skew=skews)
+    session.command("filter f1 blue")
+    session.command("newjob pp")
+    session.command("addprocess pp red pingpongserver 5100 10")
+    session.command("addprocess pp green pingpongclient red 5100 10")
+    session.command("setflags pp send receive accept connect")
+    session.command("startjob pp")
+    session.settle()
+    trace = Trace(session.read_trace("f1"))
+    hb = HappensBefore(trace)
+    red = session.cluster.host_table.lookup("red").host_id
+    green = session.cluster.host_table.lookup("green").host_id
+    estimated = estimate_clock_skews(trace, hb.matcher, reference=red)
+    return {
+        "violations": len(hb.violates_causality()),
+        "pairs": len(hb.matcher.pairs),
+        "ordered": hb.ordered_fraction(),
+        "estimated_offset": estimated[green],
+        "true_offset": -2 * offset_ms,
+    }
+
+
+@pytest.mark.parametrize("offset_ms", [0, 50, 500, 5000])
+def test_perf_ordering_under_skew(benchmark, offset_ms):
+    result = benchmark.pedantic(_run, args=(offset_ms,), rounds=1, iterations=1)
+    print(
+        "\n[P5] skew +/-{0:>5} ms: {1:2d}/{2} pairs violate raw "
+        "timestamps; {3:.0%} of cross pairs ordered; offset estimated "
+        "{4:8.1f} (true {5})".format(
+            offset_ms,
+            result["violations"],
+            result["pairs"],
+            result["ordered"],
+            result["estimated_offset"],
+            result["true_offset"],
+        )
+    )
+    # Causal deduction is unaffected by skew.
+    assert result["ordered"] > 0.8
+    # The offset estimate lands within the one-way network delay.
+    assert result["estimated_offset"] == pytest.approx(
+        result["true_offset"], abs=30.0
+    )
+    if offset_ms >= 500:
+        assert result["violations"] > 0  # raw clocks visibly lie
+
+
+def test_perf_ordering_deduction_is_skew_invariant(benchmark):
+    def compare():
+        return _run(0), _run(5000)
+
+    calm, wild = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert wild["ordered"] == pytest.approx(calm["ordered"], abs=0.05)

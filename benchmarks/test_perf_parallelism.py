@@ -1,0 +1,57 @@
+"""P6 -- Measurement of parallelism ([Miller 84] study family).
+
+The analysis that exposed the TSP bug, validated on a workload whose
+true parallelism is known: a master/worker job with N workers should
+show CPU parallelism that grows with N (and the trace alone should
+reveal it).
+"""
+
+import pytest
+
+from benchmarks.conftest import fresh_session
+from repro.analysis import ParallelismProfile, Trace
+
+WORKER_MACHINES = ("red", "green", "blue")
+
+
+def _run(nworkers, seed=12):
+    session = fresh_session(seed=seed)
+    session.command("filter f1 blue")
+    session.command("newjob mw")
+    session.command(
+        "addprocess mw yellow mwmaster 5400 {0} 12 25".format(nworkers)
+    )
+    for i in range(nworkers):
+        session.command(
+            "addprocess mw {0} mwworker yellow 5400".format(
+                WORKER_MACHINES[i % len(WORKER_MACHINES)]
+            )
+        )
+    session.command("setflags mw all")
+    session.command("startjob mw")
+    session.settle()
+    return ParallelismProfile(Trace(session.read_trace("f1")))
+
+
+@pytest.mark.parametrize("nworkers", [1, 2, 3])
+def test_perf_parallelism_scaling(benchmark, nworkers):
+    profile = benchmark.pedantic(_run, args=(nworkers,), rounds=1, iterations=1)
+    print(
+        "\n[P6] {0} workers: elapsed {1:7.1f} ms, cpu parallelism "
+        "{2:4.2f}, peak active {3}".format(
+            nworkers,
+            profile.elapsed_ms(),
+            profile.cpu_parallelism(),
+            profile.peak_parallelism(),
+        )
+    )
+    assert profile.peak_parallelism() == nworkers + 1  # + the master
+
+
+def test_perf_parallelism_grows_with_workers(benchmark):
+    def sweep():
+        return [_run(n) for n in (1, 2, 3)]
+
+    one, two, three = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert one.cpu_parallelism() < two.cpu_parallelism() < three.cpu_parallelism()
+    assert one.elapsed_ms() > two.elapsed_ms() > three.elapsed_ms()

@@ -1,0 +1,88 @@
+"""P2 -- Transparency / perturbation (Section 2.2).
+
+"The measurements will cause some degradation of the computation's
+performance, but this degradation should be kept as small as
+possible."  The bench runs the same computation unmetered, metered
+with a few flags, and metered with all flags + immediate, and reports
+completion time and CPU charged.
+"""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.kernel import defs
+from repro.metering import flags as mf
+from tests.metering.harness import metered_spawn, start_collector
+
+ROUNDS = 60
+
+
+def _worker(sys, argv):
+    """A mixed compute/communicate loop."""
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    yield sys.bind(fd, ("", 6100))
+    for i in range(ROUNDS):
+        yield sys.compute(2.0)
+        yield sys.sendto(fd, b"tick %d" % i, ("green", 6000))
+    yield sys.exit(0)
+
+
+def _run(flags):
+    cluster = Cluster(seed=8)
+    start_collector(cluster)
+    start = cluster.sim.now
+    if flags is None:
+        proc = cluster.spawn("red", _worker, uid=100)
+    else:
+        proc = metered_spawn(cluster, "red", _worker, flags=flags)
+    cluster.run_until_exit([proc])
+    return cluster.sim.now - start, proc.cpu_ms
+
+
+@pytest.mark.parametrize(
+    "label,flags",
+    [
+        ("unmetered", None),
+        ("send-only", mf.METERSEND),
+        ("all-buffered", mf.M_ALL),
+        ("all-immediate", mf.M_ALL | mf.M_IMMEDIATE),
+    ],
+)
+def test_perf_transparency_settings(benchmark, label, flags):
+    elapsed, cpu = benchmark.pedantic(_run, args=(flags,), rounds=1, iterations=1)
+    print(
+        "\n[P2] {0:<14} elapsed {1:8.2f} ms   cpu {2:7.2f} ms".format(
+            label, elapsed, cpu
+        )
+    )
+    assert elapsed > 0
+
+
+def test_perf_perturbation_is_small(benchmark):
+    """Full metering perturbs the run by well under 10%."""
+    def compare():
+        return _run(None), _run(mf.M_ALL | mf.M_IMMEDIATE)
+
+    (base_elapsed, base_cpu), (full_elapsed, full_cpu) = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert full_elapsed <= base_elapsed * 1.10
+    assert full_cpu <= base_cpu * 1.10
+    assert full_cpu > base_cpu  # but it is not free either
+
+
+def test_perf_no_program_changes_needed(benchmark):
+    """Transparency in the structural sense: the *same guest function*
+    runs metered and unmetered -- no trace calls, no recompilation
+    (the contrast the paper draws with METRIC)."""
+    def run_both():
+        cluster = Cluster(seed=8)
+        start_collector(cluster)
+        unmetered = cluster.spawn("red", _worker, uid=100)
+        metered = metered_spawn(cluster, "green", _worker, flags=mf.M_ALL)
+        assert unmetered.main is metered.main
+        cluster.run_until_exit([unmetered, metered])
+        return unmetered, metered
+
+    unmetered, metered = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert unmetered.exit_reason == metered.exit_reason == defs.EXIT_NORMAL

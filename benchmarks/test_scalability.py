@@ -1,0 +1,57 @@
+"""Scalability -- one filter under growing computations (Section 3.4:
+"when large computations are being metered").
+
+Sweeps the number of metered processes feeding a single filter and
+reports events collected and filter CPU: the load curve that motivates
+putting the filter on a disjoint machine.
+"""
+
+import pytest
+
+from benchmarks.conftest import fresh_session
+from repro.analysis import Trace
+
+MACHINES = ("red", "green", "yellow")
+
+
+def _run(nprocs, seed=9):
+    session = fresh_session(seed=seed)
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    for i in range(nprocs):
+        machine = MACHINES[i % len(MACHINES)]
+        session.command(
+            "addprocess j {0} dgramproducer blue {1} 20 64 2".format(
+                machine, 7000 + i
+            )
+        )
+    session.command("setflags j send socket termproc immediate")
+    session.command("startjob j")
+    session.settle()
+    trace = Trace(session.read_trace("f1"))
+    filter_cpu = sum(
+        p.cpu_ms
+        for p in session.cluster.machine("blue").procs.values()
+        if p.program_name == "filter"
+    )
+    return len(trace), len(trace.processes()), filter_cpu
+
+
+@pytest.mark.parametrize("nprocs", [1, 3, 6, 9])
+def test_scalability_processes_per_filter(benchmark, nprocs):
+    events, processes, filter_cpu = benchmark.pedantic(
+        _run, args=(nprocs,), rounds=1, iterations=1
+    )
+    assert processes == nprocs
+    assert events == nprocs * 22  # socket + 20 sends + termproc each
+    print(
+        "\n[scale] {0} metered processes -> {1} events, filter CPU "
+        "{2:6.2f} ms".format(nprocs, events, filter_cpu)
+    )
+
+
+def test_scalability_no_event_loss_at_peak(benchmark):
+    events, processes, __ = benchmark.pedantic(
+        _run, args=(9,), rounds=1, iterations=1
+    )
+    assert events == 9 * 22  # the meter stream never drops under load

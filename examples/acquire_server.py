@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Acquiring a running system server (Section 4.3, acquire).
+
+"a user may be interested only in monitoring a system server to better
+understand its behavior."  A name server is already running on red --
+started outside the measurement system -- and clients on other
+machines are querying it.  We acquire the server mid-run, watch its
+traffic, and show that acquired processes can be metered but never
+stopped or killed.
+
+Run:  python examples/acquire_server.py
+"""
+
+from repro.analysis import CommunicationStatistics, Trace
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.programs import install_all
+from repro.programs.server import name_server
+
+
+def main():
+    cluster = Cluster(seed=11)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    install_all(session)
+
+    # The server pre-exists: it was started by the system, not by us.
+    server_proc = cluster.spawn(
+        "red", name_server, argv=["5353"], uid=session.uid, program_name="nameserver"
+    )
+    cluster.run(until_ms=cluster.sim.now + 20)
+    print("name server already running on red: pid", server_proc.pid)
+
+    session.command("filter f1 blue")
+    session.command("newjob watch")
+    print(session.command("setflags watch send receive socket"), end="")
+    out = session.command("acquire watch red {0}".format(server_proc.pid))
+    print(out, end="")
+    # Flags are (re)applied to the acquired process too.
+    session.command("setflags watch send receive socket")
+
+    # Now generate load from two machines.
+    session.command("newjob load f1")
+    session.command("addprocess load green nameclient red 5353 6")
+    session.command("addprocess load yellow nameclient red 5353 6")
+    session.command("setflags load send receive")
+    session.command("startjob load")
+    session.settle()
+
+    print("-- acquired processes cannot be started or stopped --")
+    print(session.command("startjob watch"), end="")
+    print(session.command("stopjob watch"), end="")
+
+    print(session.command("jobs watch load"), end="")
+
+    trace = Trace(session.read_trace("f1"))
+    stats = CommunicationStatistics(trace)
+    print(stats.report())
+
+    server_events = trace.events_for((cluster.host_table.lookup("red").host_id, server_proc.pid))
+    print(
+        "server produced {0} metered events while acquired "
+        "(and kept running: state={1})".format(
+            len(server_events), server_proc.state
+        )
+    )
+
+    # Remove the job: the server loses its meter connection but lives on.
+    session.command("removejob watch")
+    print("after removejob, server still running:", server_proc.state)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Debugging a hung distributed program with the monitor.
+
+The scenario the paper's introduction motivates: a computation that
+silently stops making progress.  A worker waits for a datagram that
+its producer — which crashed — never sent.  Nothing on any terminal
+says why.  The monitor's trace does:
+
+1. meter with the *immediate* flag (a hung process never flushes its
+   buffered meter messages — Appendix C's reason for M_IMMEDIATE);
+2. run the trace audit: it names the blocked receive and the abnormal
+   exit;
+3. render the space-time diagram to see where the computation stopped.
+
+Run:  python examples/debug_hang.py
+"""
+
+from repro.analysis import Trace, TraceAudit, render_timeline
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.kernel import defs
+
+
+def flaky_producer(sys, argv):
+    """Sends two of the three datagrams the consumer expects, then
+    dies with an error."""
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    yield sys.sendto(fd, b"part-1", ("red", 6000))
+    yield sys.sendto(fd, b"part-2", ("red", 6000))
+    yield sys.compute(5)
+    yield sys.exit(1)  # crash before part-3
+
+
+def consumer(sys, argv):
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    yield sys.bind(fd, ("", 6000))
+    for __ in range(3):  # expects three parts; will hang on the third
+        yield sys.recvfrom(fd, 100)
+    yield sys.write(1, b"all parts received\n")
+    yield sys.exit(0)
+
+
+def main():
+    cluster = Cluster(seed=31)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    session.install_program("producer", flaky_producer)
+    session.install_program("consumer", consumer)
+
+    session.command("filter f1 blue")
+    session.command("newjob pipeline")
+    session.command("addprocess pipeline red consumer")
+    session.command("addprocess pipeline green producer")
+    session.command("setflags pipeline all immediate")
+    session.command("startjob pipeline")
+    session.settle(500)
+
+    print("== what the user sees ==")
+    print(session.command("jobs pipeline"), end="")
+    print("(the consumer shows 'running' -- but nothing is happening)")
+    print()
+
+    trace = Trace(session.read_trace("f1"))
+
+    print("== trace audit ==")
+    audit = TraceAudit(trace)
+    print(audit.report())
+    print()
+
+    print("== space-time diagram ==")
+    print(render_timeline(trace))
+    print()
+    print(
+        "Diagnosis: the producer terminated abnormally after part-2; "
+        "the consumer's third receive call will block forever."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline (no wheel
+package available), falling back to setuptools' develop mode."""
+
+from setuptools import setup
+
+setup()

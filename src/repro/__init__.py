@@ -1,0 +1,41 @@
+"""repro -- A Distributed Programs Monitor for (simulated) Berkeley UNIX.
+
+Reproduction of Miller, Macrander & Sechrest, "A Distributed Programs
+Monitor for Berkeley UNIX" (ICDCS 1985 / UCB CSRG).
+
+The package implements, on top of a deterministic discrete-event
+simulation of a 4.2BSD machine cluster:
+
+- ``repro.sim``        -- event loop, simulated time, drifting clocks
+- ``repro.net``        -- internetwork: datagrams, streams, naming
+- ``repro.kernel``     -- the simulated 4.2BSD kernel and syscall layer
+- ``repro.metering``   -- the paper's kernel changes: setmeter(2), meter
+                          flags, Appendix-A meter message formats
+- ``repro.filtering``  -- filter processes, event-record descriptions,
+                          selection rules
+- ``repro.daemon``     -- per-machine meterdaemons and their RPC protocol
+- ``repro.controller`` -- the control process (command interpreter)
+- ``repro.analysis``   -- trace analysis: ordering, statistics,
+                          parallelism, structure
+- ``repro.programs``   -- guest workload programs (TSP, client/server...)
+- ``repro.core``       -- high-level public API (Cluster,
+                          MeasurementSession)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["Cluster", "MeasurementSession", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy top-level exports: keep `import repro.sim` cheap and avoid
+    # import cycles during package bring-up.
+    if name == "Cluster":
+        from repro.core.cluster import Cluster
+
+        return Cluster
+    if name == "MeasurementSession":
+        from repro.core.session import MeasurementSession
+
+        return MeasurementSession
+    raise AttributeError(name)

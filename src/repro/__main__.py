@@ -1,0 +1,46 @@
+"""``python -m repro`` -- run the bundled demonstrations.
+
+Without arguments, replays the paper's Appendix B session.  With an
+example name, runs that example:
+
+    python -m repro                 # quickstart (Appendix B)
+    python -m repro tsp_study       # the TSP debugging study
+    python -m repro debug_hang      # diagnosing a hung computation
+    python -m repro --list
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent.parent / "examples"
+
+
+def _available():
+    if not EXAMPLES_DIR.is_dir():
+        return []
+    return sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    names = _available()
+    if argv and argv[0] in ("--list", "-l"):
+        print("available examples:")
+        for name in names:
+            print("  ", name)
+        return 0
+    target = argv[0] if argv else "quickstart"
+    if target not in names:
+        print("unknown example {0!r}; try: {1}".format(target, ", ".join(names)))
+        return 1
+    path = EXAMPLES_DIR / (target + ".py")
+    spec = importlib.util.spec_from_file_location("repro_example_" + target, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Analysis routines: the third measurement stage (Section 3.3).
+
+"The analysis routines provide the means for interpreting the traces
+created by filters.  They give meaning to the data by summarizing and
+operating on the event records collected."  The paper points to three
+families of analyses performed with the tool ([Miller 84]):
+communications statistics, measurement of parallelism, and structural
+studies; Section 4.1 adds the deduction of global event orderings from
+message causality.  All four live here, and all of them work purely
+from filter log files -- never from simulator internals.
+"""
+
+from repro.analysis.debugging import TraceAudit
+from repro.analysis.delays import MessageDelays
+from repro.analysis.matching import MessageMatcher
+from repro.analysis.ordering import (
+    HappensBefore,
+    estimate_clock_models,
+    estimate_clock_skews,
+)
+from repro.analysis.parallelism import ParallelismProfile
+from repro.analysis.stats import CommunicationStatistics
+from repro.analysis.structure import CommunicationGraph
+from repro.analysis.timeline import Timeline, render_timeline
+from repro.analysis.trace import Event, Trace
+
+__all__ = [
+    "TraceAudit",
+    "MessageDelays",
+    "MessageMatcher",
+    "HappensBefore",
+    "estimate_clock_models",
+    "estimate_clock_skews",
+    "ParallelismProfile",
+    "CommunicationStatistics",
+    "CommunicationGraph",
+    "Timeline",
+    "render_timeline",
+    "Event",
+    "Trace",
+]

@@ -1,0 +1,135 @@
+"""Trace-driven debugging checks.
+
+The paper's motivation is that distributed programs are hard to debug;
+its tool was used for "program debugging" as well as measurement
+(Section 5).  This module packages the checks a programmer runs over a
+trace when a computation misbehaves:
+
+- messages sent but never received (lost datagrams, crashed readers);
+- receive calls that never completed (a process blocked forever --
+  the classic distributed hang);
+- processes that terminated with a non-zero status or never terminated
+  inside the trace;
+- connections accepted but never used.
+"""
+
+from repro.analysis.matching import MessageMatcher
+
+
+class Finding:
+    """One diagnostic finding."""
+
+    def __init__(self, kind, event, detail):
+        self.kind = kind
+        self.event = event
+        self.detail = detail
+
+    def __repr__(self):
+        return "Finding({0}: {1})".format(self.kind, self.detail)
+
+
+class TraceAudit:
+    """Run all debugging checks over a trace."""
+
+    def __init__(self, trace, matcher=None):
+        self.trace = trace
+        self.matcher = matcher or MessageMatcher(trace)
+        self.findings = []
+        self._check_lost_messages()
+        self._check_stuck_receives()
+        self._check_terminations()
+        self._check_idle_connections()
+
+    def _add(self, kind, event, detail):
+        self.findings.append(Finding(kind, event, detail))
+
+    def by_kind(self, kind):
+        return [f for f in self.findings if f.kind == kind]
+
+    # ------------------------------------------------------------------
+
+    def _check_lost_messages(self):
+        for event in self.matcher.unmatched_sends:
+            dest = event.name("destName") or "connection peer"
+            self._add(
+                "lost-message",
+                event,
+                "pid {0} on machine {1} sent {2} bytes to {3}; no "
+                "matching receive in the trace".format(
+                    event.pid, event.machine, event.msg_length, dest
+                ),
+            )
+
+    def _check_stuck_receives(self):
+        """A receivecall without a following receive on the same
+        (process, socket) means the process was still blocked when the
+        trace ended."""
+        for process in self.trace.processes():
+            events = self.trace.events_for(process)
+            pending = {}  # sock -> receivecall event
+            for event in events:
+                if event.event == "receivecall":
+                    pending[event.sock] = event
+                elif event.event == "receive":
+                    pending.pop(event.sock, None)
+            for sock, call in pending.items():
+                self._add(
+                    "stuck-receive",
+                    call,
+                    "pid {0} on machine {1} called receive on socket "
+                    "{2} and never got a message".format(
+                        call.pid, call.machine, sock
+                    ),
+                )
+
+    def _check_terminations(self):
+        terminated = {}
+        for event in self.trace.by_type("termproc"):
+            terminated[event.process] = event
+            if event.get("status", 0) != 0:
+                self._add(
+                    "abnormal-exit",
+                    event,
+                    "pid {0} on machine {1} exited with status {2}".format(
+                        event.pid, event.machine, event["status"]
+                    ),
+                )
+        # Only meaningful if termination was being metered at all.
+        if terminated:
+            for process in self.trace.processes():
+                if process not in terminated:
+                    machine, pid = process
+                    self._add(
+                        "no-termination",
+                        None,
+                        "pid {0} on machine {1} never terminated within "
+                        "the trace".format(pid, machine),
+                    )
+
+    def _check_idle_connections(self):
+        used = set()
+        for event in self.trace.events:
+            if event.event in ("send", "receive"):
+                used.add((event.machine, event.sock))
+        for event in self.trace.by_type("accept"):
+            endpoint = (event.machine, event["newSock"])
+            if endpoint not in used:
+                self._add(
+                    "idle-connection",
+                    event,
+                    "connection accepted on machine {0} (socket {1}) "
+                    "carried no traffic".format(event.machine, event["newSock"]),
+                )
+
+    # ------------------------------------------------------------------
+
+    def healthy(self):
+        return not self.findings
+
+    def report(self):
+        if not self.findings:
+            return "Trace audit: no anomalies found"
+        lines = ["Trace audit: {0} finding(s)".format(len(self.findings))]
+        for finding in self.findings:
+            lines.append("  [{0}] {1}".format(finding.kind, finding.detail))
+        return "\n".join(lines)

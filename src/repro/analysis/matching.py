@@ -1,0 +1,254 @@
+"""Recovering message recipients: send/receive matching.
+
+Section 4.1: a send over a connection does not carry the recipient's
+name -- "By examining the sockets that were paired when the connection
+was created, the recipient information can be recovered.  This is one
+of the tasks of the analysis programs."
+
+Two mechanisms:
+
+- **Connections** (streams): accept and connect events carry both end
+  names, which pairs ``(machine, sock)`` endpoints into connections.
+  Stream bytes are then matched by cumulative byte offsets, since the
+  stream may coalesce or split messages ("As many bytes as possible are
+  delivered for each read...").
+- **Datagrams**: the send's ``destName`` names the receiving socket and
+  the receive's ``sourceName`` names the sender's host; whole datagrams
+  are matched FIFO with equal lengths.
+"""
+
+from collections import defaultdict
+
+
+def _host_of(display_name):
+    """Literal host of an "inet:host:port" display name, else None."""
+    if display_name and display_name.startswith("inet:"):
+        return display_name.split(":")[1]
+    return None
+
+
+class Connection:
+    """One stream connection between two trace endpoints."""
+
+    __slots__ = ("initiator", "acceptor", "initiator_name", "acceptor_name")
+
+    def __init__(self, initiator, acceptor, initiator_name, acceptor_name):
+        self.initiator = initiator  # (machine, sock)
+        self.acceptor = acceptor  # (machine, newSock)
+        self.initiator_name = initiator_name
+        self.acceptor_name = acceptor_name
+
+    def other_end(self, endpoint):
+        if endpoint == self.initiator:
+            return self.acceptor
+        if endpoint == self.acceptor:
+            return self.initiator
+        return None
+
+    def __repr__(self):
+        return "Connection({0} <-> {1})".format(self.initiator, self.acceptor)
+
+
+class MessagePair:
+    """A matched (send event, receive event) with the byte overlap."""
+
+    __slots__ = ("send", "recv", "nbytes")
+
+    def __init__(self, send, recv, nbytes):
+        self.send = send
+        self.recv = recv
+        self.nbytes = nbytes
+
+    def __repr__(self):
+        return "MessagePair({0} -> {1}, {2}B)".format(
+            self.send.process, self.recv.process, self.nbytes
+        )
+
+
+class MessageMatcher:
+    """Pairs sends with receives across a whole trace."""
+
+    def __init__(self, trace):
+        self.trace = trace
+        self.connections = self._find_connections()
+        self._endpoint_conn = {}
+        for conn in self.connections:
+            self._endpoint_conn[conn.initiator] = conn
+            self._endpoint_conn[conn.acceptor] = conn
+        self.pairs = []
+        self.unmatched_sends = []
+        self.unmatched_recvs = []
+        self._match_streams()
+        self._match_datagrams()
+
+    # -- connection discovery -------------------------------------------
+
+    def _find_connections(self):
+        accepts = self.trace.by_type("accept")
+        connects = self.trace.by_type("connect")
+        connections = []
+        used = set()
+        for acc in accepts:
+            acc_name = acc.name("sockName")
+            acc_peer = acc.name("peerName")
+            for conn in connects:
+                if conn.index in used:
+                    continue
+                if (
+                    conn.name("sockName") == acc_peer
+                    and conn.name("peerName") == acc_name
+                ):
+                    used.add(conn.index)
+                    connections.append(
+                        Connection(
+                            initiator=(conn.machine, conn.sock),
+                            acceptor=(acc.machine, acc["newSock"]),
+                            initiator_name=acc_peer,
+                            acceptor_name=acc_name,
+                        )
+                    )
+                    break
+            else:
+                # One-sided trace (e.g. only the server was metered):
+                # still record the acceptor end so its traffic groups.
+                connections.append(
+                    Connection(
+                        initiator=None,
+                        acceptor=(acc.machine, acc["newSock"]),
+                        initiator_name=acc_peer,
+                        acceptor_name=acc_name,
+                    )
+                )
+        return connections
+
+    # -- stream matching -------------------------------------------------
+
+    def _match_streams(self):
+        # Cumulative byte ranges per direction of each connection.
+        sends_by_endpoint = defaultdict(list)
+        recvs_by_endpoint = defaultdict(list)
+        for event in self.trace:
+            endpoint = (event.machine, event.sock)
+            conn = self._endpoint_conn.get(endpoint)
+            if conn is None:
+                continue
+            if event.event == "send" and not event.name("destName"):
+                sends_by_endpoint[endpoint].append(event)
+            elif event.event == "receive":
+                recvs_by_endpoint[endpoint].append(event)
+        for conn in self.connections:
+            if conn.initiator is None:
+                continue
+            for src, dst in (
+                (conn.initiator, conn.acceptor),
+                (conn.acceptor, conn.initiator),
+            ):
+                self._match_byte_ranges(
+                    sends_by_endpoint.get(src, []), recvs_by_endpoint.get(dst, [])
+                )
+
+    def _match_byte_ranges(self, sends, recvs):
+        """Overlap cumulative byte ranges of sends and receives."""
+        send_spans = []
+        offset = 0
+        for event in sends:
+            send_spans.append((offset, offset + event.msg_length, event))
+            offset += event.msg_length
+        recv_spans = []
+        offset = 0
+        for event in recvs:
+            recv_spans.append((offset, offset + event.msg_length, event))
+            offset += event.msg_length
+        si = 0
+        matched_sends = set()
+        matched_recvs = set()
+        for rstart, rend, recv in recv_spans:
+            while si < len(send_spans) and send_spans[si][1] <= rstart:
+                si += 1
+            sj = si
+            while sj < len(send_spans) and send_spans[sj][0] < rend:
+                sstart, send_end, send = send_spans[sj]
+                overlap = min(send_end, rend) - max(sstart, rstart)
+                if overlap > 0:
+                    self.pairs.append(MessagePair(send, recv, overlap))
+                    matched_sends.add(send.index)
+                    matched_recvs.add(recv.index)
+                sj += 1
+        for __, __, event in send_spans:
+            if event.index not in matched_sends:
+                self.unmatched_sends.append(event)
+        for __, __, event in recv_spans:
+            if event.index not in matched_recvs:
+                self.unmatched_recvs.append(event)
+
+    # -- datagram matching -------------------------------------------------
+
+    def _match_datagrams(self):
+        """FIFO-match datagram sends (which carry a destName) against
+        datagram receives (which carry a sourceName).
+
+        The trace's ``machine`` header is a numeric host id while names
+        display literal host names, so a literal->id map is first built
+        from events whose ``sockName`` is the recording machine's own
+        bound name (connect/accept), then refined as matches are made.
+        """
+        host_ids = {}  # literal host name -> machine id
+        for event in self.trace:
+            if event.event in ("connect", "accept"):
+                host = _host_of(event.name("sockName"))
+                if host is not None:
+                    host_ids[host] = event.machine
+
+        dgram_recvs = [
+            event
+            for event in self.trace.by_type("receive")
+            if (event.machine, event.sock) not in self._endpoint_conn
+        ]
+        consumed = set()
+        for send in self.trace.by_type("send"):
+            dest = send.name("destName")
+            if not dest:
+                continue  # stream send, handled by _match_streams
+            dest_host = _host_of(dest)
+            recv = self._claim_datagram(
+                dgram_recvs, consumed, send, dest_host, host_ids
+            )
+            if recv is None:
+                self.unmatched_sends.append(send)
+                continue
+            consumed.add(recv.index)
+            src_host = _host_of(recv.name("sourceName"))
+            if src_host is not None:
+                host_ids.setdefault(src_host, send.machine)
+            self.pairs.append(
+                MessagePair(send, recv, min(send.msg_length, recv.msg_length))
+            )
+        for recv in dgram_recvs:
+            if recv.index not in consumed:
+                self.unmatched_recvs.append(recv)
+
+    def _claim_datagram(self, dgram_recvs, consumed, send, dest_host, host_ids):
+        """First unconsumed receive consistent with this send (FIFO)."""
+        dest_id = host_ids.get(dest_host)
+        for recv in dgram_recvs:
+            if recv.index in consumed:
+                continue
+            if recv.msg_length != send.msg_length:
+                continue
+            if dest_id is not None and recv.machine != dest_id:
+                continue
+            src_host = _host_of(recv.name("sourceName"))
+            src_id = host_ids.get(src_host) if src_host else None
+            if src_id is not None and src_id != send.machine:
+                continue
+            return recv
+        return None
+
+    # ------------------------------------------------------------------
+
+    def matched_fraction(self):
+        sends = [e for e in self.trace.by_type("send")]
+        if not sends:
+            return 1.0
+        matched = {pair.send.index for pair in self.pairs}
+        return len(matched) / len(sends)

@@ -1,0 +1,213 @@
+"""Event ordering and clock-skew estimation (Section 4.1).
+
+"The separate machines' times ... only roughly correspond to a global
+time.  Statements regarding the global ordering of events can only be
+made on the basis of evidence within the trace.  For example, since a
+message must be sent before it may be received, the times of sending
+and receiving a message can always be ordered relative to one another.
+Given these constraints, much of the global ordering can be deduced."
+
+:class:`HappensBefore` builds the Lamport partial order (program order
+per process plus matched send->receive edges) as a DAG and answers
+ordering queries; :func:`estimate_clock_skews` recovers approximate
+relative clock offsets from the send/receive pairs, in the spirit of
+TEMPO (Gusella & Zatti 83).
+"""
+
+import networkx as nx
+
+from repro.analysis.matching import MessageMatcher
+
+
+class HappensBefore:
+    """The happens-before DAG over a trace."""
+
+    def __init__(self, trace, matcher=None):
+        self.trace = trace
+        self.matcher = matcher or MessageMatcher(trace)
+        self.graph = nx.DiGraph()
+        for event in trace:
+            self.graph.add_node(event.index)
+        # Program order within each process.
+        for process in trace.processes():
+            events = trace.events_for(process)
+            for earlier, later in zip(events, events[1:]):
+                self.graph.add_edge(earlier.index, later.index)
+        # Communication order: a message is sent before it is received.
+        for pair in self.matcher.pairs:
+            if pair.send.index != pair.recv.index:
+                self.graph.add_edge(pair.send.index, pair.recv.index)
+        self._descendants = None
+
+    def _closure(self):
+        if self._descendants is None:
+            self._descendants = {
+                node: nx.descendants(self.graph, node) for node in self.graph
+            }
+        return self._descendants
+
+    def happens_before(self, event_a, event_b):
+        """Whether ``event_a`` -> ``event_b`` is deducible."""
+        return event_b.index in self._closure()[event_a.index]
+
+    def concurrent(self, event_a, event_b):
+        """Neither ordered before the other: truly concurrent (or the
+        trace lacks the evidence)."""
+        closure = self._closure()
+        return (
+            event_a.index != event_b.index
+            and event_b.index not in closure[event_a.index]
+            and event_a.index not in closure[event_b.index]
+        )
+
+    def ordered_fraction(self):
+        """Fraction of cross-machine event pairs the trace can order.
+
+        This is the paper's "much of the global ordering can be
+        deduced" made quantitative (bench P5).
+        """
+        closure = self._closure()
+        events = list(self.trace)
+        ordered = 0
+        total = 0
+        for i, event_a in enumerate(events):
+            for event_b in events[i + 1 :]:
+                if event_a.machine == event_b.machine:
+                    continue  # locally ordered by the machine clock
+                total += 1
+                if (
+                    event_b.index in closure[event_a.index]
+                    or event_a.index in closure[event_b.index]
+                ):
+                    ordered += 1
+        return (ordered / total) if total else 1.0
+
+    def consistent_global_order(self):
+        """One total order consistent with happens-before, breaking
+        ties by (skew-corrected) local timestamps."""
+        skews = estimate_clock_skews(self.trace, self.matcher)
+
+        def key(index):
+            event = self.trace.events[index]
+            return (event.local_time - skews.get(event.machine, 0.0), index)
+
+        return [
+            self.trace.events[index]
+            for index in nx.lexicographical_topological_sort(self.graph, key=key)
+        ]
+
+    def violates_causality(self):
+        """Send/receive pairs whose raw local timestamps run backwards:
+        direct evidence of clock skew (receive stamped before send)."""
+        return [
+            pair
+            for pair in self.matcher.pairs
+            if pair.recv.local_time < pair.send.local_time
+        ]
+
+
+def estimate_clock_models(trace, matcher=None, reference=None):
+    """Full linear clock models per machine: local ~ offset + rate * ref.
+
+    Where :func:`estimate_clock_skews` recovers constant offsets, this
+    also recovers *drift*: for each machine B with two-way traffic to
+    the reference A, matched pairs constrain B's clock from both sides
+    (a message's receive stamp is at least its send stamp plus zero
+    delay, in both directions).  Fitting a line through the forward
+    pairs and another through the reverse pairs and averaging them
+    splits the (assumed symmetric) network delay out -- the TEMPO idea
+    extended to rates.
+
+    Returns {machine id: (offset_ms, rate)} with the reference machine
+    mapped to (0.0, 1.0).  Machines without two-way traffic to the
+    reference fall back to offset-only estimates.
+    """
+    import numpy as np
+
+    matcher = matcher or MessageMatcher(trace)
+    machines = trace.machines()
+    if not machines:
+        return {}
+    if reference is None:
+        reference = machines[0]
+    models = {reference: (0.0, 1.0)}
+
+    by_pair = {}
+    for pair in matcher.pairs:
+        key = (pair.send.machine, pair.recv.machine)
+        by_pair.setdefault(key, []).append(
+            (pair.send.local_time, pair.recv.local_time)
+        )
+
+    fallback = estimate_clock_skews(trace, matcher, reference=reference)
+    for machine in machines:
+        if machine == reference:
+            continue
+        forward = by_pair.get((reference, machine), [])  # (ref t, b t)
+        reverse = [
+            (a, b) for b, a in by_pair.get((machine, reference), [])
+        ]  # -> (ref t, b t)
+        if len(forward) >= 2 and len(reverse) >= 2:
+            m1, c1 = np.polyfit(*zip(*forward), 1)
+            m2, c2 = np.polyfit(*zip(*reverse), 1)
+            rate = (m1 + m2) / 2.0
+            offset = (c1 + c2) / 2.0
+            models[machine] = (float(offset), float(rate))
+        else:
+            models[machine] = (fallback.get(machine, 0.0), 1.0)
+    return models
+
+
+def estimate_clock_skews(trace, matcher=None, reference=None):
+    """Relative clock offsets per machine, from message pairs.
+
+    For machines A, B with matched messages in both directions, the
+    minimum observed (recv_local - send_local) in each direction bounds
+    the offset: offset ~ (min_fwd - min_rev) / 2, assuming roughly
+    symmetric network delay (the TEMPO assumption).  Offsets are
+    reported relative to ``reference`` (default: lowest machine id);
+    machines connected only indirectly are resolved transitively.
+
+    Returns {machine id: offset_ms}; subtract the offset from a
+    machine's local timestamps to align them.
+    """
+    matcher = matcher or MessageMatcher(trace)
+    deltas = {}
+    for pair in matcher.pairs:
+        key = (pair.send.machine, pair.recv.machine)
+        if key[0] == key[1]:
+            continue
+        delta = pair.recv.local_time - pair.send.local_time
+        if key not in deltas or delta < deltas[key]:
+            deltas[key] = delta
+
+    graph = nx.Graph()
+    for (a, b), fwd in deltas.items():
+        rev = deltas.get((b, a))
+        if rev is None:
+            continue
+        # local_B - local_A ~ (fwd - rev) / 2
+        offset = (fwd - rev) / 2.0
+        graph.add_edge(a, b, offset_ab=offset, a=a)
+
+    machines = trace.machines()
+    if reference is None:
+        reference = machines[0] if machines else None
+    skews = {machine: 0.0 for machine in machines}
+    if reference is None or reference not in graph:
+        return skews
+    seen = {reference}
+    frontier = [reference]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in graph.neighbors(current):
+            if neighbor in seen:
+                continue
+            data = graph.edges[current, neighbor]
+            offset = data["offset_ab"]
+            if data["a"] != current:
+                offset = -offset
+            skews[neighbor] = skews[current] + offset
+            seen.add(neighbor)
+            frontier.append(neighbor)
+    return skews

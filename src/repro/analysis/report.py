@@ -1,0 +1,63 @@
+"""One-shot measurement report.
+
+Runs every analysis over a trace and renders a single readable report
+-- what a user of the 1984 tool would have printed after getlog.  Used
+by the examples and handy in interactive sessions::
+
+    from repro.analysis.report import measurement_report
+    print(measurement_report(trace))
+"""
+
+from repro.analysis.debugging import TraceAudit
+from repro.analysis.delays import MessageDelays
+from repro.analysis.matching import MessageMatcher
+from repro.analysis.ordering import HappensBefore, estimate_clock_skews
+from repro.analysis.parallelism import ParallelismProfile
+from repro.analysis.stats import CommunicationStatistics
+from repro.analysis.structure import CommunicationGraph
+from repro.analysis.timeline import Timeline
+
+SEPARATOR = "=" * 64
+
+
+def measurement_report(trace, timeline_rows=30, title="Measurement report"):
+    """Render the full analysis suite over one trace."""
+    if len(trace) == 0:
+        return "{0}\n(empty trace)".format(title)
+    matcher = MessageMatcher(trace)
+    hb = HappensBefore(trace, matcher)
+    sections = [title]
+
+    stats = CommunicationStatistics(trace, matcher)
+    sections.append(stats.report())
+
+    profile = ParallelismProfile(trace, matcher=matcher)
+    sections.append(profile.report())
+
+    graph = CommunicationGraph(trace, matcher)
+    sections.append(graph.report())
+
+    sections.append(MessageDelays(trace, matcher).report())
+
+    skews = estimate_clock_skews(trace, matcher)
+    nonzero = {m: round(s, 1) for m, s in skews.items() if abs(s) > 1.0}
+    sections.append(
+        "Clock skew: {0}".format(
+            "estimated relative offsets (ms): %s" % nonzero
+            if nonzero
+            else "no significant skew detected"
+        )
+    )
+    sections.append(
+        "Ordering: {0:.0%} of cross-machine event pairs deducible; "
+        "{1} raw-timestamp causality violations".format(
+            hb.ordered_fraction(), len(hb.violates_causality())
+        )
+    )
+
+    audit = TraceAudit(trace, matcher)
+    sections.append(audit.report())
+
+    sections.append("Timeline (consistent global order)")
+    sections.append(Timeline(trace, hb).render(max_rows=timeline_rows))
+    return ("\n" + SEPARATOR + "\n").join(sections)

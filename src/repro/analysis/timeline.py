@@ -1,0 +1,77 @@
+"""Space-time diagrams of a computation.
+
+Renders the classic Lamport diagram as text: one column per process,
+rows in a causally consistent global order (skew-corrected), message
+sends/receives annotated.  This is the visualization a programmer
+debugging with the monitor reads first: it makes the interleaving of a
+distributed computation visible without synchronized clocks.
+"""
+
+from repro.analysis.ordering import HappensBefore
+
+_GLYPHS = {
+    "send": "S",
+    "receive": "R",
+    "receivecall": "r",
+    "accept": "A",
+    "connect": "C",
+    "socket": "o",
+    "dup": "d",
+    "destsocket": "x",
+    "fork": "F",
+    "termproc": "T",
+}
+
+
+class Timeline:
+    """A textual space-time diagram of one trace."""
+
+    def __init__(self, trace, hb=None):
+        self.trace = trace
+        self.hb = hb or HappensBefore(trace)
+        self.order = self.hb.consistent_global_order()
+        self.processes = trace.processes()
+        self._column = {proc: i for i, proc in enumerate(self.processes)}
+        #: event index -> (label of the matched peer event, direction)
+        self._message_peer = {}
+        for pair in self.hb.matcher.pairs:
+            self._message_peer.setdefault(pair.send.index, []).append(
+                (pair.recv, ">")
+            )
+            self._message_peer.setdefault(pair.recv.index, []).append(
+                (pair.send, "<")
+            )
+
+    def header(self):
+        cells = [
+            "{0}/{1}".format(machine, pid) for machine, pid in self.processes
+        ]
+        return "  ".join("{0:^9}".format(cell) for cell in cells)
+
+    def rows(self):
+        """One row per event, in the consistent global order."""
+        for event in self.order:
+            column = self._column[event.process]
+            cells = ["    .    "] * len(self.processes)
+            glyph = _GLYPHS.get(event.event, "?")
+            label = "{0}{1}".format(glyph, event.event[1:4])
+            peers = self._message_peer.get(event.index, [])
+            if peers:
+                peer, direction = peers[0]
+                label += direction + str(self._column[peer.process])
+            cells[column] = "{0:^9}".format(label)
+            yield "  ".join(cells) + "   t={0}".format(event.local_time)
+
+    def render(self, max_rows=None):
+        lines = [self.header(), "-" * len(self.header())]
+        for i, row in enumerate(self.rows()):
+            if max_rows is not None and i >= max_rows:
+                lines.append("... ({0} more events)".format(len(self.order) - i))
+                break
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def render_timeline(trace, max_rows=None):
+    """Convenience: render a trace's space-time diagram."""
+    return Timeline(trace).render(max_rows=max_rows)

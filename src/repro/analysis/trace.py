@@ -1,0 +1,122 @@
+"""Trace model: events as read back from a filter log file."""
+
+from repro.filtering.records import parse_trace
+
+
+class Event:
+    """One event record, with convenience accessors.
+
+    A process is identified by ``(machine, pid)``: pids are only unique
+    per machine (Section 3.5.1), and sockets ("sock") only unique
+    within a machine (Section 4.1).
+    """
+
+    __slots__ = ("record", "index", "proc_seq")
+
+    def __init__(self, record, index):
+        self.record = record
+        self.index = index  # position in the trace file
+        self.proc_seq = None  # position within the process, set by Trace
+
+    @property
+    def event(self):
+        return self.record.get("event")
+
+    @property
+    def machine(self):
+        return self.record.get("machine")
+
+    @property
+    def pid(self):
+        return self.record.get("pid")
+
+    @property
+    def process(self):
+        return (self.machine, self.pid)
+
+    @property
+    def local_time(self):
+        """The machine's local clock at the event (header cpuTime)."""
+        return self.record.get("cpuTime", 0)
+
+    @property
+    def proc_time(self):
+        """CPU time charged to the process (10 ms granularity)."""
+        return self.record.get("procTime", 0)
+
+    @property
+    def sock(self):
+        return self.record.get("sock")
+
+    @property
+    def msg_length(self):
+        return self.record.get("msgLength", 0)
+
+    def name(self, field):
+        value = self.record.get(field, "")
+        return value if value else None
+
+    def __getitem__(self, key):
+        return self.record[key]
+
+    def get(self, key, default=None):
+        return self.record.get(key, default)
+
+    def __repr__(self):
+        return "Event({0}, {1}@m{2}, t={3})".format(
+            self.event, self.pid, self.machine, self.local_time
+        )
+
+
+class Trace:
+    """An ordered collection of events (one filter's log)."""
+
+    def __init__(self, records):
+        self.events = [Event(record, i) for i, record in enumerate(records)]
+        self._by_process = {}
+        for event in self.events:
+            seq = self._by_process.setdefault(event.process, [])
+            event.proc_seq = len(seq)
+            seq.append(event)
+
+    @classmethod
+    def from_text(cls, text):
+        return cls(parse_trace(text))
+
+    @classmethod
+    def from_session(cls, session, filtername):
+        return cls(session.read_trace(filtername))
+
+    @classmethod
+    def merge(cls, *traces):
+        """Merge several filters' traces into one.
+
+        Section 3.4 allows one filter per computation; a study spanning
+        several computations (or several filters for load spreading)
+        merges their logs before analysis.  Records are interleaved by
+        (machine, local time), which is only a heuristic order across
+        machines -- the analyses that care use happens-before, not
+        record order across machines.
+        """
+        records = [event.record for trace in traces for event in trace]
+        records.sort(key=lambda r: (r.get("cpuTime", 0), r.get("machine", 0)))
+        return cls(records)
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def processes(self):
+        """All (machine, pid) pairs seen, in first-appearance order."""
+        return list(self._by_process)
+
+    def events_for(self, process):
+        return list(self._by_process.get(process, []))
+
+    def by_type(self, event_name):
+        return [event for event in self.events if event.event == event_name]
+
+    def machines(self):
+        return sorted({event.machine for event in self.events})

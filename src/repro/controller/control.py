@@ -1,0 +1,897 @@
+"""The controller guest program: the users' interface (Section 4.3).
+
+Runs on the machine the programmer chose, reads commands from the
+terminal (or from sourced scripts), performs them by RPC to the
+meterdaemons, and reports asynchronous state changes ("DONE: process B
+in job 'foo' terminated: reason: normal").
+"""
+
+from repro import guestlib
+from repro.controller import states
+from repro.controller.model import FilterInfo, Job, ProcessRecord
+from repro.daemon import protocol
+from repro.daemon.meterdaemon import METERDAEMON_PORT
+from repro.kernel import defs
+from repro.kernel.errno import SyscallError, errno_name
+from repro.metering import flags as mflags
+
+PROMPT = "<Control> "
+
+DEFAULT_FILTER_FILE = "filter"
+DEFAULT_DESCRIPTIONS = "descriptions"
+DEFAULT_TEMPLATES = "templates"
+MAX_SOURCE_DEPTH = 16
+
+#: Characters allowed in command parameters (Section 4.3 plus '-' for
+#: flag resets and '_' for file names).
+_PARAM_CHARS = set(
+    "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ/.-_*"
+)
+
+HELP_TEXT = """\
+Commands:
+  help                                           this menu
+  filter [<name> [<machine> [<file> [<descr> [<templates>]]]]]
+                                                 create or list filters
+  newjob <jobname> [<filtername>]                create a job
+  addprocess <jobname> <machine> <file> [<parms>...]   add a process
+  acquire <jobname> <machine> <pid>              meter a running process
+  setflags <jobname> <flag1> [<flag2>...]        set metering flags
+  startjob <jobname>                             start the job
+  stopjob <jobname>                              stop the job
+  removejob <jobname>                            remove the job
+  removeprocess <jobname> <procname>             remove one process
+  jobs [<jobname>...]                            show job status
+  getlog <filtername> <destfile>                 fetch a trace file
+  source <filename>                              run a command script
+  sink [<filename>]                              redirect output
+  input <jobname> <procname> <word>...           send a line to a
+                                                 process' standard input
+  stdinfile <jobname> <procname> <filename>      redirect a file into a
+                                                 process' standard input
+  die                                            exit the controller
+Metering flags:
+  fork termproc send receivecall receive socket dup destsocket
+  accept connect all immediate  (prefix '-' to reset)"""
+
+
+class _InputSource:
+    def __init__(self, fd, is_tty):
+        self.fd = fd
+        self.is_tty = is_tty
+        self.buffered = [b""]
+
+
+class ControllerState:
+    """All state of one controller instance."""
+
+    def __init__(self):
+        self.uid = None
+        self.hostname = None
+        self.notify_listen = None
+        self.notify_port = None
+        #: notify conn fd -> reassembly buffer
+        self.notify_buffers = {}
+        self.filters = {}  # name -> FilterInfo
+        self.filter_order = []  # creation order (for the default filter)
+        self.jobs = {}  # name -> Job
+        self.next_job_number = 1
+        self.input_stack = []
+        self.sink_fd = None  # output file fd, or None for the terminal
+        self.die_warned = False
+        self.dead = False
+
+    def default_filter(self):
+        """"If no filter is indicated, the control program uses the
+        default filter process" -- the most recently created one."""
+        if not self.filter_order:
+            return None
+        return self.filters[self.filter_order[-1]]
+
+    def find_record(self, machine, pid):
+        for job in self.jobs.values():
+            for record in job.processes:
+                if record.machine == machine and record.pid == pid:
+                    return job, record
+        return None, None
+
+    def active_count(self):
+        return sum(len(job.active_processes()) for job in self.jobs.values())
+
+
+def controller(sys, argv):
+    """Guest main for the control process."""
+    state = ControllerState()
+    state.uid = yield sys.getuid()
+    state.hostname = yield sys.hostname()
+
+    # The notification socket: daemons connect here to report process
+    # state changes (Section 3.5.1).
+    nfd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(nfd, ("", 0))
+    yield sys.listen(nfd, defs.SOMAXCONN)
+    state.notify_listen = nfd
+    name = yield sys.getsockname(nfd)
+    state.notify_port = name.port
+
+    state.input_stack.append(_InputSource(0, is_tty=True))
+
+    while not state.dead:
+        source = state.input_stack[-1]
+        if source.is_tty:
+            line = yield from _read_tty_line(sys, state, source)
+        else:
+            yield from _poll_notifications(sys, state)
+            line = yield from guestlib.read_line(sys, source.fd, source.buffered)
+            if line is None:
+                yield sys.close(source.fd)
+                state.input_stack.pop()
+                continue
+        yield from _dispatch(sys, state, line)
+    yield sys.exit(0)
+
+
+# ----------------------------------------------------------------------
+# Input and notifications
+# ----------------------------------------------------------------------
+
+
+def _read_tty_line(sys, state, source):
+    """Prompt, then wait for a command while servicing notifications."""
+    yield sys.write(1, PROMPT.encode("ascii"))
+    while True:
+        fds = [source.fd, state.notify_listen] + list(state.notify_buffers)
+        ready, __ = yield sys.select(fds)
+        yield from _handle_notification_fds(sys, state, ready)
+        if source.fd in ready:
+            line = yield from guestlib.read_line(sys, source.fd, source.buffered)
+            if line is None:
+                return "die"  # control-D
+            return line
+
+
+def _poll_notifications(sys, state):
+    fds = [state.notify_listen] + list(state.notify_buffers)
+    ready, __ = yield sys.select(fds, timeout_ms=0)
+    yield from _handle_notification_fds(sys, state, ready)
+
+
+def _handle_notification_fds(sys, state, ready):
+    for fd in ready:
+        if fd == state.notify_listen:
+            conn, __ = yield sys.accept(state.notify_listen)
+            state.notify_buffers[conn] = b""
+        elif fd in state.notify_buffers:
+            data = yield sys.read(fd, 4096)
+            if not data:
+                yield sys.close(fd)
+                del state.notify_buffers[fd]
+                continue
+            buf = state.notify_buffers[fd] + data
+            while len(buf) >= 4:
+                length = int.from_bytes(buf[:4], "big")
+                if len(buf) - 4 < length:
+                    break
+                payload = buf[4 : 4 + length]
+                buf = buf[4 + length :]
+                yield from _handle_notification(sys, state, payload)
+            state.notify_buffers[fd] = buf
+
+
+def _handle_notification(sys, state, payload):
+    try:
+        msg_type, body = protocol.decode(payload)
+    except Exception:
+        return  # junk on the notification port; ignore it
+    if msg_type == protocol.TERMINATION_NOTIFY:
+        yield from _on_termination(sys, state, body)
+    elif msg_type == protocol.OUTPUT_NOTIFY:
+        text = body.get("data", "").rstrip("\n")
+        for line in text.splitlines():
+            yield from _emit(
+                sys, state, "{0}: {1}".format(body.get("procname"), line)
+            )
+
+
+def _on_termination(sys, state, body):
+    machine, pid = body.get("machine"), body.get("pid")
+    # A filter died?
+    for info in list(state.filters.values()):
+        if info.machine == machine and info.pid == pid:
+            yield from _emit(
+                sys,
+                state,
+                "DONE: filter '{0}' terminated: reason: {1}".format(
+                    info.name, body.get("reason")
+                ),
+            )
+            del state.filters[info.name]
+            state.filter_order.remove(info.name)
+            return
+    job, record = state.find_record(machine, pid)
+    if record is None:
+        return
+    record.state = states.KILLED
+    yield from _emit(
+        sys,
+        state,
+        "DONE: process {0} in job '{1}' terminated: reason: {2}".format(
+            record.procname, job.name, body.get("reason")
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Output
+# ----------------------------------------------------------------------
+
+
+def _emit(sys, state, text):
+    fd = state.sink_fd if state.sink_fd is not None else 1
+    yield sys.write(fd, (text + "\n").encode("ascii"))
+
+
+# ----------------------------------------------------------------------
+# RPC to meterdaemons
+# ----------------------------------------------------------------------
+
+
+def _rpc(sys, state, machine, msg_type, **body):
+    """One controller/daemon exchange (Section 3.5.1).
+
+    Returns (reply type, reply body); connection problems surface as an
+    ERROR_REPLY so command handlers report rather than crash.
+    """
+    body.setdefault("uid", state.uid)
+    body.setdefault("control_host", state.hostname)
+    body.setdefault("control_port", state.notify_port)
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    try:
+        yield sys.connect(fd, (machine, METERDAEMON_PORT))
+        yield from guestlib.send_frame(
+            sys, fd, protocol.encode(msg_type, **body)
+        )
+        payload = yield from guestlib.recv_frame(sys, fd)
+    except SyscallError as err:
+        yield sys.close(fd)
+        return protocol.ERROR_REPLY, {
+            "status": "no meterdaemon on '{0}' ({1})".format(
+                machine, errno_name(err.errno)
+            )
+        }
+    yield sys.close(fd)
+    if payload is None:
+        return protocol.ERROR_REPLY, {"status": "daemon closed the connection"}
+    return protocol.decode(payload)
+
+
+# ----------------------------------------------------------------------
+# Command dispatch
+# ----------------------------------------------------------------------
+
+
+def _valid_params(tokens):
+    return all(set(token) <= _PARAM_CHARS for token in tokens)
+
+
+def _dispatch(sys, state, line):
+    tokens = line.split()
+    if not tokens:
+        return
+    command = tokens[0].lower()
+    args = tokens[1:]
+    if command != "die":
+        state.die_warned = False
+    if not _valid_params(args):
+        yield from _emit(sys, state, "bad parameter characters in command")
+        return
+    handler = _COMMANDS.get(command)
+    if handler is None:
+        yield from _emit(
+            sys, state, "unknown command '{0}' (try help)".format(command)
+        )
+        return
+    yield from handler(sys, state, args)
+
+
+def cmd_help(sys, state, args):
+    yield from _emit(sys, state, HELP_TEXT)
+
+
+def cmd_filter(sys, state, args):
+    if not args:
+        if not state.filters:
+            yield from _emit(sys, state, "no filters")
+            return
+        for name in state.filter_order:
+            info = state.filters[name]
+            yield from _emit(
+                sys,
+                state,
+                "filter '{0}': identifier = {1}, machine = {2}".format(
+                    info.name, info.pid, info.machine
+                ),
+            )
+        return
+    filtername = args[0]
+    if filtername in state.filters:
+        yield from _emit(
+            sys, state, "filter '{0}' already exists".format(filtername)
+        )
+        return
+    machine = args[1] if len(args) > 1 else state.hostname
+    filterfile = args[2] if len(args) > 2 else DEFAULT_FILTER_FILE
+    descriptions = args[3] if len(args) > 3 else DEFAULT_DESCRIPTIONS
+    templates = args[4] if len(args) > 4 else DEFAULT_TEMPLATES
+    reply_type, body = yield from _rpc(
+        sys,
+        state,
+        machine,
+        protocol.CREATE_FILTER_REQ,
+        filtername=filtername,
+        filterfile=filterfile,
+        descriptions=descriptions,
+        templates=templates,
+    )
+    if reply_type != protocol.CREATE_FILTER_REPLY or not protocol.is_ok(body):
+        yield from _emit(
+            sys,
+            state,
+            "filter '{0}' not created: {1}".format(filtername, body.get("status")),
+        )
+        return
+    info = FilterInfo(
+        filtername,
+        machine,
+        body["pid"],
+        body["meter_host"],
+        body["meter_port"],
+        body["log_path"],
+    )
+    state.filters[filtername] = info
+    state.filter_order.append(filtername)
+    yield from _emit(
+        sys,
+        state,
+        "filter '{0}' ... created: identifier = {1}".format(filtername, info.pid),
+    )
+
+
+def cmd_newjob(sys, state, args):
+    if not args:
+        yield from _emit(sys, state, "usage: newjob <jobname> [<filtername>]")
+        return
+    jobname = args[0]
+    if jobname in state.jobs:
+        yield from _emit(sys, state, "job '{0}' already exists".format(jobname))
+        return
+    if len(args) > 1:
+        info = state.filters.get(args[1])
+        if info is None:
+            yield from _emit(sys, state, "no filter '{0}'".format(args[1]))
+            return
+    else:
+        info = state.default_filter()
+        if info is None:
+            yield from _emit(
+                sys,
+                state,
+                "a job cannot be created if a filter has not been created",
+            )
+            return
+    state.jobs[jobname] = Job(jobname, info.name, state.next_job_number)
+    state.next_job_number += 1
+
+
+def cmd_addprocess(sys, state, args):
+    if len(args) < 3:
+        yield from _emit(
+            sys,
+            state,
+            "usage: addprocess <jobname> <machine> <processfile> [<parms>...]",
+        )
+        return
+    jobname, machine, processfile = args[0], args[1], args[2]
+    params = args[3:]
+    job = state.jobs.get(jobname)
+    if job is None:
+        yield from _emit(sys, state, "no job '{0}'".format(jobname))
+        return
+    info = state.filters[job.filtername]
+    request = dict(
+        filename=processfile,
+        params=list(params),
+        filter_host=info.meter_host,
+        filter_port=info.meter_port,
+        meter_flags=job.flags,
+        jobname=jobname,
+        procname=processfile,
+    )
+    reply_type, body = yield from _rpc(
+        sys, state, machine, protocol.CREATE_REQ, **request
+    )
+    if reply_type != protocol.CREATE_REPLY and "ENOENT" in str(body.get("status")):
+        # The executable is not on the target machine: copy it there
+        # (Section 3.5.3) and try once more.
+        try:
+            yield sys.rcp(state.hostname, processfile, machine, processfile)
+        except SyscallError as err:
+            yield from _emit(
+                sys,
+                state,
+                "process '{0}' not created: cannot copy '{1}' ({2})".format(
+                    processfile, processfile, errno_name(err.errno)
+                ),
+            )
+            return
+        reply_type, body = yield from _rpc(
+            sys, state, machine, protocol.CREATE_REQ, **request
+        )
+    if reply_type != protocol.CREATE_REPLY or not protocol.is_ok(body):
+        yield from _emit(
+            sys,
+            state,
+            "process '{0}' not created: {1}".format(processfile, body.get("status")),
+        )
+        return
+    record = ProcessRecord(processfile, jobname, machine, body["pid"], states.NEW)
+    record.flags = job.flags
+    job.processes.append(record)
+    yield from _emit(
+        sys,
+        state,
+        "process '{0}' ... created: identifier = {1}".format(
+            processfile, body["pid"]
+        ),
+    )
+
+
+def cmd_acquire(sys, state, args):
+    if len(args) != 3:
+        yield from _emit(
+            sys, state, "usage: acquire <jobname> <machine> <process identifier>"
+        )
+        return
+    jobname, machine = args[0], args[1]
+    try:
+        pid = int(args[2])
+    except ValueError:
+        yield from _emit(sys, state, "bad process identifier '{0}'".format(args[2]))
+        return
+    job = state.jobs.get(jobname)
+    if job is None:
+        yield from _emit(sys, state, "no job '{0}'".format(jobname))
+        return
+    info = state.filters[job.filtername]
+    reply_type, body = yield from _rpc(
+        sys,
+        state,
+        machine,
+        protocol.ACQUIRE_REQ,
+        pid=pid,
+        meter_flags=job.flags,
+        filter_host=info.meter_host,
+        filter_port=info.meter_port,
+    )
+    if reply_type != protocol.ACQUIRE_REPLY or not protocol.is_ok(body):
+        yield from _emit(
+            sys, state, "process {0} not acquired: {1}".format(pid, body.get("status"))
+        )
+        return
+    record = ProcessRecord(str(pid), jobname, machine, pid, states.ACQUIRED)
+    record.flags = job.flags
+    job.processes.append(record)
+    yield from _emit(sys, state, "process {0} ... acquired".format(pid))
+
+
+def cmd_setflags(sys, state, args):
+    if len(args) < 2:
+        yield from _emit(sys, state, "usage: setflags <jobname> <flag1> [...]")
+        return
+    job = state.jobs.get(args[0])
+    if job is None:
+        yield from _emit(sys, state, "no job '{0}'".format(args[0]))
+        return
+    try:
+        set_mask, clear_mask = mflags.flags_from_names(args[1:])
+    except ValueError as err:
+        yield from _emit(sys, state, str(err))
+        return
+    # "the set of active flags is the union of the two groups" --
+    # resets must be explicit.
+    job.flags = (job.flags | set_mask) & ~clear_mask
+    _update_flag_order(job, args[1:])
+    yield from _emit(
+        sys, state, "new job flags = {0}".format(" ".join(job.flag_order))
+    )
+    for record in job.processes:
+        if record.state == states.KILLED:
+            continue
+        reply_type, body = yield from _rpc(
+            sys,
+            state,
+            record.machine,
+            protocol.SETFLAGS_REQ,
+            pid=record.pid,
+            flags=job.flags,
+        )
+        if reply_type == protocol.SETFLAGS_REPLY and protocol.is_ok(body):
+            record.flags = job.flags
+            yield from _emit(
+                sys, state, "Process '{0}' : Flags set".format(record.procname)
+            )
+        else:
+            yield from _emit(
+                sys,
+                state,
+                "Process '{0}' : flags not set: {1}".format(
+                    record.procname, body.get("status")
+                ),
+            )
+
+
+def _update_flag_order(job, names):
+    for raw in names:
+        name = raw.lower()
+        if name.startswith("-"):
+            name = name[1:]
+            if name == "all":
+                job.flag_order = []
+            elif name in job.flag_order:
+                job.flag_order.remove(name)
+        else:
+            if name not in job.flag_order and name != "immediate":
+                job.flag_order.append(name)
+
+
+def cmd_startjob(sys, state, args):
+    if not args:
+        yield from _emit(sys, state, "usage: startjob <jobname>")
+        return
+    job = state.jobs.get(args[0])
+    if job is None:
+        yield from _emit(sys, state, "no job '{0}'".format(args[0]))
+        return
+    for record in job.processes:
+        if states.startable(record.state):
+            reply_type, body = yield from _rpc(
+                sys,
+                state,
+                record.machine,
+                protocol.SIGNAL_REQ,
+                pid=record.pid,
+                sig=defs.SIGCONT,
+            )
+            if reply_type == protocol.SIGNAL_REPLY and protocol.is_ok(body):
+                record.state = states.RUNNING
+                yield from _emit(sys, state, "'{0}' started.".format(record.procname))
+            else:
+                yield from _emit(
+                    sys,
+                    state,
+                    "'{0}' not started: {1}".format(
+                        record.procname, body.get("status")
+                    ),
+                )
+        else:
+            yield from _emit(
+                sys,
+                state,
+                "'{0}' cannot be started: it is {1}.".format(
+                    record.procname, record.state
+                ),
+            )
+
+
+def cmd_stopjob(sys, state, args):
+    if not args:
+        yield from _emit(sys, state, "usage: stopjob <jobname>")
+        return
+    job = state.jobs.get(args[0])
+    if job is None:
+        yield from _emit(sys, state, "no job '{0}'".format(args[0]))
+        return
+    for record in job.processes:
+        if states.stoppable(record.state):
+            reply_type, body = yield from _rpc(
+                sys,
+                state,
+                record.machine,
+                protocol.SIGNAL_REQ,
+                pid=record.pid,
+                sig=defs.SIGSTOP,
+            )
+            if reply_type == protocol.SIGNAL_REPLY and protocol.is_ok(body):
+                record.state = states.STOPPED
+                yield from _emit(sys, state, "'{0}' stopped.".format(record.procname))
+            else:
+                yield from _emit(
+                    sys,
+                    state,
+                    "'{0}' not stopped: {1}".format(
+                        record.procname, body.get("status")
+                    ),
+                )
+        elif record.state in (states.KILLED, states.ACQUIRED):
+            continue  # "Processes that are killed or acquired are ignored."
+
+
+def _remove_record(sys, state, job, record):
+    """Shared by removejob/removeprocess: stopped processes are killed
+    (Figure 4.2's stopped->killed edge); acquired processes only lose
+    their meter connection."""
+    if record.state == states.STOPPED:
+        yield from _rpc(
+            sys,
+            state,
+            record.machine,
+            protocol.SIGNAL_REQ,
+            pid=record.pid,
+            sig=defs.SIGKILL,
+        )
+        record.state = states.KILLED
+    elif record.state == states.ACQUIRED:
+        yield from _rpc(
+            sys, state, record.machine, protocol.UNMETER_REQ, pid=record.pid
+        )
+    yield from _emit(sys, state, "'{0}' removed".format(record.procname))
+
+
+def cmd_removejob(sys, state, args):
+    if not args:
+        yield from _emit(sys, state, "usage: removejob <jobname>")
+        return
+    job = state.jobs.get(args[0])
+    if job is None:
+        yield from _emit(sys, state, "no job '{0}'".format(args[0]))
+        return
+    blockers = [
+        record for record in job.processes if not states.removable(record.state)
+    ]
+    if blockers:
+        yield from _emit(
+            sys,
+            state,
+            "job '{0}' not removed: process '{1}' is {2}".format(
+                job.name, blockers[0].procname, blockers[0].state
+            ),
+        )
+        return
+    for record in job.processes:
+        yield from _remove_record(sys, state, job, record)
+    del state.jobs[job.name]
+
+
+def cmd_removeprocess(sys, state, args):
+    if len(args) != 2:
+        yield from _emit(sys, state, "usage: removeprocess <jobname> <procname>")
+        return
+    job = state.jobs.get(args[0])
+    if job is None:
+        yield from _emit(sys, state, "no job '{0}'".format(args[0]))
+        return
+    record = job.find_process(args[1])
+    if record is None:
+        yield from _emit(
+            sys, state, "no process '{0}' in job '{1}'".format(args[1], args[0])
+        )
+        return
+    if not states.removable(record.state):
+        yield from _emit(
+            sys,
+            state,
+            "process '{0}' not removed: it is {1}".format(
+                record.procname, record.state
+            ),
+        )
+        return
+    yield from _remove_record(sys, state, job, record)
+    job.processes.remove(record)
+
+
+def cmd_jobs(sys, state, args):
+    if not args:
+        if not state.jobs:
+            yield from _emit(sys, state, "no jobs")
+            return
+        for job in sorted(state.jobs.values(), key=lambda j: j.number):
+            yield from _emit(
+                sys,
+                state,
+                "{0}: {1} (filter {2})".format(job.number, job.name, job.filtername),
+            )
+        return
+    for jobname in args:
+        job = state.jobs.get(jobname)
+        if job is None:
+            yield from _emit(sys, state, "no job '{0}'".format(jobname))
+            continue
+        yield from _emit(sys, state, "job '{0}':".format(job.name))
+        for record in job.processes:
+            flag_names = " ".join(mflags.names_from_flags(record.flags)) or "none"
+            yield from _emit(
+                sys,
+                state,
+                "  {0} {1} '{2}' on {3} flags: {4}".format(
+                    record.pid,
+                    record.state,
+                    record.procname,
+                    record.machine,
+                    flag_names,
+                ),
+            )
+
+
+def cmd_getlog(sys, state, args):
+    if len(args) != 2:
+        yield from _emit(sys, state, "usage: getlog <filtername> <destfile>")
+        return
+    info = state.filters.get(args[0])
+    if info is None:
+        yield from _emit(sys, state, "no filter '{0}'".format(args[0]))
+        return
+    reply_type, body = yield from _rpc(
+        sys, state, info.machine, protocol.GETLOG_REQ, path=info.log_path
+    )
+    if reply_type != protocol.GETLOG_REPLY or not protocol.is_ok(body):
+        yield from _emit(
+            sys, state, "getlog failed: {0}".format(body.get("status"))
+        )
+        return
+    yield from guestlib.write_text(sys, args[1], body["content"])
+
+
+def _find_job_process(sys, state, jobname, procname):
+    job = state.jobs.get(jobname)
+    if job is None:
+        yield from _emit(sys, state, "no job '{0}'".format(jobname))
+        return None
+    record = job.find_process(procname)
+    if record is None:
+        yield from _emit(
+            sys, state, "no process '{0}' in job '{1}'".format(procname, jobname)
+        )
+        return None
+    if record.state in (states.KILLED, states.ACQUIRED):
+        yield from _emit(
+            sys,
+            state,
+            "process '{0}' is {1}: no I/O path".format(procname, record.state),
+        )
+        return None
+    return record
+
+
+def cmd_input(sys, state, args):
+    """Send a line to a process' standard input through its daemon's
+    I/O gateway (the reverse path of Section 3.5.2)."""
+    if len(args) < 3:
+        yield from _emit(sys, state, "usage: input <jobname> <procname> <word>...")
+        return
+    record = yield from _find_job_process(sys, state, args[0], args[1])
+    if record is None:
+        return
+    reply_type, body = yield from _rpc(
+        sys,
+        state,
+        record.machine,
+        protocol.STDIN_REQ,
+        pid=record.pid,
+        data=" ".join(args[2:]) + "\n",
+    )
+    if reply_type != protocol.STDIN_REPLY or not protocol.is_ok(body):
+        yield from _emit(
+            sys, state, "input not delivered: {0}".format(body.get("status"))
+        )
+
+
+def cmd_stdinfile(sys, state, args):
+    """Redirect a file into a process' standard input (Section 3.5.2:
+    the file is copied to the process' machine and opened by its
+    meterdaemon)."""
+    if len(args) != 3:
+        yield from _emit(
+            sys, state, "usage: stdinfile <jobname> <procname> <filename>"
+        )
+        return
+    record = yield from _find_job_process(sys, state, args[0], args[1])
+    if record is None:
+        return
+    filename = args[2]
+    if record.machine != state.hostname:
+        try:
+            yield sys.rcp(state.hostname, filename, record.machine, filename)
+        except SyscallError as err:
+            yield from _emit(
+                sys,
+                state,
+                "cannot copy '{0}' to {1} ({2})".format(
+                    filename, record.machine, errno_name(err.errno)
+                ),
+            )
+            return
+    reply_type, body = yield from _rpc(
+        sys,
+        state,
+        record.machine,
+        protocol.STDIN_REQ,
+        pid=record.pid,
+        path=filename,
+    )
+    if reply_type != protocol.STDIN_REPLY or not protocol.is_ok(body):
+        yield from _emit(
+            sys, state, "stdin not redirected: {0}".format(body.get("status"))
+        )
+
+
+def cmd_source(sys, state, args):
+    if len(args) != 1:
+        yield from _emit(sys, state, "usage: source <filename>")
+        return
+    if len(state.input_stack) >= MAX_SOURCE_DEPTH:
+        yield from _emit(sys, state, "source nesting too deep (max 16)")
+        return
+    try:
+        fd = yield sys.open(args[0], "r")
+    except SyscallError as err:
+        yield from _emit(
+            sys, state, "cannot source '{0}': {1}".format(args[0], errno_name(err.errno))
+        )
+        return
+    state.input_stack.append(_InputSource(fd, is_tty=False))
+
+
+def cmd_sink(sys, state, args):
+    if state.sink_fd is not None:
+        yield sys.close(state.sink_fd)
+        state.sink_fd = None
+    if args:
+        state.sink_fd = yield sys.open(args[0], "w")
+
+
+def cmd_die(sys, state, args):
+    if state.active_count() > 0 and not state.die_warned:
+        state.die_warned = True
+        yield from _emit(
+            sys,
+            state,
+            "there are still active processes; repeat die to exit anyway",
+        )
+        return
+    # "Upon exit, all executing filter processes are removed."
+    for name in list(state.filter_order):
+        info = state.filters[name]
+        yield from _rpc(
+            sys,
+            state,
+            info.machine,
+            protocol.SIGNAL_REQ,
+            pid=info.pid,
+            sig=defs.SIGKILL,
+        )
+    state.dead = True
+
+
+_COMMANDS = {
+    "help": cmd_help,
+    "filter": cmd_filter,
+    "newjob": cmd_newjob,
+    "addprocess": cmd_addprocess,
+    "add": cmd_addprocess,
+    "acquire": cmd_acquire,
+    "setflags": cmd_setflags,
+    "startjob": cmd_startjob,
+    "stopjob": cmd_stopjob,
+    "removejob": cmd_removejob,
+    "rmjob": cmd_removejob,
+    "removeprocess": cmd_removeprocess,
+    "jobs": cmd_jobs,
+    "getlog": cmd_getlog,
+    "source": cmd_source,
+    "sink": cmd_sink,
+    "input": cmd_input,
+    "stdinfile": cmd_stdinfile,
+    "die": cmd_die,
+    "exit": cmd_die,
+    "bye": cmd_die,
+}

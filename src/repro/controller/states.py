@@ -1,0 +1,57 @@
+"""The controller's process state machine (Figure 4.2).
+
+Five states: *new*, *acquired*, *running*, *stopped*, *killed*.
+
+- new -> running (startjob) or new -> stopped (stopjob);
+- running <-> stopped;
+- running -> killed (the process completes);
+- stopped -> killed (the user removes the job before completion);
+- new -/-> killed: "This restriction is enforced as a precautionary
+  measure, ensuring that the user does not accidentally remove a
+  computation that is in progress";
+- acquired is entered directly and is terminal: "An acquired process
+  cannot be stopped or killed, it can only be metered."
+"""
+
+NEW = "new"
+ACQUIRED = "acquired"
+RUNNING = "running"
+STOPPED = "stopped"
+KILLED = "killed"
+
+ALL_STATES = (NEW, ACQUIRED, RUNNING, STOPPED, KILLED)
+
+#: States in which a process counts as active (die refuses to exit).
+ACTIVE_STATES = (NEW, STOPPED, RUNNING, ACQUIRED)
+
+_LEGAL = {
+    (NEW, RUNNING),
+    (NEW, STOPPED),
+    (RUNNING, STOPPED),
+    (STOPPED, RUNNING),
+    (RUNNING, KILLED),
+    (STOPPED, KILLED),
+}
+
+
+def can_transition(old, new):
+    """Whether the Figure 4.2 diagram permits ``old -> new``."""
+    return (old, new) in _LEGAL
+
+
+def startable(state):
+    """startjob: "All processes in the new or stopped state are
+    signaled to begin or resume execution."""
+    return state in (NEW, STOPPED)
+
+
+def stoppable(state):
+    """stopjob: "All processes ... in the new or running state are
+    signaled to halt execution."""
+    return state in (NEW, RUNNING)
+
+
+def removable(state):
+    """removejob: "A job can only be removed if all of its processes
+    are in one of the states killed, stopped, or acquired."""
+    return state in (KILLED, STOPPED, ACQUIRED)

@@ -1,0 +1,22 @@
+"""High-level public API.
+
+:class:`~repro.core.cluster.Cluster` builds and owns a simulated
+machine cluster; :class:`~repro.core.session.MeasurementSession` stands
+up the measurement system (meterdaemons, controller, terminal) on a
+cluster and drives it with controller commands, returning transcripts
+and traces.
+"""
+
+__all__ = ["Cluster", "MeasurementSession"]
+
+
+def __getattr__(name):
+    if name == "Cluster":
+        from repro.core.cluster import Cluster
+
+        return Cluster
+    if name == "MeasurementSession":
+        from repro.core.session import MeasurementSession
+
+        return MeasurementSession
+    raise AttributeError(name)

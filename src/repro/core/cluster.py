@@ -1,0 +1,110 @@
+"""Cluster construction: simulator + network + machines.
+
+The default machine names follow the paper's example session (Section
+4.4): the computation runs on *red* and *green*, the filter on *blue*,
+and the controller on *yellow*.
+"""
+
+from repro.kernel.machine import Machine
+from repro.kernel.registry import ProgramRegistry
+from repro.net.hosts import HostTable
+from repro.net.network import Network, NetworkParams
+from repro.sim.clock import MachineClock
+from repro.sim.simulator import Simulator
+
+DEFAULT_MACHINES = ("red", "green", "blue", "yellow")
+
+
+class Cluster:
+    """A set of simulated 4.2BSD machines on one internetwork."""
+
+    def __init__(
+        self,
+        machines=DEFAULT_MACHINES,
+        seed=0,
+        net_params=None,
+        clock_skew=None,
+    ):
+        """``clock_skew``: None (ideal clocks), "random" (offsets up to
+        ±2 s and drifts up to ±100 ppm, seeded), or a dict mapping
+        machine name -> (offset_ms, drift_ppm)."""
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, net_params or NetworkParams())
+        self.host_table = HostTable()
+        self.registry = ProgramRegistry()
+        self.machines = {}
+        for name in machines:
+            host = self.host_table.add(name)
+            clock = MachineClock(*self._skew_for(name, clock_skew))
+            self.machines[name] = Machine(
+                self.sim, self.network, host, self.host_table, clock, self.registry
+            )
+
+    def _skew_for(self, name, clock_skew):
+        if clock_skew is None:
+            return (0.0, 0.0)
+        if clock_skew == "random":
+            return (
+                self.sim.rng.uniform(-2000.0, 2000.0),
+                self.sim.rng.uniform(-100.0, 100.0),
+            )
+        return clock_skew.get(name, (0.0, 0.0))
+
+    # ------------------------------------------------------------------
+
+    def machine(self, name):
+        return self.machines[name]
+
+    def machine_names(self):
+        return list(self.machines)
+
+    def install_program(self, name, main, machines=None, path=None, mode=0o755):
+        """Register a guest program and install its executable file.
+
+        The executable's bytes are the program name, so the simulated
+        rcp moves real content (Section 3.5.3).  Installs on all
+        machines by default; restrict with ``machines=[...]``.
+        """
+        self.registry.register(name, main)
+        file_path = path or "/bin/{0}".format(name)
+        targets = machines if machines is not None else list(self.machines)
+        for machine_name in targets:
+            self.machines[machine_name].fs.install(
+                file_path, data=name, mode=mode, program=name
+            )
+        return file_path
+
+    def spawn(self, machine_name, main, argv=(), uid=100, program_name=None, start=True):
+        """Directly create a process (tests and benches; the measurement
+        system itself creates processes via the meterdaemons).  Its
+        stdio goes to the machine console."""
+        machine = self.machines[machine_name]
+        proc = machine.create_process(
+            main=main,
+            argv=argv,
+            uid=uid,
+            program_name=program_name,
+            start=False,
+        )
+        machine.attach_console_stdio(proc)
+        if start:
+            machine.continue_proc(proc)
+        return proc
+
+    # ------------------------------------------------------------------
+
+    def run(self, until_ms=None, max_events=None):
+        self.sim.run(until_ms=until_ms, max_events=max_events)
+
+    def run_until(self, predicate, max_events=1_000_000):
+        self.sim.run_until(predicate, max_events=max_events)
+
+    def run_until_exit(self, procs, max_events=1_000_000):
+        """Run until every proc in ``procs`` has terminated."""
+        from repro.kernel import defs
+
+        proc_list = list(procs)
+        self.sim.run_until(
+            lambda: all(p.state == defs.PROC_ZOMBIE for p in proc_list),
+            max_events=max_events,
+        )

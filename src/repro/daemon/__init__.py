@@ -1,0 +1,14 @@
+"""Meterdaemons: remote process control (Section 3.5).
+
+One meterdaemon runs (as root) on every machine that supports the
+measurement system.  "The sole purpose of the meterdaemons is to carry
+out control functions for the controller": create/acquire/start/stop/
+kill processes, wire meter connections to filters, create filter
+processes, return log files, forward process standard I/O, and report
+process terminations back to the controller.
+"""
+
+from repro.daemon import protocol
+from repro.daemon.meterdaemon import METERDAEMON_PORT, meterdaemon
+
+__all__ = ["protocol", "METERDAEMON_PORT", "meterdaemon"]

@@ -1,0 +1,339 @@
+"""The meterdaemon guest program (Section 3.5).
+
+Main loop: "A meterdaemon spends most of its time listening for an IPC
+connection request from a controller process" -- plus, here, watching
+its children (termination notifications) and the per-process I/O
+gateway sockets (Section 3.5.2).
+
+Request handling is one-connection-per-exchange: accept, read one
+request frame, execute, reply, close ("the stream connection between
+the controller and a meterdaemon exists for the duration of a single
+exchange of messages").
+"""
+
+from repro import guestlib
+from repro.daemon import protocol
+from repro.filtering.standard import log_path_for
+from repro.kernel import defs
+from repro.kernel.errno import SyscallError
+from repro.metering import flags as mflags
+
+#: Well-known port every meterdaemon listens on.
+METERDAEMON_PORT = 3425
+
+
+class _DaemonState:
+    """Host-local bookkeeping for one meterdaemon."""
+
+    def __init__(self):
+        #: child pid -> {control (host, port), jobname, procname}
+        self.children = {}
+        #: gateway fd -> child pid (stdio forwarding)
+        self.gateways = {}
+        self.requests_served = 0
+
+
+def meterdaemon(sys, argv):
+    """Guest main.  argv: optionally [port]."""
+    port = int(argv[0]) if argv else METERDAEMON_PORT
+    state = _DaemonState()
+
+    listen_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(listen_fd, ("", port))
+    yield sys.listen(listen_fd, defs.SOMAXCONN)
+
+    while True:
+        ready, child_events = yield sys.select(
+            [listen_fd] + list(state.gateways), want_children=True
+        )
+        # Drain I/O gateways before handling terminations so a child's
+        # final output is not lost with its gateway.
+        for fd in ready:
+            if fd == listen_fd:
+                conn, __ = yield sys.accept(listen_fd)
+                yield from _serve_request(sys, state, conn)
+                yield sys.close(conn)
+            elif fd in state.gateways:
+                yield from _forward_output(sys, state, fd)
+        for event in child_events:
+            yield from _report_termination(sys, state, event)
+
+
+# ----------------------------------------------------------------------
+# Notifications (daemon -> controller)
+# ----------------------------------------------------------------------
+
+
+def _notify_controller(sys, address, payload):
+    """Connect to a controller's notification socket and send one frame."""
+    host, port = address
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    try:
+        yield sys.connect(fd, (host, port))
+        yield from guestlib.send_frame(sys, fd, payload)
+    except SyscallError:
+        pass  # controller gone; nothing useful to do
+    yield sys.close(fd)
+
+
+def _report_termination(sys, state, event):
+    """SIGCHLD path: tell the responsible controller (Section 3.5.1)."""
+    child = state.children.pop(event["pid"], None)
+    if child is None:
+        return
+    for fd, pid in list(state.gateways.items()):
+        if pid == event["pid"]:
+            yield sys.close(fd)
+            del state.gateways[fd]
+    hostname = yield sys.hostname()
+    payload = protocol.encode(
+        protocol.TERMINATION_NOTIFY,
+        pid=event["pid"],
+        machine=hostname,
+        reason=event["reason"],
+        status=event["status"],
+        jobname=child.get("jobname"),
+        procname=child.get("procname"),
+    )
+    yield from _notify_controller(sys, child["control"], payload)
+
+
+def _forward_output(sys, state, fd):
+    """Relay a child's standard output to its controller (3.5.2)."""
+    pid = state.gateways[fd]
+    data = yield sys.read(fd, 2048)
+    child = state.children.get(pid)
+    if child is None:
+        return
+    hostname = yield sys.hostname()
+    payload = protocol.encode(
+        protocol.OUTPUT_NOTIFY,
+        pid=pid,
+        machine=hostname,
+        procname=child.get("procname"),
+        data=data.decode("ascii", "replace"),
+    )
+    yield from _notify_controller(sys, child["control"], payload)
+
+
+# ----------------------------------------------------------------------
+# Request dispatch
+# ----------------------------------------------------------------------
+
+
+def _serve_request(sys, state, conn):
+    payload = yield from guestlib.recv_frame(sys, conn)
+    if payload is None:
+        return
+    state.requests_served += 1
+    try:
+        msg_type, body = protocol.decode(payload)
+        handler = _HANDLERS.get(msg_type)
+        if handler is None:
+            reply = protocol.error_reply("unknown request type %r" % msg_type)
+        else:
+            reply = yield from handler(sys, state, body)
+    except SyscallError as err:
+        reply = protocol.error_reply(str(err))
+    except Exception as err:  # malformed frame/body: survive it
+        reply = protocol.error_reply("bad request: %s" % err)
+    try:
+        yield from guestlib.send_frame(sys, conn, reply)
+    except SyscallError:
+        pass  # requester hung up before the reply; nothing to do
+
+
+def _check_account(sys, uid):
+    allowed = yield sys.hasaccount(uid)
+    if not allowed:
+        raise SyscallError(1, "uid %d has no account on this machine" % uid)
+
+
+def _connect_meter_socket(sys, filter_host, filter_port):
+    """Create the kernel end of a meter connection: a stream socket in
+    the Internet domain, connected to the filter (Section 4.1)."""
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.connect(fd, (filter_host, filter_port))
+    return fd
+
+
+def _handle_create(sys, state, body):
+    """Type 11: create a (suspended) metered process."""
+    uid = body["uid"]
+    yield from _check_account(sys, uid)
+    filename = body["filename"]
+
+    # The I/O gateway: a local datagram pair, one end the child's stdio
+    # (Section 3.5.2: datagrams "are reliable when used within a single
+    # machine").
+    gw_daemon, gw_child = yield sys.socketpair(defs.AF_UNIX, defs.SOCK_DGRAM)
+    pid = yield sys.forkexec(
+        filename,
+        argv=body.get("params", []),
+        stdio_fd=gw_child,
+        start=False,
+        uid=uid,
+    )
+    yield sys.close(gw_child)
+
+    if body.get("filter_host"):
+        meter_fd = yield from _connect_meter_socket(
+            sys, body["filter_host"], body["filter_port"]
+        )
+        yield sys.setmeter(pid, body.get("meter_flags", 0), meter_fd)
+        yield sys.close(meter_fd)
+
+    state.children[pid] = {
+        "control": (body["control_host"], body["control_port"]),
+        "jobname": body.get("jobname"),
+        "procname": body.get("procname"),
+    }
+    state.gateways[gw_daemon] = pid
+    return protocol.encode(protocol.CREATE_REPLY, pid=pid, status=protocol.OK)
+
+
+def _handle_create_filter(sys, state, body):
+    """Type 12: create a filter process.
+
+    The daemon binds the meter listening socket and installs it as the
+    filter's standard input, then reports the socket's port so the
+    controller can hand (literal host, port) to other daemons
+    (Section 3.5.4).
+    """
+    uid = body["uid"]
+    yield from _check_account(sys, uid)
+    meter_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(meter_fd, ("", 0))
+    yield sys.listen(meter_fd, defs.SOMAXCONN)
+    name = yield sys.getsockname(meter_fd)
+
+    filtername = body["filtername"]
+    argv = [
+        filtername,
+        log_path_for(filtername),
+        body.get("descriptions", "descriptions"),
+        body.get("templates", "templates"),
+    ]
+    pid = yield sys.forkexec(
+        body.get("filterfile", "filter"),
+        argv=argv,
+        stdio_fd=meter_fd,
+        start=True,
+        uid=uid,
+    )
+    yield sys.close(meter_fd)
+    state.children[pid] = {
+        "control": (body["control_host"], body["control_port"]),
+        "jobname": None,
+        "procname": filtername,
+    }
+    hostname = yield sys.hostname()
+    return protocol.encode(
+        protocol.CREATE_FILTER_REPLY,
+        pid=pid,
+        status=protocol.OK,
+        meter_host=hostname,
+        meter_port=name.port,
+        log_path=log_path_for(filtername),
+    )
+
+
+def _require_same_user(sys, uid, pid):
+    stat = yield sys.procstat(pid)
+    if uid != 0 and stat["uid"] != uid:
+        raise SyscallError(1, "process %d belongs to uid %d" % (pid, stat["uid"]))
+    return stat
+
+
+def _handle_setflags(sys, state, body):
+    """Type 13: change a process's meter flags."""
+    yield from _require_same_user(sys, body["uid"], body["pid"])
+    yield sys.setmeter(body["pid"], body["flags"], mflags.NO_CHANGE)
+    return protocol.encode(protocol.SETFLAGS_REPLY, status=protocol.OK)
+
+
+def _handle_signal(sys, state, body):
+    """Type 14: start/stop/kill via a signal."""
+    yield from _require_same_user(sys, body["uid"], body["pid"])
+    yield sys.kill(body["pid"], body["sig"])
+    return protocol.encode(protocol.SIGNAL_REPLY, status=protocol.OK)
+
+
+def _handle_acquire(sys, state, body):
+    """Type 15: meter an already-running process (Section 4.3 acquire).
+
+    "no changes are made to the handling of the processes' I/O ...
+    monitoring is transparent to the executing processes."
+    """
+    uid = body["uid"]
+    yield from _check_account(sys, uid)
+    yield from _require_same_user(sys, uid, body["pid"])
+    meter_fd = yield from _connect_meter_socket(
+        sys, body["filter_host"], body["filter_port"]
+    )
+    yield sys.setmeter(body["pid"], body.get("meter_flags", 0), meter_fd)
+    yield sys.close(meter_fd)
+    return protocol.encode(protocol.ACQUIRE_REPLY, status=protocol.OK)
+
+
+def _handle_unmeter(sys, state, body):
+    """Type 16: take down a process's meter connection (removejob of an
+    acquired process: it "will not continue to be metered ... but the
+    process continues to execute")."""
+    yield from _require_same_user(sys, body["uid"], body["pid"])
+    yield sys.setmeter(body["pid"], mflags.NONE, mflags.SOCK_NONE)
+    return protocol.encode(protocol.UNMETER_REPLY, status=protocol.OK)
+
+
+def _handle_getlog(sys, state, body):
+    """Type 17: return a filter log file's content."""
+    content = yield from guestlib.read_whole_file(sys, body["path"])
+    return protocol.encode(
+        protocol.GETLOG_REPLY, status=protocol.OK, content=content
+    )
+
+
+#: Largest single stdin datagram pushed into a child's gateway.
+_STDIN_CHUNK = 512
+
+
+def _gateway_for(state, pid):
+    for fd, child_pid in state.gateways.items():
+        if child_pid == pid:
+            return fd
+    return None
+
+
+def _handle_stdin(sys, state, body):
+    """Type 25: standard input for a child (Section 3.5.2).
+
+    Two variants: ``data`` carries literal user input ("The reverse
+    path is traversed when sending standard input from the user to the
+    process"); ``path`` names a local file that the daemon opens and
+    redirects into the process ("The file is then opened by the
+    meterdaemon, which redirects to it the standard input").
+    """
+    pid = body["pid"]
+    gw_fd = _gateway_for(state, pid)
+    if gw_fd is None:
+        raise SyscallError(3, "no gateway for pid %d" % pid)
+    if body.get("path") is not None:
+        content = yield from guestlib.read_whole_file(sys, body["path"])
+        data = content.encode("ascii")
+    else:
+        data = body.get("data", "").encode("ascii")
+    for start in range(0, len(data), _STDIN_CHUNK):
+        yield sys.write(gw_fd, data[start : start + _STDIN_CHUNK])
+    return protocol.encode(protocol.STDIN_REPLY, status=protocol.OK)
+
+
+_HANDLERS = {
+    protocol.CREATE_REQ: _handle_create,
+    protocol.CREATE_FILTER_REQ: _handle_create_filter,
+    protocol.SETFLAGS_REQ: _handle_setflags,
+    protocol.SIGNAL_REQ: _handle_signal,
+    protocol.ACQUIRE_REQ: _handle_acquire,
+    protocol.UNMETER_REQ: _handle_unmeter,
+    protocol.GETLOG_REQ: _handle_getlog,
+    protocol.STDIN_REQ: _handle_stdin,
+}

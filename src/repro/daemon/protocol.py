@@ -1,0 +1,76 @@
+"""The controller/daemon wire protocol (Figure 3.6).
+
+"The exchange is structured as a remote procedure call": the controller
+opens a stream connection to a daemon, sends one request, waits for the
+one reply, and both sides close.  Each message has a numeric *type* and
+a variable *body*; Figure 3.6 shows type 11 (create request: filename,
+parameter list, filter port/host, meter flags, control port/host) and
+type 18 (create reply: pid, status).
+
+We keep the paper's type numbers for create, number the other
+operations in the same style, and encode bodies as JSON inside a
+4-byte-length frame (the 1984 implementation used a hand-packed C
+struct; JSON carries the same named fields without a second codec --
+see DESIGN.md, substitutions).
+"""
+
+import json
+
+# Request types (Figure 3.6 numbers create requests from 11).
+CREATE_REQ = 11
+CREATE_FILTER_REQ = 12
+SETFLAGS_REQ = 13
+SIGNAL_REQ = 14
+ACQUIRE_REQ = 15
+UNMETER_REQ = 16
+GETLOG_REQ = 17
+
+STDIN_REQ = 25  # deliver bytes to a child's standard input (3.5.2)
+
+# Reply types (create reply is 18 in Figure 3.6).
+CREATE_REPLY = 18
+CREATE_FILTER_REPLY = 19
+SETFLAGS_REPLY = 20
+SIGNAL_REPLY = 21
+ACQUIRE_REPLY = 22
+UNMETER_REPLY = 23
+GETLOG_REPLY = 24
+STDIN_REPLY = 26
+ERROR_REPLY = 29
+
+# Daemon-initiated notifications (daemon connects to the controller's
+# notification socket; Section 3.5.1's one exception to the RPC flow).
+TERMINATION_NOTIFY = 30
+OUTPUT_NOTIFY = 31
+
+REPLY_FOR = {
+    CREATE_REQ: CREATE_REPLY,
+    CREATE_FILTER_REQ: CREATE_FILTER_REPLY,
+    SETFLAGS_REQ: SETFLAGS_REPLY,
+    SIGNAL_REQ: SIGNAL_REPLY,
+    ACQUIRE_REQ: ACQUIRE_REPLY,
+    UNMETER_REQ: UNMETER_REPLY,
+    GETLOG_REQ: GETLOG_REPLY,
+    STDIN_REQ: STDIN_REPLY,
+}
+
+OK = "ok"
+
+
+def encode(msg_type, **body):
+    """Build the wire payload for one protocol message."""
+    return json.dumps({"type": msg_type, "body": body}).encode("ascii")
+
+
+def decode(payload):
+    """Parse a payload into ``(type, body dict)``."""
+    message = json.loads(payload.decode("ascii"))
+    return message["type"], message["body"]
+
+
+def error_reply(reason):
+    return encode(ERROR_REPLY, status=str(reason))
+
+
+def is_ok(body):
+    return body.get("status") == OK

@@ -1,0 +1,28 @@
+"""Filtering: selection and reduction of meter event records.
+
+The second stage of the measurement model (Section 2.2 / 3.4).  A
+filter process receives meter messages on its standard input (a
+listening meter socket set up by the meterdaemon), decodes them using
+*event record descriptions* (Figure 3.2), applies *selection rules*
+(Figures 3.3-3.4), and appends accepted -- possibly reduced -- records
+to its log file under ``/usr/tmp``.
+"""
+
+from repro.filtering.descriptions import (
+    DescriptionSet,
+    default_descriptions_text,
+    parse_descriptions,
+)
+from repro.filtering.records import format_record, parse_record_line
+from repro.filtering.rules import Rule, RuleSet, parse_rules
+
+__all__ = [
+    "DescriptionSet",
+    "default_descriptions_text",
+    "parse_descriptions",
+    "format_record",
+    "parse_record_line",
+    "Rule",
+    "RuleSet",
+    "parse_rules",
+]

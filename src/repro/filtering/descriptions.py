@@ -1,0 +1,151 @@
+"""Event record descriptions (Figure 3.2).
+
+The description file defines the message formats for the meter/filter
+protocol: one line per event type, listing each body field as
+``name,offset,length,base``::
+
+    HEADER size machine cpuTime procTime traceType
+    SEND 1, pid,0,4,10 pc,4,4,10 sock,8,4,10 msgLength,12,4,10
+           destNameLen,16,4,10 destName,20,16,16
+
+Offsets are from the start of the message body (the 24-byte header is
+common to all messages); base 10 fields are big-endian integers, and
+base 16 fields of length 16 are NAME (sockaddr) blobs.
+
+"Since the meter creates these messages, such definitions are very
+important for establishing a successful protocol between the meter and
+a filter" -- so the default description file is *generated from* the
+codec's field tables (:func:`default_descriptions_text`), and the
+standard filter decodes with the descriptions, never with the codec
+directly.  A mismatch is therefore a real protocol failure, exactly as
+it would have been in 1984.
+"""
+
+from repro.metering import messages
+from repro.net.addresses import decode_name
+
+HEADER_FIELDS = ("size", "machine", "cpuTime", "procTime", "traceType")
+
+# Header layout (offset, length) within the 24-byte header.
+_HEADER_LAYOUT = {
+    "size": (0, 4),
+    "machine": (4, 2),
+    "cpuTime": (8, 4),
+    "procTime": (16, 4),
+    "traceType": (20, 4),
+}
+
+
+class FieldDescription:
+    """One ``name,offset,length,base`` entry."""
+
+    __slots__ = ("name", "offset", "length", "base")
+
+    def __init__(self, name, offset, length, base):
+        self.name = name
+        self.offset = int(offset)
+        self.length = int(length)
+        self.base = int(base)
+
+    def decode(self, body, host_names):
+        raw = body[self.offset : self.offset + self.length]
+        if self.base == 16 and self.length == 16:
+            name = decode_name(raw, host_names)
+            return name.display() if name is not None else ""
+        return int.from_bytes(raw, "big", signed=True)
+
+    def to_text(self):
+        return "{0},{1},{2},{3}".format(self.name, self.offset, self.length, self.base)
+
+
+class EventDescription:
+    """All fields of one event type."""
+
+    def __init__(self, event, type_code, fields):
+        self.event = event
+        self.type_code = int(type_code)
+        self.fields = list(fields)
+
+    def field_names(self):
+        return [field.name for field in self.fields]
+
+    def decode_body(self, body, host_names):
+        return {
+            field.name: field.decode(body, host_names) for field in self.fields
+        }
+
+
+class DescriptionSet:
+    """A parsed description file: header + per-event descriptions."""
+
+    def __init__(self, header_fields, events):
+        self.header_fields = list(header_fields)
+        #: type code -> EventDescription
+        self.by_type = {event.type_code: event for event in events}
+        self.by_name = {event.event.lower(): event for event in events}
+
+    def decode_message(self, raw, host_names=None):
+        """Decode one complete meter message into a flat record dict."""
+        host_names = host_names or {}
+        record = {}
+        for name in self.header_fields:
+            offset, length = _HEADER_LAYOUT[name]
+            record[name] = int.from_bytes(
+                raw[offset : offset + length], "big", signed=True
+            )
+        event = self.by_type.get(record["traceType"])
+        if event is None:
+            raise ValueError("no description for traceType %d" % record["traceType"])
+        record["event"] = event.event.lower()
+        record.update(
+            event.decode_body(raw[messages.HEADER_BYTES :], host_names)
+        )
+        return record
+
+    def field_order(self, event_name):
+        """Display order for log records: header fields then body."""
+        event = self.by_name[event_name.lower()]
+        return ["event"] + list(self.header_fields) + event.field_names()
+
+
+def parse_descriptions(text):
+    """Parse a description file (Figure 3.2 format)."""
+    header_fields = list(HEADER_FIELDS)
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        words = [t for t in line.split() if t]
+        keyword = words[0]
+        if keyword.upper() == "HEADER":
+            header_fields = words[1:]
+            continue
+        # "SEND 1, pid,0,4,10 pc,4,4,10 ..."
+        type_token = words[1].rstrip(",")
+        fields = []
+        for spec in words[2:]:
+            parts = spec.split(",")
+            if len(parts) != 4:
+                raise ValueError("bad field spec %r in %r" % (spec, line))
+            fields.append(FieldDescription(parts[0], parts[1], parts[2], parts[3]))
+        events.append(EventDescription(keyword, type_token, fields))
+    return DescriptionSet(header_fields, events)
+
+
+def default_descriptions_text():
+    """Generate the canonical description file from the codec tables."""
+    lines = ["HEADER " + " ".join(HEADER_FIELDS)]
+    for event, type_code in sorted(
+        messages.EVENT_TYPES.items(), key=lambda item: item[1]
+    ):
+        specs = [
+            "{0},{1},{2},{3}".format(name, offset, length, base)
+            for name, offset, length, base in messages.field_layout(event)
+        ]
+        lines.append("{0} {1}, {2}".format(event.upper(), type_code, " ".join(specs)))
+    return "\n".join(lines) + "\n"
+
+
+def default_description_set():
+    return parse_descriptions(default_descriptions_text())

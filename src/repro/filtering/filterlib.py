@@ -1,0 +1,86 @@
+"""Support library for writing filter processes.
+
+"Given one basic constraint, a user can write a custom filter.  This
+one constraint is that a filter process must listen to its standard
+input in order to receive meter messages from the kernel meter."
+(Section 3.4.)
+
+Here, descriptor 0 of a filter process is a *listening* meter socket
+set up by the meterdaemon; the meters of every machine metering for
+this filter connect to it.  :class:`MeterInbox` owns the accept loop
+and the message framing, handing complete raw meter messages to the
+filter body.
+"""
+
+from repro.metering.messages import HEADER_BYTES, peek_size
+
+#: Any framed size outside these bounds means the connection is not
+#: speaking the meter protocol at all; it is closed, not parsed.
+MAX_METER_MESSAGE = 4096
+
+
+class MeterInbox:
+    """Accept meter connections on fd 0 and reassemble meter messages.
+
+    Usage inside a filter guest::
+
+        inbox = MeterInbox()
+        while True:
+            raw_messages = yield from inbox.wait(sys)
+            for raw in raw_messages:
+                ...
+    """
+
+    def __init__(self, listen_fd=0):
+        self.listen_fd = listen_fd
+        #: conn fd -> reassembly buffer
+        self.buffers = {}
+        self.connections_accepted = 0
+        self.messages_received = 0
+
+    def fds(self):
+        return [self.listen_fd] + list(self.buffers)
+
+    def wait(self, sys, timeout_ms=None, want_children=False):
+        """Block until meter messages arrive; returns a list of raw
+        messages (possibly empty on timeout or child events).
+
+        As a sub-generator, also returns child events through
+        ``self.last_child_events`` when ``want_children`` is set.
+        """
+        ready, child_events = yield sys.select(
+            self.fds(), timeout_ms=timeout_ms, want_children=want_children
+        )
+        self.last_child_events = child_events
+        raw_messages = []
+        for fd in ready:
+            if fd == self.listen_fd:
+                conn, __ = yield sys.accept(self.listen_fd)
+                self.buffers[conn] = b""
+                self.connections_accepted += 1
+                continue
+            data = yield sys.read(fd, 4096)
+            if not data:
+                yield sys.close(fd)
+                del self.buffers[fd]
+                continue
+            buf = self.buffers[fd] + data
+            corrupt = False
+            while True:
+                size = peek_size(buf)
+                if size is None or (HEADER_BYTES <= size and len(buf) < size):
+                    break
+                if size < HEADER_BYTES or size > MAX_METER_MESSAGE:
+                    # Not the meter protocol: drop the connection
+                    # rather than loop over garbage framing.
+                    corrupt = True
+                    break
+                raw_messages.append(buf[:size])
+                buf = buf[size:]
+            if corrupt:
+                yield sys.close(fd)
+                del self.buffers[fd]
+            else:
+                self.buffers[fd] = buf
+        self.messages_received += len(raw_messages)
+        return raw_messages

@@ -1,0 +1,183 @@
+"""Selection rules / templates (Figures 3.3 and 3.4).
+
+A templates file holds one rule per line; a rule is a comma-separated
+conjunction of conditions ``field OP value`` with OP one of
+``> < = != >= <=``.  A record is accepted if it matches *any* rule.
+
+Value forms:
+
+- an integer literal: ``cpuTime<10000``
+- a name/display string: ``destName=inet:blue:4000``
+- the wildcard ``*`` ("matches any value")
+- another field name: ``sockName=peerName`` (cross-field comparison)
+- any of the above prefixed with the discard character ``#``: the
+  condition matches as usual, and "if an event record is accepted by
+  the filter, any fields with this value prefix will be discarded"
+  (reduction).
+
+Field name ``type`` is accepted as an alias for the header's
+``traceType``, matching the figures' spelling, and may also be compared
+against event names ("type=send").
+"""
+
+from repro.metering.messages import EVENT_TYPES
+
+_OPERATORS = ("<=", ">=", "!=", "<", ">", "=")
+
+_ALIASES = {"type": "traceType"}
+
+
+class Condition:
+    """One ``field OP value`` clause."""
+
+    __slots__ = ("field", "op", "value", "discard", "is_wildcard", "is_field_ref")
+
+    def __init__(self, field, op, value):
+        self.field = _ALIASES.get(field, field)
+        self.op = op
+        self.discard = False
+        if isinstance(value, str) and value.startswith("#"):
+            self.discard = True
+            value = value[1:]
+        self.is_wildcard = value == "*"
+        self.is_field_ref = False
+        if not self.is_wildcard:
+            value = self._coerce(value)
+        self.value = value
+
+    def _coerce(self, value):
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            pass
+        if value in EVENT_TYPES and self.field == "traceType":
+            return EVENT_TYPES[value]
+        # A bare identifier naming another record field is a cross-field
+        # reference; anything else is a literal string (e.g. a name).
+        if isinstance(value, str) and value.isidentifier():
+            self.is_field_ref = True
+        return value
+
+    def matches(self, record):
+        if self.field not in record:
+            return False
+        actual = record[self.field]
+        if self.is_wildcard:
+            return True
+        expected = self.value
+        if self.is_field_ref:
+            ref = _ALIASES.get(expected, expected)
+            if ref in record:
+                expected = record[ref]
+            # else: treat as a literal string and fall through.
+        return self._compare(actual, expected)
+
+    def _compare(self, actual, expected):
+        # Numbers compare numerically; mixed types compare as strings.
+        if not (isinstance(actual, int) and isinstance(expected, int)):
+            actual, expected = str(actual), str(expected)
+        if self.op == "=":
+            return actual == expected
+        if self.op == "!=":
+            return actual != expected
+        if self.op == "<":
+            return actual < expected
+        if self.op == ">":
+            return actual > expected
+        if self.op == "<=":
+            return actual <= expected
+        return actual >= expected  # ">="
+
+    def to_text(self):
+        value = self.value
+        if self.is_wildcard:
+            value = "*"
+        return "{0}{1}{2}{3}".format(
+            self.field, self.op, "#" if self.discard else "", value
+        )
+
+    def __repr__(self):
+        return "Condition({0})".format(self.to_text())
+
+
+class Rule:
+    """A conjunction of conditions; one line of the templates file."""
+
+    def __init__(self, conditions):
+        self.conditions = list(conditions)
+
+    def matches(self, record):
+        return all(cond.matches(record) for cond in self.conditions)
+
+    def discard_fields(self):
+        return {cond.field for cond in self.conditions if cond.discard}
+
+    def __repr__(self):
+        return "Rule({0})".format(
+            ", ".join(cond.to_text() for cond in self.conditions)
+        )
+
+
+class RuleSet:
+    """All rules of a templates file.
+
+    :meth:`apply` returns the (possibly reduced) record to save, or
+    None if no rule accepts it.  An empty rule set accepts everything
+    unreduced (a filter with no templates just logs the full trace).
+    """
+
+    def __init__(self, rules):
+        self.rules = list(rules)
+
+    def apply(self, record):
+        if not self.rules:
+            return record
+        for rule in self.rules:
+            if rule.matches(record):
+                discards = rule.discard_fields()
+                if not discards:
+                    return record
+                return {
+                    key: value
+                    for key, value in record.items()
+                    if key not in discards
+                }
+        return None
+
+    def __len__(self):
+        return len(self.rules)
+
+
+def _parse_condition(text):
+    text = text.strip()
+    for op in _OPERATORS:
+        idx = text.find(op)
+        if idx > 0:
+            field = text[:idx].strip()
+            value = text[idx + len(op) :].strip()
+            if not value:
+                raise ValueError("missing value in condition %r" % text)
+            return Condition(field, op, value)
+    raise ValueError("no operator in condition %r" % text)
+
+
+def parse_rules(text):
+    """Parse a templates file into a :class:`RuleSet`."""
+    rules = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        conditions = [
+            _parse_condition(chunk)
+            for chunk in line.split(",")
+            if chunk.strip()
+        ]
+        if conditions:
+            rules.append(Rule(conditions))
+    return RuleSet(rules)
+
+
+#: The default templates file installed on every machine: one wildcard
+#: rule that accepts every record without reduction.
+DEFAULT_TEMPLATES_TEXT = "machine=*\n"

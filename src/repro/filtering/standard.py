@@ -1,0 +1,63 @@
+"""The standard filter (Section 3.4).
+
+"After receiving a message from standard input, the default filter
+performs selection and reduction operations on the event records
+received.  It uses event record descriptions and selection rules to
+specify the criteria for data selection and reduction."
+
+Guest program arguments::
+
+    argv = [filtername, log_path, descriptions_path, templates_path]
+
+Accepted records are appended, one text line each, to the log file
+("A filter sends its output to a log file located in the /usr/tmp
+directory.  Each filter has its own log file.").
+"""
+
+from repro import guestlib
+from repro.filtering.descriptions import parse_descriptions
+from repro.filtering.filterlib import MeterInbox
+from repro.filtering.records import format_record
+from repro.filtering.rules import RuleSet, parse_rules
+
+PROGRAM_NAME = "filter"
+LOG_DIRECTORY = "/usr/tmp"
+
+
+def log_path_for(filtername):
+    return "{0}/{1}.log".format(LOG_DIRECTORY, filtername)
+
+
+def standard_filter(sys, argv):
+    """Guest main for the standard filter."""
+    filtername = argv[0] if len(argv) > 0 else "filter"
+    log_path = argv[1] if len(argv) > 1 else log_path_for(filtername)
+    descriptions_path = argv[2] if len(argv) > 2 else "descriptions"
+    templates_path = argv[3] if len(argv) > 3 else "templates"
+
+    descriptions_text = yield from guestlib.read_whole_file(sys, descriptions_path)
+    descriptions = parse_descriptions(descriptions_text)
+    templates_text = yield from guestlib.read_optional_file(sys, templates_path)
+    rules = parse_rules(templates_text) if templates_text is not None else RuleSet([])
+    host_names = yield sys.hosttable()
+
+    log_fd = yield sys.open(log_path, "w")
+    inbox = MeterInbox()
+    while True:
+        raw_messages = yield from inbox.wait(sys)
+        lines = []
+        for raw in raw_messages:
+            try:
+                record = descriptions.decode_message(raw, host_names)
+            except (ValueError, KeyError):
+                # Anything may connect to the meter port; a malformed
+                # message must not take the filter down -- drop it.
+                continue
+            saved = rules.apply(record)
+            if saved is None:
+                continue
+            order = descriptions.field_order(record["event"])
+            lines.append(format_record(saved, order))
+        if lines:
+            yield sys.write(log_fd, ("\n".join(lines) + "\n").encode("ascii"))
+        # The filter runs until the controller removes it (die).

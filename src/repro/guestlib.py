@@ -1,0 +1,136 @@
+"""Guest-side convenience subroutines.
+
+Guest programs are generators, so shared helpers are sub-generators
+used with ``yield from``::
+
+    text = yield from guestlib.read_whole_file(sys, "descriptions")
+
+Nothing here is privileged; everything reduces to plain syscalls.
+"""
+
+import json
+
+from repro.kernel import errno
+from repro.kernel.errno import SyscallError
+
+
+def read_whole_file(sys, path):
+    """Open, read to EOF, close; returns the content as text."""
+    fd = yield sys.open(path, "r")
+    chunks = []
+    while True:
+        data = yield sys.read(fd, 4096)
+        if not data:
+            break
+        chunks.append(data)
+    yield sys.close(fd)
+    return b"".join(chunks).decode("ascii", "replace")
+
+
+def read_optional_file(sys, path):
+    """Like :func:`read_whole_file` but returns None if absent."""
+    try:
+        text = yield from read_whole_file(sys, path)
+    except SyscallError as err:
+        if err.errno == errno.ENOENT:
+            return None
+        raise
+    return text
+
+
+def write_text(sys, path, text, mode="w"):
+    """Create/append a text file."""
+    fd = yield sys.open(path, mode)
+    yield sys.write(fd, text.encode("ascii"))
+    yield sys.close(fd)
+
+
+def read_exactly(sys, fd, nbytes):
+    """Read exactly ``nbytes`` from a stream; returns None at EOF."""
+    parts = []
+    remaining = nbytes
+    while remaining > 0:
+        data = yield sys.read(fd, remaining)
+        if not data:
+            return None
+        parts.append(data)
+        remaining -= len(data)
+    return b"".join(parts)
+
+
+def read_line(sys, fd, buffered):
+    """Read one newline-terminated line.
+
+    ``buffered`` is a single-element list carrying leftover bytes
+    across calls (generators cannot keep closure state for the caller).
+    Returns the line without the newline, or None at EOF.
+    """
+    while b"\n" not in buffered[0]:
+        data = yield sys.read(fd, 1024)
+        if not data:
+            if buffered[0]:
+                line, buffered[0] = buffered[0], b""
+                return line.decode("ascii", "replace")
+            return None
+        buffered[0] += data
+    line, __, buffered[0] = buffered[0].partition(b"\n")
+    return line.decode("ascii", "replace")
+
+
+def connect_retry(sys, domain, type_, name, attempts=50, backoff_ms=20.0):
+    """Create a socket and connect, retrying on ECONNREFUSED.
+
+    Workload processes of a job all start at once (startjob), so a
+    client can race its server's listen(); real 4.2BSD programs retried
+    exactly like this.  Returns the connected fd.
+    """
+    last_err = None
+    for __ in range(attempts):
+        fd = yield sys.socket(domain, type_)
+        try:
+            yield sys.connect(fd, name)
+            return fd
+        except SyscallError as err:
+            last_err = err
+            yield sys.close(fd)
+            if err.errno != errno.ECONNREFUSED:
+                raise
+            yield sys.sleep(backoff_ms)
+    raise last_err
+
+
+def send_frame(sys, fd, payload):
+    """Write a 4-byte-length-prefixed frame (controller/daemon RPC)."""
+    header = len(payload).to_bytes(4, "big")
+    yield sys.write(fd, header + payload)
+
+
+#: Frames above this are junk, not protocol traffic: refuse instead of
+#: blocking forever waiting for gigabytes that will never come.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def recv_frame(sys, fd):
+    """Read one length-prefixed frame; returns None at EOF or when the
+    claimed length is absurd (a non-protocol peer)."""
+    header = yield from read_exactly(sys, fd, 4)
+    if header is None:
+        return None
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_BYTES:
+        return None
+    payload = yield from read_exactly(sys, fd, length)
+    return payload
+
+
+def send_json(sys, fd, obj):
+    """One JSON object as a frame (workload wire format)."""
+    yield from send_frame(sys, fd, json.dumps(obj).encode("ascii"))
+
+
+def recv_json(sys, fd):
+    """Read one JSON frame; returns None at EOF."""
+    payload = yield from recv_frame(sys, fd)
+    if payload is None:
+        return None
+    return json.loads(payload.decode("ascii"))

@@ -1,0 +1,38 @@
+"""The simulated 4.2BSD kernel.
+
+One :class:`~repro.kernel.machine.Machine` per host.  Each machine has a
+process table, a file table, a scheduler with 10 ms CPU accounting
+(Section 4.1: "CPU use is updated in increments of 10ms"), a small
+in-memory filesystem, and a socket layer implementing the IPC semantics
+of Section 3.1 (datagrams and streams, socketpairs, client/server
+connection establishment).
+
+Guest programs are Python generator functions ``main(sys, argv)`` that
+``yield`` syscall requests built by the :class:`~repro.kernel.syscalls.Sys`
+interface; the kernel resumes them with results, or throws
+:class:`~repro.kernel.errno.SyscallError` into them.
+"""
+
+from repro.kernel import defs
+from repro.kernel.errno import (
+    EBADF,
+    ECONNREFUSED,
+    EPERM,
+    ESRCH,
+    SyscallError,
+)
+from repro.kernel.machine import Machine
+from repro.kernel.process import Proc
+from repro.kernel.syscalls import Sys
+
+__all__ = [
+    "defs",
+    "EBADF",
+    "ECONNREFUSED",
+    "EPERM",
+    "ESRCH",
+    "SyscallError",
+    "Machine",
+    "Proc",
+    "Sys",
+]

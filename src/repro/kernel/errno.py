@@ -1,0 +1,57 @@
+"""Error numbers and the guest-visible error exception.
+
+Numbers match 4.2BSD <errno.h> where the paper mentions them: the
+``setmeter(2)`` manual page (Appendix C) documents EPERM and ESRCH.
+"""
+
+EPERM = 1  # The process specified does not belong to the caller.
+ENOENT = 2  # No such file or directory.
+ESRCH = 3  # No such process / the socket does not exist (setmeter(2)).
+EINTR = 4
+EBADF = 9  # Bad file descriptor.
+ECHILD = 10  # No children to wait for.
+EACCES = 13  # Permission denied.
+EEXIST = 17
+ENOTDIR = 20
+EINVAL = 22  # Invalid argument.
+EMFILE = 24  # Too many open files.
+ENOTSOCK = 38  # Socket operation on non-socket.
+EMSGSIZE = 40
+EPROTONOSUPPORT = 43
+EOPNOTSUPP = 45
+EADDRINUSE = 48
+EADDRNOTAVAIL = 49
+ENETUNREACH = 51
+ECONNRESET = 54
+EISCONN = 56
+ENOTCONN = 57
+ECONNREFUSED = 61
+EPIPE = 32
+ESOCKTNOSUPPORT = 44
+
+_NAMES = {
+    value: name
+    for name, value in list(globals().items())
+    if name.isupper() and isinstance(value, int)
+}
+
+
+def errno_name(code):
+    """Symbolic name for an errno value, e.g. 1 -> "EPERM"."""
+    return _NAMES.get(code, "E%d" % code)
+
+
+class SyscallError(Exception):
+    """Raised (thrown into the guest generator) when a syscall fails.
+
+    Mirrors the C convention of a -1 return plus errno: the guest either
+    catches it or dies with the error, just as an unchecked C error
+    usually cascades into a crash.
+    """
+
+    def __init__(self, errno, message=""):
+        self.errno = errno
+        text = errno_name(errno)
+        if message:
+            text = "{0}: {1}".format(text, message)
+        super().__init__(text)

@@ -1,0 +1,144 @@
+"""Per-machine in-memory filesystem.
+
+4.2BSD at the time had no remote filesystem (Section 3.5.3), which is
+why the measurement system copies executables with ``rcp`` and copies
+filter log files on ``getlog``.  We model just enough of a local UNIX
+filesystem to support that: paths, owners, permission bits, executables,
+and append-mode log files under ``/usr/tmp``.
+"""
+
+from repro.kernel import errno
+from repro.kernel.errno import SyscallError
+
+ROOT_UID = 0
+
+
+class FileNode:
+    """One file: bytes plus owner/mode, optionally an executable program.
+
+    Executables carry a ``program`` string naming an entry in the guest
+    program registry; their byte content is that name, so copying the
+    bytes with rcp really does copy the program (DESIGN.md Section 2).
+    """
+
+    def __init__(self, data=b"", owner=ROOT_UID, mode=0o644, program=None):
+        self.data = bytearray(data)
+        self.owner = owner
+        self.mode = mode
+        self.program = program
+
+    def readable_by(self, uid):
+        if uid == ROOT_UID:
+            return True
+        if uid == self.owner:
+            return bool(self.mode & 0o400)
+        return bool(self.mode & 0o004)
+
+    def writable_by(self, uid):
+        if uid == ROOT_UID:
+            return True
+        if uid == self.owner:
+            return bool(self.mode & 0o200)
+        return bool(self.mode & 0o002)
+
+    def executable_by(self, uid):
+        if uid == ROOT_UID:
+            return self.mode & 0o111 != 0
+        if uid == self.owner:
+            return bool(self.mode & 0o100)
+        return bool(self.mode & 0o001)
+
+
+class FileSystem:
+    """Flat path -> FileNode store with UNIX-ish permission checks."""
+
+    def __init__(self):
+        self._nodes = {}
+
+    # -- administrative API (host side, no permission checks) ----------
+
+    def install(self, path, data=b"", owner=ROOT_UID, mode=0o644, program=None):
+        """Create or replace a file outside any permission regime.
+
+        Used by cluster bring-up to install executables, description
+        files and templates, and by the simulated ``rcp``.
+        """
+        if isinstance(data, str):
+            data = data.encode("ascii")
+        node = FileNode(data=data, owner=owner, mode=mode, program=program)
+        self._nodes[path] = node
+        return node
+
+    def exists(self, path):
+        return path in self._nodes
+
+    def node(self, path):
+        """Fetch a node without checks; raises KeyError if missing."""
+        return self._nodes[path]
+
+    def paths(self):
+        return sorted(self._nodes)
+
+    # -- checked access (kernel syscalls go through these) -------------
+
+    def lookup(self, path, uid, want="read"):
+        """Resolve ``path`` for ``uid``; raises SyscallError."""
+        node = self._nodes.get(path)
+        if node is None:
+            raise SyscallError(errno.ENOENT, path)
+        checks = {
+            "read": node.readable_by,
+            "write": node.writable_by,
+            "exec": node.executable_by,
+        }
+        if not checks[want](uid):
+            raise SyscallError(errno.EACCES, path)
+        return node
+
+    def create(self, path, uid, mode=0o644):
+        """Create an empty file owned by ``uid`` (truncates existing)."""
+        existing = self._nodes.get(path)
+        if existing is not None:
+            if not existing.writable_by(uid):
+                raise SyscallError(errno.EACCES, path)
+            existing.data = bytearray()
+            return existing
+        node = FileNode(owner=uid, mode=mode)
+        self._nodes[path] = node
+        return node
+
+    def unlink(self, path, uid):
+        node = self._nodes.get(path)
+        if node is None:
+            raise SyscallError(errno.ENOENT, path)
+        if not node.writable_by(uid):
+            raise SyscallError(errno.EACCES, path)
+        del self._nodes[path]
+
+
+class OpenFile:
+    """A file-table object for an open regular file."""
+
+    kind = "file"
+
+    def __init__(self, node, mode, append=False):
+        self.node = node
+        self.mode = mode  # "r" or "w"
+        self.offset = len(node.data) if append else 0
+
+    def read(self, nbytes):
+        data = bytes(self.node.data[self.offset : self.offset + nbytes])
+        self.offset += len(data)
+        return data
+
+    def write(self, data):
+        end = self.offset + len(data)
+        if self.offset == len(self.node.data):
+            self.node.data.extend(data)
+        else:
+            self.node.data[self.offset : end] = data
+        self.offset = end
+        return len(data)
+
+    def close(self):
+        pass

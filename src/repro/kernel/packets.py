@@ -1,0 +1,43 @@
+"""Packets exchanged between machine kernels.
+
+These are transport-internal; the monitor deliberately never exposes
+them (Section 2.1, consistency: "Viewing the communications at this
+more detailed level would obscure message delivery in unnecessary
+detail").
+"""
+
+# Packet kinds.
+CONN_REQ = "connreq"  # stream connection request (SYN)
+CONN_ACK = "connack"  # connection accepted into the backlog
+CONN_REFUSED = "connrefused"  # no listener / backlog full
+STREAM_DATA = "stream_data"
+STREAM_WINDOW = "stream_window"  # flow-control credit return
+STREAM_CLOSE = "stream_close"
+DGRAM = "dgram"
+
+
+class Packet:
+    """A transport packet: kind plus free-form fields."""
+
+    __slots__ = ("kind", "src_host", "fields")
+
+    def __init__(self, kind, src_host, **fields):
+        self.kind = kind
+        self.src_host = src_host
+        self.fields = fields
+
+    def __getattr__(self, name):
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name)
+
+    def __repr__(self):
+        return "Packet({0}, from={1}, {2})".format(
+            self.kind, self.src_host.name, self.fields
+        )
+
+
+def packet_size(payload_len):
+    """Approximate wire size: payload plus a 40-byte header."""
+    return payload_len + 40

@@ -1,0 +1,34 @@
+"""The guest program registry.
+
+Executable files carry a program *name* (their byte content); the
+registry maps names to guest ``main(sys, argv)`` generator functions.
+This is how a copied executable "runs" on the destination machine: rcp
+copies the bytes, and exec resolves the name locally (DESIGN.md,
+substitutions).
+"""
+
+from repro.kernel import errno
+from repro.kernel.errno import SyscallError
+
+
+class ProgramRegistry:
+    """name -> guest main function."""
+
+    def __init__(self):
+        self._programs = {}
+
+    def register(self, name, main):
+        self._programs[name] = main
+        return main
+
+    def resolve(self, name):
+        main = self._programs.get(name)
+        if main is None:
+            raise SyscallError(errno.ENOENT, "no program %r" % name)
+        return main
+
+    def __contains__(self, name):
+        return name in self._programs
+
+    def names(self):
+        return sorted(self._programs)

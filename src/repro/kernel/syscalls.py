@@ -1,0 +1,214 @@
+"""The guest/kernel interface.
+
+A guest program is written as a generator::
+
+    def main(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", 5000))
+        ...
+        yield sys.exit(0)
+
+Each ``sys.<call>`` builds a small :class:`Request`; the kernel executes
+it and resumes the generator with the result, or throws
+:class:`~repro.kernel.errno.SyscallError` into it.  ``sys.compute(ms)``
+is the one non-syscall request: it charges CPU time, modelling the
+"internal events" (computation) of the paper's model.
+
+The namespace is stateless; a single shared :data:`SYS` instance is
+passed to every guest.
+"""
+
+
+class Request:
+    """One syscall (or compute) request yielded by a guest."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args):
+        self.name = name
+        self.args = args
+
+    def __repr__(self):
+        return "Request({0}, {1!r})".format(self.name, self.args)
+
+
+class Sys:
+    """Constructors for every guest-visible request."""
+
+    # -- computation (internal events) ---------------------------------
+
+    def compute(self, ms):
+        """Execute instructions for ``ms`` milliseconds of CPU time."""
+        return Request("compute", (float(ms),))
+
+    def sleep(self, ms):
+        """Block without using CPU (e.g. a server between requests)."""
+        return Request("sleep", (float(ms),))
+
+    # -- sockets ---------------------------------------------------------
+
+    def socket(self, domain, type_, protocol=0):
+        return Request("socket", (domain, type_, protocol))
+
+    def bind(self, fd, name):
+        """``name``: (host, port) tuple, a path string, or a SocketName."""
+        return Request("bind", (fd, name))
+
+    def listen(self, fd, backlog):
+        return Request("listen", (fd, backlog))
+
+    def connect(self, fd, name):
+        return Request("connect", (fd, name))
+
+    def accept(self, fd):
+        """Returns (new fd, peer SocketName)."""
+        return Request("accept", (fd,))
+
+    def send(self, fd, data):
+        return Request("send", (fd, bytes(data)))
+
+    def sendto(self, fd, data, name):
+        return Request("sendto", (fd, bytes(data), name))
+
+    def recv(self, fd, nbytes):
+        return Request("read", (fd, int(nbytes)))
+
+    def recvfrom(self, fd, nbytes):
+        """Returns (data, source SocketName or None)."""
+        return Request("recvfrom", (fd, int(nbytes)))
+
+    def socketpair(self, domain, type_, protocol=0):
+        """Returns (fd1, fd2), already connected."""
+        return Request("socketpair", (domain, type_, protocol))
+
+    def shutdown(self, fd, how="w"):
+        """Half-close a stream's sending side (peer reads EOF)."""
+        return Request("shutdown", (fd, how))
+
+    def getsockname(self, fd):
+        return Request("getsockname", (fd,))
+
+    def getpeername(self, fd):
+        return Request("getpeername", (fd,))
+
+    # -- descriptors and files -------------------------------------------
+
+    def read(self, fd, nbytes):
+        return Request("read", (fd, int(nbytes)))
+
+    def write(self, fd, data):
+        return Request("write", (fd, bytes(data)))
+
+    def close(self, fd):
+        return Request("close", (fd,))
+
+    def dup(self, fd):
+        return Request("dup", (fd,))
+
+    def dup2(self, fd, newfd):
+        return Request("dup2", (fd, newfd))
+
+    def open(self, path, mode="r"):
+        """``mode``: "r", "w" (create/truncate) or "a" (append)."""
+        return Request("open", (path, mode))
+
+    def unlink(self, path):
+        return Request("unlink", (path,))
+
+    def select(self, read_fds, timeout_ms=None, want_children=False):
+        """Block until a descriptor is readable, a child changes state
+        (if requested), or the timeout expires.
+
+        Returns ``(ready_fds, child_events)`` where child_events is a
+        list of dicts with keys pid/status/reason.
+        """
+        return Request("select", (tuple(read_fds), timeout_ms, want_children))
+
+    # -- processes ---------------------------------------------------------
+
+    def forkexec(self, path, argv=(), stdio_fd=None, start=True, uid=None):
+        """fork + exec of the executable at ``path`` in one step (the
+        meterdaemon's process-creation sequence).
+
+        The child gets ONLY the caller's ``stdio_fd`` entry, installed
+        as its descriptors 0/1/2 (the daemon's I/O gateway socket,
+        Section 3.5.2) -- no other descriptors leak.  With
+        ``start=False`` the child is left "suspended prior to the start
+        of its execution" (Section 3.5.1).  A root caller may pass
+        ``uid`` to run the child under a user's account (the daemon
+        acting on the user's behalf, with the user's access rights --
+        Section 3.5.5).  Returns the child pid.
+        """
+        return Request("forkexec", (path, tuple(argv), stdio_fd, start, uid))
+
+    def procstat(self, pid):
+        """uid/state/program of a process (daemon permission checks)."""
+        return Request("procstat", (pid,))
+
+    def hasaccount(self, uid):
+        """Whether ``uid`` has an account on this machine (3.5.5)."""
+        return Request("hasaccount", (uid,))
+
+    def fork(self, child_main, argv=()):
+        """Create a child process running ``child_main(sys, argv)``.
+
+        The child inherits the descriptor table, uid, and -- per the
+        paper -- the meter socket and meter flags.  Returns the child's
+        pid to the parent.  (Generator state cannot be cloned, so the
+        child starts in a function of the caller's choosing; see
+        DESIGN.md, substitutions.)
+        """
+        return Request("fork", (child_main, tuple(argv)))
+
+    def execv(self, path, argv=()):
+        """Replace the process image with the executable at ``path``."""
+        return Request("execv", (path, tuple(argv)))
+
+    def exit(self, status=0):
+        return Request("exit", (status,))
+
+    def getpid(self):
+        return Request("getpid", ())
+
+    def getuid(self):
+        return Request("getuid", ())
+
+    def kill(self, pid, sig):
+        return Request("kill", (pid, sig))
+
+    def gettimeofday(self):
+        """The machine's local clock in milliseconds (drifts!)."""
+        return Request("gettimeofday", ())
+
+    # -- metering (the paper's new syscall) --------------------------------
+
+    def setmeter(self, proc, flags, socket_fd):
+        """setmeter(2): mark a process for metering (Appendix C).
+
+        Any of the three arguments may be -1 / SELF / NO_CHANGE; see
+        :mod:`repro.metering.setmeter` for full semantics.
+        """
+        return Request("setmeter", (proc, flags, socket_fd))
+
+    # -- misc ----------------------------------------------------------------
+
+    def rcp(self, src_host, src_path, dst_host, dst_path):
+        """Remote file copy; the simulated analogue of the controller's
+        ``system("rcp ...")`` call (Section 3.5.3)."""
+        return Request("rcp", (src_host, src_path, dst_host, dst_path))
+
+    def log(self, message):
+        """Write a line to the machine console (debugging; unmetered)."""
+        return Request("log", (str(message),))
+
+    def hosttable(self):
+        """The /etc/hosts view: host id -> literal host name."""
+        return Request("hosttable", ())
+
+    def hostname(self):
+        """This machine's literal host name."""
+        return Request("hostname", ())
+
+
+#: The shared stateless instance handed to every guest.
+SYS = Sys()

@@ -1,0 +1,104 @@
+"""Syscall handlers: descriptors and regular files.
+
+Mixin for :class:`repro.kernel.machine.Machine`.  The handlers for
+``read`` and ``write`` dispatch on the file-table object's kind; the
+socket branches live in :mod:`repro.kernel.syssock`.
+"""
+
+from repro.kernel import errno
+from repro.kernel.errno import SyscallError
+from repro.kernel.filesystem import OpenFile
+
+
+class FileCalls:
+    """open/close/dup/read/write/unlink and tty handling."""
+
+    # ------------------------------------------------------------------
+
+    def sys_open(self, proc, request):
+        path, mode = request.args
+        if mode == "r":
+            node = self.fs.lookup(path, proc.uid, want="read")
+            open_file = OpenFile(node, "r")
+        elif mode == "w":
+            node = self.fs.create(path, proc.uid)
+            open_file = OpenFile(node, "w")
+        elif mode == "a":
+            if self.fs.exists(path):
+                node = self.fs.lookup(path, proc.uid, want="write")
+            else:
+                node = self.fs.create(path, proc.uid)
+            open_file = OpenFile(node, "w", append=True)
+        else:
+            raise SyscallError(errno.EINVAL, "open mode %r" % mode)
+        entry = self.file_table.allocate(open_file)
+        return proc.alloc_fd(entry)
+
+    def sys_unlink(self, proc, request):
+        (path,) = request.args
+        self.fs.unlink(path, proc.uid)
+        return 0
+
+    def sys_close(self, proc, request):
+        (fd,) = request.args
+        entry = proc.close_fd(fd)
+        if entry.kind == "socket":
+            self.meter.on_destsocket(proc, entry)
+        return 0
+
+    def sys_dup(self, proc, request):
+        (fd,) = request.args
+        entry = proc.lookup_fd(fd)
+        newfd = proc.alloc_fd(entry)
+        if entry.kind == "socket":
+            self.meter.on_dup(proc, entry, newfd)
+        return newfd
+
+    def sys_dup2(self, proc, request):
+        fd, newfd = request.args
+        entry = proc.lookup_fd(fd)
+        if newfd == fd:
+            return newfd
+        proc.install_fd(newfd, entry)
+        if entry.kind == "socket":
+            self.meter.on_dup(proc, entry, newfd)
+        return newfd
+
+    # ------------------------------------------------------------------
+    # read/write dispatch: files and ttys here, sockets in SocketCalls.
+    # ------------------------------------------------------------------
+
+    def sys_read(self, proc, request):
+        fd = request.args[0]
+        nbytes = request.args[1]
+        entry = proc.lookup_fd(fd)
+        if entry.kind == "socket":
+            return self._socket_read(proc, request, entry, with_name=False)
+        if entry.kind == "tty":
+            tty = entry.obj
+            if not tty.readable():
+                return self.block(proc, request, [tty.rd_wait])
+            return tty.read(nbytes)
+        if entry.kind == "file":
+            return entry.obj.read(nbytes)
+        raise SyscallError(errno.EBADF, "unreadable object")
+
+    def sys_recvfrom(self, proc, request):
+        fd = request.args[0]
+        entry = proc.lookup_fd(fd)
+        if entry.kind != "socket":
+            raise SyscallError(errno.ENOTSOCK, "fd %d" % fd)
+        return self._socket_read(proc, request, entry, with_name=True)
+
+    def sys_write(self, proc, request):
+        fd, data = request.args
+        entry = proc.lookup_fd(fd)
+        if entry.kind == "socket":
+            return self._socket_write(proc, request, entry, dest_name=None)
+        if entry.kind == "tty":
+            return entry.obj.write(data)
+        if entry.kind == "file":
+            if entry.obj.mode != "w":
+                raise SyscallError(errno.EACCES, "file open for reading")
+            return entry.obj.write(data)
+        raise SyscallError(errno.EBADF, "unwritable object")

@@ -1,0 +1,86 @@
+"""A terminal device.
+
+The control process reads user commands from its terminal and writes
+prompts and replies back (Section 4.4: "the user is working from a
+terminal connected to machine A and is running the control process").
+The host-side test/session API pushes input lines and collects output.
+"""
+
+from collections import deque
+
+from repro.kernel.waitq import WaitQueue
+
+
+class Terminal:
+    """A tty usable as descriptors 0/1/2 of a guest process."""
+
+    kind = "tty"
+
+    def __init__(self, name="console"):
+        self.name = name
+        self._input = deque()
+        self._input_bytes = 0
+        self.eof = False
+        self.output = bytearray()
+        self.rd_wait = WaitQueue("tty-read")
+        #: Optional hook called with each written bytes chunk.
+        self.on_output = None
+
+    # -- host side -------------------------------------------------------
+
+    def push_input(self, text):
+        """Type ``text`` at the terminal (host-side API)."""
+        data = text.encode("ascii") if isinstance(text, str) else bytes(text)
+        if data:
+            self._input.append(data)
+            self._input_bytes += len(data)
+        self.rd_wait.wake_all()
+
+    def push_line(self, line):
+        self.push_input(line.rstrip("\n") + "\n")
+
+    def send_eof(self):
+        """Control-D at the start of a line."""
+        self.eof = True
+        self.rd_wait.wake_all()
+
+    def take_output(self):
+        """Drain and return everything written so far, as text."""
+        data = bytes(self.output)
+        del self.output[:]
+        return data.decode("ascii", "replace")
+
+    def peek_output(self):
+        return bytes(self.output).decode("ascii", "replace")
+
+    # -- kernel side -------------------------------------------------------
+
+    def readable(self):
+        return self._input_bytes > 0 or self.eof
+
+    def read(self, nbytes):
+        """Return up to ``nbytes`` of typed input (b"" only at EOF)."""
+        parts = []
+        remaining = nbytes
+        while remaining > 0 and self._input:
+            chunk = self._input[0]
+            if len(chunk) <= remaining:
+                parts.append(chunk)
+                remaining -= len(chunk)
+                self._input.popleft()
+            else:
+                parts.append(chunk[:remaining])
+                self._input[0] = chunk[remaining:]
+                remaining = 0
+        data = b"".join(parts)
+        self._input_bytes -= len(data)
+        return data
+
+    def write(self, data):
+        self.output.extend(data)
+        if self.on_output is not None:
+            self.on_output(bytes(data))
+        return len(data)
+
+    def close(self):
+        pass

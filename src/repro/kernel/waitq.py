@@ -1,0 +1,42 @@
+"""Sleep/wakeup primitives, in the style of the BSD kernel.
+
+A blocked syscall parks its process on one or more :class:`WaitQueue`
+objects.  When the awaited condition may have changed (data arrived, a
+connection was queued, a child terminated), the kernel calls
+:meth:`WaitQueue.wake_all`, and each parked process *retries* its
+syscall handler; if the condition still does not hold, it goes back to
+sleep.  This retry discipline keeps handlers stateless with respect to
+wakeups and mirrors the classic ``sleep()``/``wakeup()`` loop.
+"""
+
+
+class WaitQueue:
+    """An ordered set of processes waiting for a condition."""
+
+    __slots__ = ("_procs", "label")
+
+    def __init__(self, label=""):
+        self._procs = []
+        self.label = label
+
+    def add(self, proc):
+        if proc not in self._procs:
+            self._procs.append(proc)
+
+    def discard(self, proc):
+        if proc in self._procs:
+            self._procs.remove(proc)
+
+    def wake_all(self):
+        """Retry every parked process (each via its own machine)."""
+        for proc in list(self._procs):
+            proc.machine.wake(proc)
+
+    def __len__(self):
+        return len(self._procs)
+
+    def __contains__(self, proc):
+        return proc in self._procs
+
+    def __repr__(self):
+        return "WaitQueue({0!r}, {1} waiting)".format(self.label, len(self._procs))

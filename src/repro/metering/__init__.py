@@ -1,0 +1,70 @@
+"""The paper's kernel additions: metering.
+
+- :mod:`repro.metering.flags`    -- ``<meterflags.h>``: event flags and
+  the special setmeter argument values;
+- :mod:`repro.metering.messages` -- ``<metermsgs.h>``: the Appendix-A
+  meter message formats with byte-accurate binary codecs;
+- :mod:`repro.metering.subsystem` -- the in-kernel meter: event
+  detection hooks, per-process buffering, flush-on-termination, and the
+  ``setmeter(2)`` system call (Appendix C).
+"""
+
+from repro.metering import flags
+from repro.metering.flags import (
+    M_ALL,
+    M_IMMEDIATE,
+    METERACCEPT,
+    METERCONNECT,
+    METERDESTSOCKET,
+    METERDUP,
+    METERFORK,
+    METERRECEIVE,
+    METERRECEIVECALL,
+    METERSEND,
+    METERSOCKET,
+    METERTERMPROC,
+    NO_CHANGE,
+    NONE,
+    SELF,
+    SOCK_NONE,
+    flag_name,
+    flags_from_names,
+    names_from_flags,
+)
+from repro.metering.messages import (
+    EVENT_NAMES,
+    EVENT_TYPES,
+    HEADER_BYTES,
+    MessageCodec,
+    decode_stream,
+)
+from repro.metering.subsystem import MeterSubsystem
+
+__all__ = [
+    "flags",
+    "M_ALL",
+    "M_IMMEDIATE",
+    "METERACCEPT",
+    "METERCONNECT",
+    "METERDESTSOCKET",
+    "METERDUP",
+    "METERFORK",
+    "METERRECEIVE",
+    "METERRECEIVECALL",
+    "METERSEND",
+    "METERSOCKET",
+    "METERTERMPROC",
+    "NO_CHANGE",
+    "NONE",
+    "SELF",
+    "SOCK_NONE",
+    "flag_name",
+    "flags_from_names",
+    "names_from_flags",
+    "EVENT_NAMES",
+    "EVENT_TYPES",
+    "HEADER_BYTES",
+    "MessageCodec",
+    "decode_stream",
+    "MeterSubsystem",
+]

@@ -1,0 +1,104 @@
+"""``<meterflags.h>``: meter event flags and setmeter special values.
+
+The flags name the system calls to be metered (Sections 3.2 and 4.1).
+``M_IMMEDIATE`` "indicates that metering messages are to be sent
+immediately, rather than buffered for greater efficiency" (Appendix C).
+"""
+
+METERSEND = 0x0001  # process sends a message
+METERRECEIVECALL = 0x0002  # process makes a call to receive a message
+METERRECEIVE = 0x0004  # process receives a message
+METERACCEPT = 0x0008  # process accepts a connection
+METERCONNECT = 0x0010  # process initiates a connection
+METERFORK = 0x0020  # process forks
+METERSOCKET = 0x0040  # process creates a socket
+METERDUP = 0x0080  # process duplicates a socket or file descriptor
+METERDESTSOCKET = 0x0100  # process closes a socket
+METERTERMPROC = 0x0200  # process terminates
+
+#: All event flags ("meter all events").
+M_ALL = (
+    METERSEND
+    | METERRECEIVECALL
+    | METERRECEIVE
+    | METERACCEPT
+    | METERCONNECT
+    | METERFORK
+    | METERSOCKET
+    | METERDUP
+    | METERDESTSOCKET
+    | METERTERMPROC
+)
+
+#: Send each meter message at once instead of buffering (not an event).
+M_IMMEDIATE = 0x10000
+
+# setmeter(2) special argument values (Appendix C: "The arguments may
+# also be replaced by the special value -1").
+SELF = -1  # proc argument: the calling process
+NO_CHANGE = -1  # flags / socket argument: leave unchanged
+NONE = 0  # flags argument: turn all flags off
+#: socket argument: close the meter socket.  The paper overloads NONE
+#: for this; we use a distinct value because descriptor 0 is a real fd.
+SOCK_NONE = -2
+
+#: Controller flag spelling (the setflags command, Section 4.3).
+FLAG_NAMES = {
+    "send": METERSEND,
+    "receivecall": METERRECEIVECALL,
+    "receive": METERRECEIVE,
+    "accept": METERACCEPT,
+    "connect": METERCONNECT,
+    "fork": METERFORK,
+    "socket": METERSOCKET,
+    "dup": METERDUP,
+    "destsocket": METERDESTSOCKET,
+    "termproc": METERTERMPROC,
+    "all": M_ALL,
+    "immediate": M_IMMEDIATE,
+}
+
+_SINGLE_NAMES = {
+    value: name
+    for name, value in FLAG_NAMES.items()
+    if name not in ("all",)
+}
+
+
+def flag_name(flag):
+    """Spelling of one flag bit, e.g. METERSEND -> "send"."""
+    return _SINGLE_NAMES.get(flag, hex(flag))
+
+
+def flags_from_names(names):
+    """Parse a setflags argument list into a bitmask delta.
+
+    Returns ``(set_mask, clear_mask)``: names prefixed with '-' clear
+    ("-send will turn off the metering of the send event"), bare names
+    set; 'all'/'-all' covers every event flag.  Unknown names raise
+    ValueError.
+    """
+    set_mask = 0
+    clear_mask = 0
+    for raw in names:
+        name = raw.lower()
+        negate = name.startswith("-")
+        if negate:
+            name = name[1:]
+        if name not in FLAG_NAMES:
+            raise ValueError("unknown meter flag %r" % raw)
+        if negate:
+            clear_mask |= FLAG_NAMES[name]
+        else:
+            set_mask |= FLAG_NAMES[name]
+    return set_mask, clear_mask
+
+
+def names_from_flags(mask):
+    """Render a bitmask back to sorted flag spellings (for jobs output)."""
+    names = [
+        name
+        for name, value in sorted(FLAG_NAMES.items())
+        if name not in ("all",) and mask & value == value and value != 0
+    ]
+    return names

@@ -1,0 +1,255 @@
+"""The in-kernel meter.
+
+Implements the paper's kernel changes (Section 3.2):
+
+- event detection hooks called from the syscall layer;
+- per-process meter-message buffering ("The default is to buffer
+  several messages so that the number of meter messages is considerably
+  smaller than the number of messages sent by the metered process");
+- flush of unsent messages at process termination;
+- the ``setmeter(2)`` system call (Appendix C);
+- meter-state inheritance across fork.
+
+The meter socket's descriptor "is not stored in the process's
+descriptor table and is, therefore, not directly accessible by the
+process" -- here it lives in ``proc.meter_entry``.
+"""
+
+from repro.kernel import defs as kdefs
+from repro.kernel import errno
+from repro.kernel.errno import SyscallError
+from repro.metering import flags as mflags
+from repro.metering.messages import MessageCodec
+
+#: Event name -> the flag bit that enables it.
+_EVENT_FLAG = {
+    "send": mflags.METERSEND,
+    "receivecall": mflags.METERRECEIVECALL,
+    "receive": mflags.METERRECEIVE,
+    "accept": mflags.METERACCEPT,
+    "connect": mflags.METERCONNECT,
+    "fork": mflags.METERFORK,
+    "socket": mflags.METERSOCKET,
+    "dup": mflags.METERDUP,
+    "destsocket": mflags.METERDESTSOCKET,
+    "termproc": mflags.METERTERMPROC,
+}
+
+#: Messages buffered before the kernel ships a batch to the filter.
+DEFAULT_BUFFER_LIMIT = 8
+
+
+class MeterSubsystem:
+    """Per-machine metering state and hooks."""
+
+    def __init__(self, machine, buffer_limit=DEFAULT_BUFFER_LIMIT):
+        self.machine = machine
+        self.buffer_limit = buffer_limit
+        self.codec = MessageCodec()
+        # Statistics for the perturbation / buffering studies.
+        self.events_recorded = 0
+        self.wire_sends = 0
+        self.wire_bytes = 0
+
+    # ------------------------------------------------------------------
+    # setmeter(2)
+    # ------------------------------------------------------------------
+
+    def sys_setmeter(self, proc, request):
+        """Appendix C semantics.
+
+        ``setmeter(proc, flags, socket)``: -1 for proc means the caller;
+        -1 for flags/socket means no change; flags 0 (NONE) clears all;
+        socket SOCK_NONE (or None) closes the meter connection.
+        """
+        target_pid, new_flags, socket_fd = request.args
+
+        if target_pid == mflags.SELF:
+            target = proc
+        else:
+            target = self.machine.procs.get(target_pid)
+            if target is None or target.state == kdefs.PROC_ZOMBIE:
+                raise SyscallError(errno.ESRCH, "pid %r" % target_pid)
+        # "A user can request metering only for processes belonging to
+        # that user ... A superuser process can set metering for any
+        # process."
+        if proc.uid != 0 and proc.uid != target.uid:
+            raise SyscallError(errno.EPERM, "pid %r" % target_pid)
+
+        if new_flags != mflags.NO_CHANGE:
+            target.meter_flags = int(new_flags)
+
+        if socket_fd is None:
+            socket_fd = mflags.SOCK_NONE
+        if socket_fd == mflags.SOCK_NONE:
+            self._drop_meter_socket(target)
+        elif socket_fd != mflags.NO_CHANGE:
+            entry = proc.fds.get(socket_fd)
+            if entry is None:
+                raise SyscallError(errno.ESRCH, "socket fd %r" % socket_fd)
+            if entry.kind != "socket":
+                raise SyscallError(errno.ENOTSOCK, "fd %r" % socket_fd)
+            sock = entry.obj
+            # "The socket provided must be a stream socket in the
+            # Internet domain."  (It "must be connected to be used,
+            # though this is not checked.")
+            if not sock.is_stream or sock.domain != kdefs.AF_INET:
+                raise SyscallError(
+                    errno.EINVAL, "meter socket must be an Internet stream socket"
+                )
+            # "If setmeter() is called specifying a new meter socket for
+            # a process already having one, the old socket is closed."
+            self._drop_meter_socket(target)
+            target.meter_entry = self.machine.file_table.ref(entry)
+        return 0
+
+    def _drop_meter_socket(self, proc):
+        if proc.meter_entry is not None:
+            self.machine.file_table.unref(proc.meter_entry)
+            proc.meter_entry = None
+
+    def inherit(self, parent, child):
+        """fork(): "the child process inherits the meter socket and the
+        meter flags of the parent"."""
+        child.meter_flags = parent.meter_flags
+        if parent.meter_entry is not None:
+            child.meter_entry = self.machine.file_table.ref(parent.meter_entry)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _metered(self, proc, event):
+        return (
+            proc.meter_entry is not None
+            and proc.meter_flags & _EVENT_FLAG[event] != 0
+        )
+
+    def _record(self, proc, event, **body):
+        """Build, buffer, and maybe ship one meter message."""
+        raw = self.codec.encode(
+            event,
+            machine=self.machine.host.host_id,
+            cpu_time=int(self.machine.clock.local_time(self.machine.sim.now)),
+            proc_time=int(proc.proc_time()),
+            pc=proc.step_count,
+            **body
+        )
+        proc.meter_buffer.append(raw)
+        self.events_recorded += 1
+        proc.charge_cpu(kdefs.METER_EVENT_COST_MS)
+        if (
+            proc.meter_flags & mflags.M_IMMEDIATE
+            or len(proc.meter_buffer) >= self.buffer_limit
+        ):
+            self.flush(proc)
+
+    def flush(self, proc):
+        """Ship any buffered messages over the meter connection."""
+        if not proc.meter_buffer:
+            return
+        data = b"".join(proc.meter_buffer)
+        proc.meter_buffer = []
+        if proc.meter_entry is None:
+            return  # "Meter messages are lost if ... unconnected."
+        sock = proc.meter_entry.obj
+        if self.machine.kernel_stream_send(sock, data):
+            self.wire_sends += 1
+            self.wire_bytes += len(data)
+
+    # ------------------------------------------------------------------
+    # Hooks called by the syscall layer
+    # ------------------------------------------------------------------
+
+    def on_socket(self, proc, entry, sock):
+        if self._metered(proc, "socket"):
+            self._record(
+                proc,
+                "socket",
+                pid=proc.pid,
+                sock=entry.addr,
+                domain=sock.domain,
+                type=sock.type,
+                protocol=sock.protocol,
+            )
+
+    def on_connect(self, proc, entry, sock, peer_name):
+        if self._metered(proc, "connect"):
+            self._record(
+                proc,
+                "connect",
+                pid=proc.pid,
+                sock=entry.addr,
+                sockName=sock.name,
+                peerName=peer_name,
+                **self.codec.name_lengths(sockName=sock.name, peerName=peer_name)
+            )
+
+    def on_accept(self, proc, listener_entry, conn_entry, listener, conn):
+        if self._metered(proc, "accept"):
+            self._record(
+                proc,
+                "accept",
+                pid=proc.pid,
+                sock=listener_entry.addr,
+                newSock=conn_entry.addr,
+                sockName=listener.name,
+                peerName=conn.peer_name,
+                **self.codec.name_lengths(
+                    sockName=listener.name, peerName=conn.peer_name
+                )
+            )
+
+    def on_send(self, proc, entry, sock, msg_length, dest_name):
+        if self._metered(proc, "send"):
+            self._record(
+                proc,
+                "send",
+                pid=proc.pid,
+                sock=entry.addr,
+                msgLength=msg_length,
+                destName=dest_name,
+                **self.codec.name_lengths(destName=dest_name)
+            )
+
+    def on_recvcall(self, proc, entry, sock):
+        if self._metered(proc, "receivecall"):
+            self._record(proc, "receivecall", pid=proc.pid, sock=entry.addr)
+
+    def on_recv(self, proc, entry, sock, msg_length, source_name):
+        if self._metered(proc, "receive"):
+            self._record(
+                proc,
+                "receive",
+                pid=proc.pid,
+                sock=entry.addr,
+                msgLength=msg_length,
+                sourceName=source_name,
+                **self.codec.name_lengths(sourceName=source_name)
+            )
+
+    def on_dup(self, proc, entry, newfd):
+        if self._metered(proc, "dup"):
+            self._record(
+                proc, "dup", pid=proc.pid, sock=entry.addr, newSock=newfd
+            )
+
+    def on_destsocket(self, proc, entry):
+        if self._metered(proc, "destsocket"):
+            self._record(proc, "destsocket", pid=proc.pid, sock=entry.addr)
+
+    def on_fork(self, parent, child):
+        if self._metered(parent, "fork"):
+            self._record(parent, "fork", pid=parent.pid, newPid=child.pid)
+
+    def on_termproc(self, proc):
+        """Called from proc_exit: final event, flush, close the socket."""
+        if self._metered(proc, "termproc"):
+            self._record(
+                proc,
+                "termproc",
+                pid=proc.pid,
+                status=proc.exit_status if proc.exit_status is not None else 0,
+            )
+        self.flush(proc)
+        self._drop_meter_socket(proc)

@@ -1,0 +1,44 @@
+"""Simulated internetwork.
+
+Carries two services matching 4.2BSD IPC semantics (paper Section 3.1):
+
+- *datagrams*: delivery "not guaranteed, though it is likely", and a set
+  of datagrams may arrive out of order;
+- *streams*: reliable, ordered byte channels (connection establishment
+  and flow control live in the kernel socket layer; the network provides
+  a reliable in-order packet channel per connection).
+
+Socket naming follows Section 3.5.4: a host may sit on several networks
+and therefore have several addresses, so processes exchange the *literal
+host name* plus port number, never a raw address.
+"""
+
+from repro.net.addresses import (
+    AF_INET,
+    AF_PAIR,
+    AF_UNIX,
+    InternetName,
+    PairName,
+    SocketName,
+    UnixName,
+    decode_name,
+    parse_name,
+)
+from repro.net.hosts import Host, HostTable
+from repro.net.network import Network, NetworkParams
+
+__all__ = [
+    "AF_INET",
+    "AF_PAIR",
+    "AF_UNIX",
+    "InternetName",
+    "PairName",
+    "SocketName",
+    "UnixName",
+    "decode_name",
+    "parse_name",
+    "Host",
+    "HostTable",
+    "Network",
+    "NetworkParams",
+]

@@ -1,0 +1,61 @@
+"""Host naming.
+
+Each machine in the cluster is a host with a literal name ("red",
+"green", ...) and a small-integer host id per attached network.  The
+host table is the simulated analogue of /etc/hosts plus the Internet
+Domain name service the paper cites (Su & Postel 82).
+"""
+
+
+class Host:
+    """One machine's network identity."""
+
+    def __init__(self, name, host_id):
+        self.name = str(name)
+        self.host_id = int(host_id)
+        #: Set by the kernel bring-up; the Machine owning this host.
+        self.machine = None
+        #: Networks this host is attached to (names).
+        self.networks = []
+
+    def __repr__(self):
+        return "Host({0!r}, id={1})".format(self.name, self.host_id)
+
+
+class HostTable:
+    """Cluster-wide mapping between literal host names and host ids."""
+
+    def __init__(self):
+        self._by_name = {}
+        self._by_id = {}
+        self._next_id = 1
+
+    def add(self, name):
+        """Register a host; returns the :class:`Host`."""
+        if name in self._by_name:
+            raise ValueError("duplicate host name %r" % name)
+        host = Host(name, self._next_id)
+        self._next_id += 1
+        self._by_name[name] = host
+        self._by_id[host.host_id] = host
+        return host
+
+    def lookup(self, name):
+        """Resolve a literal host name; raises KeyError if unknown."""
+        return self._by_name[name]
+
+    def lookup_id(self, host_id):
+        return self._by_id[host_id]
+
+    def names_by_id(self):
+        """host id -> name map, for decoding wire NAMEs."""
+        return {host_id: host.name for host_id, host in self._by_id.items()}
+
+    def __contains__(self, name):
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def __len__(self):
+        return len(self._by_name)

@@ -1,0 +1,106 @@
+"""The internetwork: packet delivery between machines.
+
+Two delivery services (paper Section 3.1):
+
+- :meth:`Network.send_datagram` -- may drop packets, may reorder (each
+  datagram gets independent jitter, so a later send can overtake an
+  earlier one);
+- :meth:`Network.send_reliable` -- per-channel FIFO delivery; never
+  drops, never reorders.  The kernel's stream sockets and the meter
+  connections ride on this, which is why "message delivery is
+  guaranteed and messages arrive in the same order as they were sent".
+
+Local (same-machine) traffic bypasses loss entirely: "Such links are
+reliable when used within a single machine" (Section 3.5.2).
+"""
+
+
+class NetworkParams:
+    """Tunable characteristics of the internetwork.
+
+    Times in milliseconds.  Defaults roughly evoke a 1984 3Mb/10Mb
+    Ethernet: ~1ms base latency, mild jitter, small datagram loss.
+    """
+
+    def __init__(
+        self,
+        base_latency_ms=1.0,
+        jitter_ms=0.5,
+        local_latency_ms=0.05,
+        datagram_loss=0.0,
+        bandwidth_bytes_per_ms=1250.0,
+    ):
+        self.base_latency_ms = float(base_latency_ms)
+        self.jitter_ms = float(jitter_ms)
+        self.local_latency_ms = float(local_latency_ms)
+        self.datagram_loss = float(datagram_loss)
+        self.bandwidth_bytes_per_ms = float(bandwidth_bytes_per_ms)
+
+
+class Network:
+    """Delivers packets between machines via the shared simulator."""
+
+    def __init__(self, simulator, params=None):
+        self.sim = simulator
+        self.params = params or NetworkParams()
+        #: channel key -> earliest time the next packet may arrive,
+        #: used to keep reliable channels FIFO.
+        self._channel_clearance = {}
+        self.datagrams_sent = 0
+        self.datagrams_dropped = 0
+        self.reliable_packets_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+
+    def _transit_time(self, src_host, dst_host, size_bytes, jittered):
+        params = self.params
+        if src_host is dst_host:
+            latency = params.local_latency_ms
+        else:
+            latency = params.base_latency_ms
+            if jittered and params.jitter_ms > 0:
+                latency += self.sim.rng.uniform(0.0, params.jitter_ms)
+        if params.bandwidth_bytes_per_ms > 0:
+            latency += size_bytes / params.bandwidth_bytes_per_ms
+        return latency
+
+    # ------------------------------------------------------------------
+
+    def send_datagram(self, src_host, dst_host, size_bytes, deliver):
+        """Best-effort delivery; ``deliver()`` runs on arrival (if any).
+
+        Returns True if the datagram was sent (False means it was
+        dropped in transit; the sender is never told, as in UDP).
+        """
+        self.datagrams_sent += 1
+        self.bytes_sent += size_bytes
+        remote = src_host is not dst_host
+        if remote and self.params.datagram_loss > 0:
+            if self.sim.rng.random() < self.params.datagram_loss:
+                self.datagrams_dropped += 1
+                return False
+        delay = self._transit_time(src_host, dst_host, size_bytes, jittered=True)
+        self.sim.schedule(delay, deliver)
+        return True
+
+    def send_reliable(self, channel, src_host, dst_host, size_bytes, deliver):
+        """Reliable FIFO delivery on ``channel`` (any hashable key).
+
+        Packets on the same channel arrive in send order even when
+        jitter would have reordered them; nothing is dropped.
+        """
+        self.reliable_packets_sent += 1
+        self.bytes_sent += size_bytes
+        delay = self._transit_time(src_host, dst_host, size_bytes, jittered=True)
+        arrival = self.sim.now + delay
+        clearance = self._channel_clearance.get(channel, 0.0)
+        arrival = max(arrival, clearance)
+        # Strictly increasing arrivals preserve FIFO under equal times too.
+        self._channel_clearance[channel] = arrival + 1e-9
+        self.sim.schedule_at(arrival, deliver)
+        return True
+
+    def close_channel(self, channel):
+        """Forget FIFO state for a finished connection."""
+        self._channel_clearance.pop(channel, None)

@@ -1,0 +1,55 @@
+"""Guest workload programs.
+
+The distributed programs a user of the measurement system would
+actually monitor: the client/server and datagram examples of Section
+3.1, a token ring, a master/worker computation, a long-running system
+server (the acquire target), and the distributed travelling-salesman
+solver of the paper's concluding study (Lai & Miller 84).
+
+Each program is a generator ``main(sys, argv)`` taking string
+arguments, so it can be installed as an executable and created through
+the controller's addprocess command.
+"""
+
+from repro.programs.echo import echo_client, echo_server
+from repro.programs.dgram import dgram_consumer, dgram_producer
+from repro.programs.master_worker import mw_master, mw_worker
+from repro.programs.pingpong import pingpong_client, pingpong_server
+from repro.programs.pipeline import pipeline_stage
+from repro.programs.ring import ring_node
+from repro.programs.server import name_server, name_client
+from repro.programs.tsp import tsp_master, tsp_worker
+from repro.programs.wordcount import wc_coordinator, wc_mapper, wc_reducer
+
+#: name -> main, ready for Cluster.install_program /
+#: MeasurementSession.install_program.
+WORKLOADS = {
+    "echoserver": echo_server,
+    "echoclient": echo_client,
+    "dgramproducer": dgram_producer,
+    "dgramconsumer": dgram_consumer,
+    "ringnode": ring_node,
+    "mwmaster": mw_master,
+    "mwworker": mw_worker,
+    "pingpongserver": pingpong_server,
+    "pingpongclient": pingpong_client,
+    "nameserver": name_server,
+    "nameclient": name_client,
+    "pipelinestage": pipeline_stage,
+    "tspmaster": tsp_master,
+    "tspworker": tsp_worker,
+    "wccoordinator": wc_coordinator,
+    "wcmapper": wc_mapper,
+    "wcreducer": wc_reducer,
+}
+
+
+def install_all(session_or_cluster):
+    """Install every workload on every machine."""
+    for name, main in WORKLOADS.items():
+        session_or_cluster.install_program(name, main)
+
+
+__all__ = ["WORKLOADS", "install_all"] + sorted(
+    main.__name__ for main in WORKLOADS.values()
+)

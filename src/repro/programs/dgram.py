@@ -1,0 +1,47 @@
+"""Datagram producer/consumer: the connectionless side of Section 3.1.
+
+Deliberately exercises the datagram properties the paper calls out:
+unguaranteed, possibly reordered delivery -- the consumer counts what
+actually arrived.
+"""
+
+from repro.kernel import defs
+
+
+def dgram_consumer(sys, argv):
+    """argv: [port, expected, timeout_ms] -- receive until ``expected``
+    datagrams arrived or ``timeout_ms`` passes with nothing new, then
+    report the count on stdout and exit with it as status."""
+    port = int(argv[0]) if len(argv) > 0 else 6000
+    expected = int(argv[1]) if len(argv) > 1 else 100
+    timeout_ms = float(argv[2]) if len(argv) > 2 else 500.0
+
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    yield sys.bind(fd, ("", port))
+    received = 0
+    while received < expected:
+        ready, __ = yield sys.select([fd], timeout_ms=timeout_ms)
+        if not ready:
+            break  # the missing ones were lost; that's datagrams
+        __data, __src = yield sys.recvfrom(fd, defs.MAX_DGRAM_BYTES)
+        received += 1
+    yield sys.write(1, b"received %d\n" % received)
+    yield sys.exit(received)
+
+
+def dgram_producer(sys, argv):
+    """argv: [dest, port, count, msgbytes, gap_ms]."""
+    dest = argv[0] if len(argv) > 0 else "red"
+    port = int(argv[1]) if len(argv) > 1 else 6000
+    count = int(argv[2]) if len(argv) > 2 else 100
+    msgbytes = int(argv[3]) if len(argv) > 3 else 64
+    gap_ms = float(argv[4]) if len(argv) > 4 else 1.0
+
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    payload = b"d" * msgbytes
+    for __ in range(count):
+        yield sys.sendto(fd, payload, (dest, port))
+        if gap_ms > 0:
+            yield sys.sleep(gap_ms)
+    yield sys.close(fd)
+    yield sys.exit(0)

@@ -1,0 +1,54 @@
+"""Stream echo: the canonical client/server pair of Section 3.1."""
+
+from repro import guestlib
+from repro.kernel import defs
+
+
+def echo_server(sys, argv):
+    """argv: [port, nclients, work_ms] -- echo every message back
+    (after ``work_ms`` of per-message computation), serving
+    ``nclients`` connections then exiting."""
+    port = int(argv[0]) if len(argv) > 0 else 5000
+    nclients = int(argv[1]) if len(argv) > 1 else 1
+    work_ms = float(argv[2]) if len(argv) > 2 else 0.0
+
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(fd, ("", port))
+    yield sys.listen(fd, defs.SOMAXCONN)
+    for __ in range(nclients):
+        conn, __peer = yield sys.accept(fd)
+        while True:
+            data = yield sys.read(conn, 1024)
+            if not data:
+                break
+            if work_ms > 0:
+                yield sys.compute(work_ms)
+            yield sys.write(conn, data)
+        yield sys.close(conn)
+    yield sys.close(fd)
+    yield sys.exit(0)
+
+
+def echo_client(sys, argv):
+    """argv: [server, port, nmessages, msgbytes, think_ms]."""
+    server = argv[0] if len(argv) > 0 else "red"
+    port = int(argv[1]) if len(argv) > 1 else 5000
+    nmessages = int(argv[2]) if len(argv) > 2 else 10
+    msgbytes = int(argv[3]) if len(argv) > 3 else 64
+    think_ms = float(argv[4]) if len(argv) > 4 else 5.0
+
+    fd = yield from guestlib.connect_retry(
+        sys, defs.AF_INET, defs.SOCK_STREAM, (server, port)
+    )
+    payload = b"e" * msgbytes
+    for __ in range(nmessages):
+        yield sys.compute(think_ms)
+        yield sys.write(fd, payload)
+        remaining = msgbytes
+        while remaining > 0:
+            data = yield sys.read(fd, remaining)
+            if not data:
+                break
+            remaining -= len(data)
+    yield sys.close(fd)
+    yield sys.exit(0)

@@ -1,0 +1,72 @@
+"""Master/worker: a work queue fanned out over machines.
+
+Its communication graph should classify as a "star" centred on the
+master; its parallelism profile should approach the worker count.
+"""
+
+from repro import guestlib
+from repro.kernel import defs
+
+
+def mw_master(sys, argv):
+    """argv: [port, nworkers, ntasks, task_ms].
+
+    Accepts ``nworkers`` connections, deals tasks out eagerly (one
+    outstanding per worker), collects results, reports the total.
+    """
+    port = int(argv[0])
+    nworkers = int(argv[1])
+    ntasks = int(argv[2]) if len(argv) > 2 else 20
+    task_ms = float(argv[3]) if len(argv) > 3 else 20.0
+
+    listen_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(listen_fd, ("", port))
+    yield sys.listen(listen_fd, defs.SOMAXCONN)
+    workers = []
+    for __ in range(nworkers):
+        conn, __peer = yield sys.accept(listen_fd)
+        workers.append(conn)
+
+    next_task = 0
+    results = []
+    outstanding = {}
+    for conn in workers:
+        if next_task < ntasks:
+            yield from guestlib.send_json(sys, conn, {"task": next_task, "ms": task_ms})
+            outstanding[conn] = next_task
+            next_task += 1
+    while len(results) < ntasks:
+        ready, __ = yield sys.select(list(outstanding))
+        for conn in ready:
+            reply = yield from guestlib.recv_json(sys, conn)
+            results.append(reply["result"])
+            del outstanding[conn]
+            if next_task < ntasks:
+                yield from guestlib.send_json(sys, conn, {"task": next_task, "ms": task_ms})
+                outstanding[conn] = next_task
+                next_task += 1
+    for conn in workers:
+        yield from guestlib.send_json(sys, conn, {"done": True})
+        yield sys.close(conn)
+    total = sum(results)
+    yield sys.write(1, b"all tasks done, checksum %d\n" % total)
+    yield sys.exit(0)
+
+
+def mw_worker(sys, argv):
+    """argv: [master_host, port]."""
+    host = argv[0]
+    port = int(argv[1])
+    fd = yield from guestlib.connect_retry(
+        sys, defs.AF_INET, defs.SOCK_STREAM, (host, port)
+    )
+    while True:
+        message = yield from guestlib.recv_json(sys, fd)
+        if message is None or message.get("done"):
+            break
+        yield sys.compute(message["ms"])
+        yield from guestlib.send_json(
+            sys, fd, {"result": message["task"] * message["task"]}
+        )
+    yield sys.close(fd)
+    yield sys.exit(0)

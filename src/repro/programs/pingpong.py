@@ -1,0 +1,47 @@
+"""Ping-pong: round-trip latency over a stream connection.
+
+The minimal two-process computation; its message pairs give the
+ordering analysis the cleanest send-before-receive evidence.
+"""
+
+from repro import guestlib
+from repro.kernel import defs
+
+
+def pingpong_server(sys, argv):
+    """argv: [port, rounds]."""
+    port = int(argv[0]) if len(argv) > 0 else 5100
+    rounds = int(argv[1]) if len(argv) > 1 else 10
+
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(fd, ("", port))
+    yield sys.listen(fd, 1)
+    conn, __ = yield sys.accept(fd)
+    for __i in range(rounds):
+        data = yield from guestlib.read_exactly(sys, conn, 8)
+        if data is None:
+            break
+        yield sys.write(conn, data)
+    yield sys.close(conn)
+    yield sys.exit(0)
+
+
+def pingpong_client(sys, argv):
+    """argv: [server, port, rounds] -- reports the average round trip
+    measured on its own (drifting!) local clock."""
+    server = argv[0] if len(argv) > 0 else "red"
+    port = int(argv[1]) if len(argv) > 1 else 5100
+    rounds = int(argv[2]) if len(argv) > 2 else 10
+
+    fd = yield from guestlib.connect_retry(
+        sys, defs.AF_INET, defs.SOCK_STREAM, (server, port)
+    )
+    start = yield sys.gettimeofday()
+    for i in range(rounds):
+        yield sys.write(fd, i.to_bytes(8, "big"))
+        yield from guestlib.read_exactly(sys, fd, 8)
+    end = yield sys.gettimeofday()
+    avg_us = 1000.0 * (end - start) / rounds
+    yield sys.write(1, b"avg round trip %d us\n" % int(avg_us))
+    yield sys.close(fd)
+    yield sys.exit(0)

@@ -1,0 +1,59 @@
+"""A processing pipeline: stage i receives from stage i-1, transforms,
+and forwards to stage i+1.
+
+Its communication graph should classify as "pipeline"; its parallelism
+profile shows overlap once the pipe fills.
+"""
+
+from repro import guestlib
+from repro.kernel import defs
+
+
+def pipeline_stage(sys, argv):
+    """argv: [my_port, next_host, next_port, role, nitems, work_ms]
+
+    role: "source" (generates items), "middle", or "sink" (reports).
+    """
+    my_port = int(argv[0])
+    next_host = argv[1]
+    next_port = int(argv[2])
+    role = argv[3]
+    nitems = int(argv[4]) if len(argv) > 4 else 10
+    work_ms = float(argv[5]) if len(argv) > 5 else 2.0
+
+    in_fd = None
+    if role != "source":
+        listen_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(listen_fd, ("", my_port))
+        yield sys.listen(listen_fd, 1)
+
+    out_fd = None
+    if role != "sink":
+        out_fd = yield from guestlib.connect_retry(
+            sys, defs.AF_INET, defs.SOCK_STREAM, (next_host, next_port)
+        )
+
+    if role != "source":
+        in_fd, __ = yield sys.accept(listen_fd)
+
+    processed = 0
+    if role == "source":
+        for i in range(nitems):
+            yield sys.compute(work_ms)
+            yield from guestlib.send_frame(sys, out_fd, b"item-%d" % i)
+            processed += 1
+        yield sys.close(out_fd)
+    else:
+        while True:
+            item = yield from guestlib.recv_frame(sys, in_fd)
+            if item is None:
+                break
+            yield sys.compute(work_ms)
+            processed += 1
+            if role == "middle":
+                yield from guestlib.send_frame(sys, out_fd, item + b"+")
+        if out_fd is not None:
+            yield sys.close(out_fd)
+        if role == "sink":
+            yield sys.write(1, b"sink processed %d items\n" % processed)
+    yield sys.exit(0)

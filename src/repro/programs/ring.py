@@ -1,0 +1,65 @@
+"""Token ring: N processes passing a token around machines.
+
+A classic topology for the structural analysis (its communication
+graph should classify as "ring").
+"""
+
+from repro import guestlib
+from repro.kernel import defs
+
+
+def ring_node(sys, argv):
+    """argv: [my_port, next_host, next_port, rounds, is_origin].
+
+    Each node listens on ``my_port`` and forwards the token to
+    ``next_host:next_port``.  The origin injects the token and counts
+    ``rounds`` full circulations; the token payload is the hop count.
+    """
+    my_port = int(argv[0])
+    next_host = argv[1]
+    next_port = int(argv[2])
+    rounds = int(argv[3]) if len(argv) > 3 else 3
+    is_origin = len(argv) > 4 and argv[4] == "origin"
+
+    listen_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(listen_fd, ("", my_port))
+    yield sys.listen(listen_fd, 2)
+
+    out_fd = yield from guestlib.connect_retry(
+        sys, defs.AF_INET, defs.SOCK_STREAM, (next_host, next_port)
+    )
+    in_fd, __ = yield sys.accept(listen_fd)
+
+    if is_origin:
+        yield sys.write(out_fd, (0).to_bytes(4, "big"))
+    done = False
+    completed = 0
+    while not done:
+        raw = yield from guestlib.read_exactly(sys, in_fd, 4)
+        if raw is None:
+            break
+        hops = int.from_bytes(raw, "big")
+        yield sys.compute(1.0)  # token-holding work
+        if is_origin:
+            if hops == 0xFFFFFFFF:
+                done = True  # our shutdown token came all the way round
+                continue
+            completed += 1
+            if completed >= rounds:
+                yield sys.write(out_fd, (0xFFFFFFFF).to_bytes(4, "big"))
+                yield sys.write(
+                    1,
+                    b"token circulated %d times, %d hops\n" % (completed, hops),
+                )
+                continue  # keep reading until the shutdown returns
+            yield sys.write(out_fd, (hops + 1).to_bytes(4, "big"))
+        else:
+            if hops == 0xFFFFFFFF:
+                yield sys.write(out_fd, raw)  # propagate shutdown
+                done = True
+            else:
+                yield sys.write(out_fd, (hops + 1).to_bytes(4, "big"))
+    yield sys.close(in_fd)
+    yield sys.close(out_fd)
+    yield sys.close(listen_fd)
+    yield sys.exit(0)

@@ -1,0 +1,54 @@
+"""A long-running system server: the *acquire* target (Section 4.3).
+
+"situations may arise in which a process such as a system server is an
+important component of a computation ... a user may be interested only
+in monitoring a system server to better understand its behavior."
+
+The name server answers lookup datagrams forever; it is started
+outside any job and then acquired mid-run.
+"""
+
+from repro.kernel import defs
+
+_NAMES = {
+    b"red": b"1",
+    b"green": b"2",
+    b"blue": b"3",
+    b"yellow": b"4",
+}
+
+
+def name_server(sys, argv):
+    """argv: [port] -- a datagram request/reply server that never
+    exits on its own."""
+    port = int(argv[0]) if len(argv) > 0 else 5353
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    yield sys.bind(fd, ("", port))
+    while True:
+        query, src = yield sys.recvfrom(fd, 512)
+        yield sys.compute(0.5)
+        answer = _NAMES.get(query.strip(), b"?")
+        if src is not None:
+            yield sys.sendto(fd, answer, (src.host, src.port))
+
+
+def name_client(sys, argv):
+    """argv: [server, port, nqueries, gap_ms]."""
+    server = argv[0] if len(argv) > 0 else "red"
+    port = int(argv[1]) if len(argv) > 1 else 5353
+    nqueries = int(argv[2]) if len(argv) > 2 else 5
+    gap_ms = float(argv[3]) if len(argv) > 3 else 10.0
+
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    answered = 0
+    queries = sorted(_NAMES)
+    for i in range(nqueries):
+        yield sys.sendto(fd, queries[i % len(queries)], (server, port))
+        ready, __ = yield sys.select([fd], timeout_ms=200.0)
+        if ready:
+            yield sys.recvfrom(fd, 512)
+            answered += 1
+        if gap_ms > 0:
+            yield sys.sleep(gap_ms)
+    yield sys.write(1, b"%d of %d queries answered\n" % (answered, nqueries))
+    yield sys.exit(0)

@@ -1,0 +1,226 @@
+"""The travelling-salesman study (Lai & Miller 84).
+
+The paper's conclusion reports that "a multiprocess computation was
+developed and debugged using the tool, which led to substantial
+modifications of the program resulting in substantial improvements of
+its performance."  That computation was a distributed TSP solver.  We
+reproduce both sides of the story:
+
+- ``v1``: the naive master hands out one subproblem at a time and
+  *waits for the result* before dispatching the next -- the monitor's
+  parallelism analysis shows the workers serialized (average
+  parallelism ~1 no matter how many workers);
+- ``v2``: the fixed master keeps one subproblem outstanding per worker
+  and shares the best-tour bound, so workers run concurrently and
+  prune more.
+
+Subproblems are tour prefixes ``(0, i, j)``; each worker runs an exact
+branch-and-bound over the remaining cities, charging simulated CPU
+proportional to the nodes it explores.
+"""
+
+from repro import guestlib
+from repro.kernel import defs
+
+#: Simulated CPU cost per branch-and-bound node.
+MS_PER_NODE = 0.02
+
+
+# ----------------------------------------------------------------------
+# Geometry (pure helpers, shared by guests, benches and tests)
+# ----------------------------------------------------------------------
+
+
+def make_cities(n, seed=1):
+    """Deterministic city coordinates from a little LCG."""
+    state = (seed * 2654435761) & 0xFFFFFFFF
+    cities = []
+    for __ in range(n):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        x = state % 1000
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        y = state % 1000
+        cities.append((x, y))
+    return cities
+
+
+def distance(a, b):
+    return ((a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2) ** 0.5
+
+
+def tour_length(cities, tour):
+    total = 0.0
+    for i in range(len(tour)):
+        total += distance(cities[tour[i]], cities[tour[(i + 1) % len(tour)]])
+    return total
+
+
+def prefix_tasks(n):
+    """All depth-3 tour prefixes starting at city 0."""
+    return [
+        (0, i, j)
+        for i in range(1, n)
+        for j in range(1, n)
+        if i != j
+    ]
+
+
+def solve_prefix(cities, prefix, bound):
+    """Exact DFS branch-and-bound completion of ``prefix``.
+
+    Returns (best length or None, best tour or None, nodes explored).
+    ``bound``: current global best tour length (prune above it).
+    """
+    n = len(cities)
+    remaining = [c for c in range(n) if c not in prefix]
+    prefix_len = sum(
+        distance(cities[prefix[i]], cities[prefix[i + 1]])
+        for i in range(len(prefix) - 1)
+    )
+    best = {"length": None, "tour": None, "nodes": 0}
+
+    def dfs(tour, tour_len, rest):
+        best["nodes"] += 1
+        limit = bound if best["length"] is None else min(bound, best["length"])
+        if tour_len >= limit:
+            return
+        if not rest:
+            total = tour_len + distance(cities[tour[-1]], cities[tour[0]])
+            if total < limit:
+                best["length"] = total
+                best["tour"] = list(tour)
+            return
+        for idx, city in enumerate(rest):
+            step = distance(cities[tour[-1]], cities[city])
+            dfs(tour + [city], tour_len + step, rest[:idx] + rest[idx + 1 :])
+
+    dfs(list(prefix), prefix_len, remaining)
+    return best["length"], best["tour"], best["nodes"]
+
+
+def solve_exact(cities):
+    """Reference single-machine solution (for correctness tests)."""
+    best_len, best_tour = float("inf"), None
+    for task in prefix_tasks(len(cities)):
+        length, tour, __ = solve_prefix(cities, task, best_len)
+        if length is not None and length < best_len:
+            best_len, best_tour = length, tour
+    return best_len, best_tour
+
+
+# ----------------------------------------------------------------------
+# Guests
+# ----------------------------------------------------------------------
+
+
+def tsp_master(sys, argv):
+    """argv: [version, port, nworkers, ncities, seed].
+
+    version "v1": serial dispatch (the bug); "v2": one outstanding task
+    per worker plus bound sharing (the fix).
+    """
+    version = argv[0] if len(argv) > 0 else "v2"
+    port = int(argv[1]) if len(argv) > 1 else 5200
+    nworkers = int(argv[2]) if len(argv) > 2 else 2
+    ncities = int(argv[3]) if len(argv) > 3 else 7
+    seed = int(argv[4]) if len(argv) > 4 else 1
+
+    cities = make_cities(ncities, seed)
+    tasks = prefix_tasks(ncities)
+
+    listen_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(listen_fd, ("", port))
+    yield sys.listen(listen_fd, defs.SOMAXCONN)
+    workers = []
+    for __ in range(nworkers):
+        conn, __peer = yield sys.accept(listen_fd)
+        workers.append(conn)
+
+    best = {"length": 1e18, "tour": None}
+    if version == "v1":
+        yield from _run_serial(sys, workers, cities, tasks, best)
+    else:
+        yield from _run_parallel(sys, workers, cities, tasks, best)
+
+    for conn in workers:
+        yield from guestlib.send_json(sys, conn, {"done": True})
+        yield sys.close(conn)
+    yield sys.write(
+        1,
+        b"best tour length %d: %s\n"
+        % (int(best["length"]), repr(best["tour"]).encode("ascii")),
+    )
+    yield sys.exit(0)
+
+
+def _task_message(cities, task, bound):
+    return {"cities": cities, "prefix": list(task), "bound": bound}
+
+
+def _take_result(reply, best):
+    if reply and reply.get("length") is not None:
+        if reply["length"] < best["length"]:
+            best["length"] = reply["length"]
+            best["tour"] = reply["tour"]
+
+
+def _run_serial(sys, workers, cities, tasks, best):
+    """v1: one task in flight globally.  Every worker but one idles."""
+    windex = 0
+    for task in tasks:
+        conn = workers[windex % len(workers)]
+        windex += 1
+        yield from guestlib.send_json(
+            sys, conn, _task_message(cities, task, best["length"])
+        )
+        reply = yield from guestlib.recv_json(sys, conn)
+        _take_result(reply, best)
+
+
+def _run_parallel(sys, workers, cities, tasks, best):
+    """v2: one task in flight per worker, bound piggybacked."""
+    queue = list(tasks)
+    outstanding = {}
+    for conn in workers:
+        if queue:
+            task = queue.pop(0)
+            yield from guestlib.send_json(
+                sys, conn, _task_message(cities, task, best["length"])
+            )
+            outstanding[conn] = task
+    while outstanding:
+        ready, __ = yield sys.select(list(outstanding))
+        for conn in ready:
+            reply = yield from guestlib.recv_json(sys, conn)
+            _take_result(reply, best)
+            del outstanding[conn]
+            if queue:
+                task = queue.pop(0)
+                yield from guestlib.send_json(
+                    sys, conn, _task_message(cities, task, best["length"])
+                )
+                outstanding[conn] = task
+
+
+def tsp_worker(sys, argv):
+    """argv: [master_host, port]."""
+    host = argv[0] if len(argv) > 0 else "red"
+    port = int(argv[1]) if len(argv) > 1 else 5200
+
+    fd = yield from guestlib.connect_retry(
+        sys, defs.AF_INET, defs.SOCK_STREAM, (host, port)
+    )
+    while True:
+        message = yield from guestlib.recv_json(sys, fd)
+        if message is None or message.get("done"):
+            break
+        cities = [tuple(c) for c in message["cities"]]
+        length, tour, nodes = solve_prefix(
+            cities, tuple(message["prefix"]), message["bound"]
+        )
+        yield sys.compute(nodes * MS_PER_NODE)
+        yield from guestlib.send_json(
+            sys, fd, {"length": length, "tour": tour, "nodes": nodes}
+        )
+    yield sys.close(fd)
+    yield sys.exit(0)

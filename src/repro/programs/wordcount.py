@@ -1,0 +1,125 @@
+"""Distributed word count: scatter text chunks to mappers, gather
+partial counts at a reducer.
+
+A two-level tree workload (coordinator -> mappers -> reducer): a more
+realistic data-processing computation for the structural and
+parallelism analyses than the micro-benchmarks, and a natural
+demonstration of measuring a "real job" with the monitor.
+"""
+
+import json
+
+from repro import guestlib
+from repro.kernel import defs
+
+
+def count_words(text):
+    """The reference counting function (pure; used by tests too)."""
+    counts = {}
+    for word in text.split():
+        word = word.strip(".,;:!?").lower()
+        if word:
+            counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+def merge_counts(into, other):
+    for word, count in other.items():
+        into[word] = into.get(word, 0) + count
+    return into
+
+
+def wc_coordinator(sys, argv):
+    """argv: [port, nmappers, textfile, reducer_host, reducer_port].
+
+    Reads the input file, splits it into nmappers chunks by lines,
+    ships one chunk to each mapper, then waits for the reducer's final
+    tally and prints the top words.
+    """
+    port = int(argv[0])
+    nmappers = int(argv[1])
+    textfile = argv[2]
+    reducer_host = argv[3]
+    reducer_port = int(argv[4])
+
+    text = yield from guestlib.read_whole_file(sys, textfile)
+    lines = text.splitlines()
+    chunks = [
+        "\n".join(lines[i::nmappers]) for i in range(nmappers)
+    ]
+
+    listen_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(listen_fd, ("", port))
+    yield sys.listen(listen_fd, defs.SOMAXCONN)
+    for __ in range(nmappers):
+        conn, __peer = yield sys.accept(listen_fd)
+        chunk = chunks.pop()
+        yield from guestlib.send_json(
+            sys,
+            conn,
+            {
+                "text": chunk,
+                "reducer_host": reducer_host,
+                "reducer_port": reducer_port,
+            },
+        )
+        yield sys.close(conn)
+
+    # Wait for the reducer's final answer.
+    result_fd = yield from guestlib.connect_retry(
+        sys, defs.AF_INET, defs.SOCK_STREAM, (reducer_host, reducer_port + 1)
+    )
+    final = yield from guestlib.recv_json(sys, result_fd)
+    yield sys.close(result_fd)
+    top = sorted(final.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+    summary = ", ".join("{0}={1}".format(w, c) for w, c in top)
+    yield sys.write(1, ("top words: " + summary + "\n").encode("ascii"))
+    yield sys.exit(0)
+
+
+def wc_mapper(sys, argv):
+    """argv: [coordinator_host, port] -- fetch a chunk, count, send the
+    partial counts to the reducer."""
+    host = argv[0]
+    port = int(argv[1])
+    fd = yield from guestlib.connect_retry(
+        sys, defs.AF_INET, defs.SOCK_STREAM, (host, port)
+    )
+    task = yield from guestlib.recv_json(sys, fd)
+    yield sys.close(fd)
+    counts = count_words(task["text"])
+    # Work proportional to the words counted.
+    yield sys.compute(0.2 * max(1, sum(counts.values())))
+    out = yield from guestlib.connect_retry(
+        sys, defs.AF_INET, defs.SOCK_STREAM,
+        (task["reducer_host"], task["reducer_port"]),
+    )
+    yield from guestlib.send_json(sys, out, counts)
+    yield sys.close(out)
+    yield sys.exit(0)
+
+
+def wc_reducer(sys, argv):
+    """argv: [port, nmappers] -- merge partials, serve the final tally
+    on port+1."""
+    port = int(argv[0])
+    nmappers = int(argv[1])
+    listen_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(listen_fd, ("", port))
+    yield sys.listen(listen_fd, defs.SOMAXCONN)
+    total = {}
+    for __ in range(nmappers):
+        conn, __peer = yield sys.accept(listen_fd)
+        partial = yield from guestlib.recv_json(sys, conn)
+        merge_counts(total, partial)
+        yield sys.compute(0.5)
+        yield sys.close(conn)
+    yield sys.close(listen_fd)
+
+    result_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(result_fd, ("", port + 1))
+    yield sys.listen(result_fd, 1)
+    conn, __peer = yield sys.accept(result_fd)
+    yield from guestlib.send_json(sys, conn, total)
+    yield sys.close(conn)
+    yield sys.exit(0)

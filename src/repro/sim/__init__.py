@@ -1,0 +1,18 @@
+"""Discrete-event simulation substrate.
+
+Provides the deterministic event loop, simulated global time, and the
+per-machine drifting clocks that motivate the paper's discussion of time
+(Section 1.1: "we cannot provide a universal time base for all the
+machines").
+"""
+
+from repro.sim.clock import MachineClock
+from repro.sim.errors import SimulationError, SimulationDeadlock
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "MachineClock",
+    "SimulationError",
+    "SimulationDeadlock",
+    "Simulator",
+]

@@ -1,0 +1,43 @@
+"""Per-machine clocks with offset and drift.
+
+The paper (Section 1.1) stresses that a distributed monitor cannot rely
+on a universal time base: clocks can be kept roughly synchronized (it
+cites TEMPO, Gusella & Zatti 83) but never perfectly.  Meter message
+headers therefore carry the *local* clock (``cpuTime`` field, "Local
+clock" in Figure 4.1), and global orderings must be deduced from message
+causality (Section 4.1).
+
+We model each machine's clock as a linear function of simulated global
+time:
+
+    local(t) = offset + rate * t
+
+``offset`` is the initial skew in milliseconds; ``rate`` is 1.0 plus a
+drift expressed in parts-per-million.  Both default to an ideal clock so
+tests that do not care about skew see local == global.
+"""
+
+
+class MachineClock:
+    """A drifting local clock for one machine.
+
+    All times are in milliseconds of simulated time.
+    """
+
+    def __init__(self, offset_ms=0.0, drift_ppm=0.0):
+        self.offset_ms = float(offset_ms)
+        self.drift_ppm = float(drift_ppm)
+        self.rate = 1.0 + self.drift_ppm / 1e6
+
+    def local_time(self, global_ms):
+        """Local wall-clock reading at simulated global time ``global_ms``."""
+        return self.offset_ms + self.rate * global_ms
+
+    def global_time(self, local_ms):
+        """Invert :meth:`local_time` (used by analysis, never by guests)."""
+        return (local_ms - self.offset_ms) / self.rate
+
+    def __repr__(self):
+        return "MachineClock(offset_ms={0!r}, drift_ppm={1!r})".format(
+            self.offset_ms, self.drift_ppm
+        )

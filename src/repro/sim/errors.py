@@ -1,0 +1,30 @@
+"""Exceptions raised by the simulation substrate."""
+
+
+class SimulationError(Exception):
+    """Base class for errors in the simulation machinery itself.
+
+    Guest-visible errors (bad syscall arguments, EPERM, ...) are *not*
+    SimulationErrors; they surface as :class:`repro.kernel.errno.SyscallError`
+    inside the guest.  A SimulationError indicates a bug in the harness or
+    a misuse of the simulator API.
+    """
+
+
+class SimulationDeadlock(SimulationError):
+    """Raised when the event queue drains while processes are still blocked.
+
+    This is the simulated analogue of a hung distributed program: every
+    process is asleep in a syscall and no pending event can ever wake one.
+    The message lists the blocked processes and what they are waiting for,
+    which is exactly the kind of diagnosis the paper's monitor is built to
+    support.
+    """
+
+    def __init__(self, blocked):
+        self.blocked = list(blocked)
+        detail = "; ".join(str(item) for item in self.blocked)
+        super().__init__(
+            "simulation deadlock: no runnable process and no pending "
+            "events ({0})".format(detail or "no blocked processes")
+        )

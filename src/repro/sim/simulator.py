@@ -1,0 +1,164 @@
+"""The deterministic discrete-event loop.
+
+Everything in the reproduction -- kernels, the network, daemons, the
+controller -- advances by scheduling callbacks on a single global event
+queue.  Determinism is a design requirement (DESIGN.md Section 5): given
+the same seed, a run produces byte-identical traces, which makes the
+paper's example session (Appendix B) reproducible as a test.
+"""
+
+import heapq
+import itertools
+import random
+
+from repro.sim.errors import SimulationDeadlock, SimulationError
+
+
+class _Event:
+    """One scheduled callback.  Ordered by (time, sequence number)."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time, seq, callback):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Global event queue and simulated clock.
+
+    Time is a float in milliseconds.  Scheduling ties are broken by
+    insertion order, so the loop is fully deterministic.
+    """
+
+    def __init__(self, seed=0):
+        self.now = 0.0
+        self.rng = random.Random(seed)
+        self._queue = []
+        self._seq = itertools.count()
+        self._idle_hooks = []
+        self.events_run = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay_ms, callback):
+        """Run ``callback()`` after ``delay_ms`` of simulated time.
+
+        Returns a handle that can be passed to :meth:`cancel`.
+        """
+        if delay_ms < 0:
+            raise SimulationError("cannot schedule into the past: %r" % delay_ms)
+        event = _Event(self.now + delay_ms, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time_ms, callback):
+        """Run ``callback()`` at absolute simulated time ``time_ms``."""
+        return self.schedule(max(0.0, time_ms - self.now), callback)
+
+    def call_soon(self, callback):
+        """Run ``callback()`` at the current time, after pending events."""
+        return self.schedule(0.0, callback)
+
+    def cancel(self, event):
+        """Cancel a scheduled event (lazy removal)."""
+        event.cancelled = True
+
+    def add_idle_hook(self, hook):
+        """Register ``hook()`` to run when the queue drains.
+
+        If any hook schedules new work the loop continues.  The kernel
+        schedulers use this to detect deadlock among blocked processes.
+        """
+        self._idle_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def step(self):
+        """Run the next pending event.  Returns False if queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event queue went backwards")
+            self.now = event.time
+            self.events_run += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until_ms=None, max_events=None):
+        """Run events until the queue drains or a limit is reached.
+
+        ``until_ms`` stops the loop once simulated time would pass that
+        point (the clock is left at ``until_ms``).  ``max_events`` bounds
+        the number of callbacks, as a runaway guard for tests.
+        """
+        count = 0
+        while True:
+            if max_events is not None and count >= max_events:
+                return
+            next_event = self._peek()
+            if next_event is None:
+                if self._run_idle_hooks():
+                    continue
+                if until_ms is not None and until_ms > self.now:
+                    self.now = until_ms  # wall-clock wait with nothing to do
+                return
+            if until_ms is not None and next_event.time > until_ms:
+                self.now = until_ms
+                return
+            self.step()
+            count += 1
+
+    def run_until(self, predicate, max_events=1_000_000):
+        """Run until ``predicate()`` is true.
+
+        Raises :class:`SimulationDeadlock` if the queue drains first --
+        that means whatever the caller is waiting for can never happen.
+        """
+        count = 0
+        while not predicate():
+            next_event = self._peek()
+            if next_event is None:
+                if self._run_idle_hooks():
+                    continue
+                raise SimulationDeadlock(
+                    ["waiting for predicate %r" % getattr(predicate, "__name__", predicate)]
+                )
+            self.step()
+            count += 1
+            if count > max_events:
+                raise SimulationError(
+                    "run_until exceeded %d events without satisfying the "
+                    "predicate" % max_events
+                )
+
+    def pending_events(self):
+        """Number of live (non-cancelled) events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _peek(self):
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def _run_idle_hooks(self):
+        """Run idle hooks; report whether any scheduled new work."""
+        for hook in self._idle_hooks:
+            hook()
+        return self._peek() is not None

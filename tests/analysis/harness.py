@@ -1,0 +1,78 @@
+"""Builders for synthetic traces (no simulation needed) and a helper to
+run a live workload and return its analyzed trace."""
+
+from repro.analysis.trace import Trace
+
+_TYPE = {"send": 1, "receive": 2, "receivecall": 3, "socket": 4, "dup": 5,
+         "destsocket": 6, "fork": 7, "accept": 8, "connect": 9, "termproc": 10}
+
+
+class TraceBuilder:
+    """Compose trace records by hand for analysis unit tests."""
+
+    def __init__(self):
+        self.records = []
+
+    def _base(self, event, machine, pid, t, **fields):
+        record = {
+            "event": event,
+            "size": 60,
+            "machine": machine,
+            "cpuTime": t,
+            "procTime": fields.pop("procTime", 0),
+            "traceType": _TYPE[event],
+            "pid": pid,
+            "pc": len(self.records),
+        }
+        record.update(fields)
+        self.records.append(record)
+        return self
+
+    def connect(self, machine, pid, t, sock, sock_name, peer_name):
+        return self._base(
+            "connect", machine, pid, t, sock=sock,
+            sockName=sock_name, peerName=peer_name,
+            sockNameLen=8, peerNameLen=8,
+        )
+
+    def accept(self, machine, pid, t, sock, new_sock, sock_name, peer_name):
+        return self._base(
+            "accept", machine, pid, t, sock=sock, newSock=new_sock,
+            sockName=sock_name, peerName=peer_name,
+            sockNameLen=8, peerNameLen=8,
+        )
+
+    def send(self, machine, pid, t, sock, nbytes, dest="", **kw):
+        return self._base(
+            "send", machine, pid, t, sock=sock, msgLength=nbytes,
+            destName=dest, destNameLen=8 if dest else 0, **kw
+        )
+
+    def receive(self, machine, pid, t, sock, nbytes, source="", **kw):
+        return self._base(
+            "receive", machine, pid, t, sock=sock, msgLength=nbytes,
+            sourceName=source, sourceNameLen=8 if source else 0, **kw
+        )
+
+    def fork(self, machine, pid, t, new_pid):
+        return self._base("fork", machine, pid, t, newPid=new_pid)
+
+    def termproc(self, machine, pid, t, status=0, **kw):
+        return self._base("termproc", machine, pid, t, status=status, **kw)
+
+    def build(self):
+        return Trace(list(self.records))
+
+
+def two_process_stream_trace():
+    """Client (machine 1, pid 10) connects to server (machine 2, pid
+    20), sends 100 bytes, gets 50 back."""
+    b = TraceBuilder()
+    client_name, server_name = "inet:red:1024", "inet:green:5000"
+    b.connect(1, 10, 100, sock=400, sock_name=client_name, peer_name=server_name)
+    b.accept(2, 20, 101, sock=500, new_sock=510, sock_name=server_name, peer_name=client_name)
+    b.send(1, 10, 102, sock=400, nbytes=100)
+    b.receive(2, 20, 105, sock=510, nbytes=100, source=client_name)
+    b.send(2, 20, 106, sock=510, nbytes=50)
+    b.receive(1, 10, 109, sock=400, nbytes=50, source=server_name)
+    return b.build()

@@ -1,0 +1,90 @@
+"""Clock model (offset + drift) recovery from message pairs."""
+
+import pytest
+
+from repro.analysis.ordering import estimate_clock_models
+from tests.analysis.harness import TraceBuilder
+
+
+def _drifting_pingpong(offset=700.0, rate=1.002, rounds=12, gap=500.0, delay=2.0):
+    """Machine 1 keeps true time; machine 2's clock is
+    local = offset + rate * true.  Messages bounce every ``gap`` ms
+    with one-way delay ``delay``."""
+    b = TraceBuilder()
+    cn, sn = "inet:red:1024", "inet:green:5000"
+    b.connect(1, 10, 0, sock=400, sock_name=cn, peer_name=sn)
+    b.accept(2, 20, int(offset), sock=500, new_sock=510, sock_name=sn, peer_name=cn)
+    t = 10.0
+    for __ in range(rounds):
+        b.send(1, 10, int(t), sock=400, nbytes=8)
+        b.receive(2, 20, int(offset + rate * (t + delay)), sock=510, nbytes=8,
+                  source=cn)
+        b.send(2, 20, int(offset + rate * (t + delay)), sock=510, nbytes=8)
+        b.receive(1, 10, int(t + 2 * delay), sock=400, nbytes=8, source=sn)
+        t += gap
+    return b.build()
+
+
+def test_reference_machine_is_identity():
+    models = estimate_clock_models(_drifting_pingpong())
+    assert models[1] == (0.0, 1.0)
+
+
+def test_offset_and_rate_recovered():
+    offset, rate = 700.0, 1.002
+    models = estimate_clock_models(_drifting_pingpong(offset=offset, rate=rate))
+    est_offset, est_rate = models[2]
+    assert est_rate == pytest.approx(rate, abs=2e-4)
+    assert est_offset == pytest.approx(offset, abs=10.0)
+
+
+def test_negative_drift_recovered():
+    models = estimate_clock_models(_drifting_pingpong(offset=-300.0, rate=0.998))
+    est_offset, est_rate = models[2]
+    assert est_rate == pytest.approx(0.998, abs=2e-4)
+    assert est_offset == pytest.approx(-300.0, abs=10.0)
+
+
+def test_ideal_clocks_give_identity_model():
+    models = estimate_clock_models(_drifting_pingpong(offset=0.0, rate=1.0))
+    est_offset, est_rate = models[2]
+    assert est_rate == pytest.approx(1.0, abs=1e-4)
+    assert est_offset == pytest.approx(0.0, abs=5.0)
+
+
+def test_one_way_traffic_falls_back_to_offset_only():
+    b = TraceBuilder()
+    b.connect(1, 10, 0, sock=1, sock_name="inet:red:1", peer_name="inet:g:2")
+    b.send(1, 10, 100, sock=2, nbytes=8, dest="inet:green:6000")
+    b.receive(2, 20, 400, sock=3, nbytes=8, source="inet:red:9")
+    models = estimate_clock_models(b.build())
+    __, rate = models[2]
+    assert rate == 1.0  # no drift information available
+
+
+def test_live_drifting_cluster_model_recovery():
+    """End to end: a cluster whose green clock drifts fast; the model
+    recovered from the trace matches the configured drift."""
+    from repro.analysis import Trace
+    from repro.core.cluster import Cluster
+    from repro.core.session import MeasurementSession
+    from repro.programs import install_all
+
+    drift_ppm = 2000.0  # exaggerated for a short run
+    skews = {"green": (400.0, drift_ppm)}
+    cluster = Cluster(seed=83, clock_skew=skews)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    install_all(session)
+    session.command("filter f1 blue")
+    session.command("newjob pp")
+    session.command("addprocess pp red pingpongserver 5100 30")
+    session.command("addprocess pp green pingpongclient red 5100 30")
+    session.command("setflags pp send receive")
+    session.command("startjob pp")
+    session.settle()
+    trace = Trace(session.read_trace("f1"))
+    red = cluster.host_table.lookup("red").host_id
+    green = cluster.host_table.lookup("green").host_id
+    models = estimate_clock_models(trace, reference=red)
+    __, rate = models[green]
+    assert rate == pytest.approx(1.0 + drift_ppm / 1e6, abs=5e-3)

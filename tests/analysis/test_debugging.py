@@ -1,0 +1,117 @@
+"""Trace debugging audit."""
+
+from repro.analysis.debugging import TraceAudit
+from tests.analysis.harness import TraceBuilder, two_process_stream_trace
+
+
+def test_healthy_trace_has_no_findings():
+    audit = TraceAudit(two_process_stream_trace())
+    assert audit.healthy()
+    assert "no anomalies" in audit.report()
+
+
+def test_lost_datagram_detected():
+    b = TraceBuilder()
+    b.send(1, 10, 100, sock=1, nbytes=64, dest="inet:green:6000")
+    audit = TraceAudit(b.build())
+    findings = audit.by_kind("lost-message")
+    assert len(findings) == 1
+    assert "64 bytes" in findings[0].detail
+
+
+def test_stuck_receive_detected():
+    b = TraceBuilder()
+    b._base("receivecall", 1, 10, 100, sock=7)
+    audit = TraceAudit(b.build())
+    findings = audit.by_kind("stuck-receive")
+    assert len(findings) == 1
+    assert "socket 7" in findings[0].detail
+
+
+def test_completed_receive_not_reported():
+    b = TraceBuilder()
+    b._base("receivecall", 1, 10, 100, sock=7)
+    b.receive(1, 10, 105, sock=7, nbytes=10, source="inet:x:1")
+    audit = TraceAudit(b.build())
+    assert audit.by_kind("stuck-receive") == []
+
+
+def test_abnormal_exit_detected():
+    b = TraceBuilder()
+    b.termproc(1, 10, 100, status=9)
+    audit = TraceAudit(b.build())
+    findings = audit.by_kind("abnormal-exit")
+    assert len(findings) == 1
+    assert "status 9" in findings[0].detail
+
+
+def test_missing_termination_detected_when_termproc_metered():
+    b = TraceBuilder()
+    b.termproc(1, 10, 100, status=0)
+    b.send(2, 20, 50, sock=1, nbytes=5, dest="inet:m1:1")
+    audit = TraceAudit(b.build())
+    findings = audit.by_kind("no-termination")
+    assert len(findings) >= 1
+    assert any("pid 20" in f.detail for f in findings)
+
+
+def test_no_termination_check_skipped_without_termproc_events():
+    b = TraceBuilder()
+    b.send(1, 10, 100, sock=1, nbytes=5, dest="inet:x:1")
+    audit = TraceAudit(b.build())
+    assert audit.by_kind("no-termination") == []
+
+
+def test_idle_connection_detected():
+    b = TraceBuilder()
+    b.accept(2, 20, 100, sock=5, new_sock=6, sock_name="inet:g:1",
+             peer_name="inet:r:2")
+    audit = TraceAudit(b.build())
+    assert len(audit.by_kind("idle-connection")) == 1
+
+
+def test_report_lists_each_finding():
+    b = TraceBuilder()
+    b.send(1, 10, 100, sock=1, nbytes=64, dest="inet:green:6000")
+    b.termproc(1, 10, 200, status=3)
+    report = TraceAudit(b.build()).report()
+    assert "lost-message" in report
+    assert "abnormal-exit" in report
+
+
+def test_live_hung_computation_audit():
+    """A receiver whose sender dies early: the audit names the hang."""
+    from repro.core.cluster import Cluster
+    from repro.core.session import MeasurementSession
+    from repro.analysis import Trace
+    from repro.kernel import defs
+
+    def dead_sender(sys, argv):
+        yield sys.compute(5)
+        yield sys.exit(1)  # crashes before sending anything
+
+    def waiter(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.bind(fd, ("", 6000))
+        yield sys.recvfrom(fd, 100)  # waits forever
+        yield sys.exit(0)
+
+    cluster = Cluster(seed=23)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    session.install_program("deadsender", dead_sender)
+    session.install_program("waiter", waiter)
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red waiter")
+    session.command("addprocess j green deadsender")
+    # 'immediate' matters here: a hung process never flushes its meter
+    # buffer, so buffered mode would hide the very event that shows the
+    # hang -- the debugging use-case of M_IMMEDIATE (Appendix C).
+    session.command("setflags j all immediate")
+    session.command("startjob j")
+    session.settle(500)
+    audit = TraceAudit(Trace(session.read_trace("f1")))
+    assert not audit.healthy()
+    kinds = {f.kind for f in audit.findings}
+    assert "stuck-receive" in kinds  # the waiter is hung
+    assert "abnormal-exit" in kinds  # the sender died with status 1

@@ -1,0 +1,99 @@
+"""Message delay statistics."""
+
+import pytest
+
+from repro.analysis.delays import MessageDelays
+from tests.analysis.harness import TraceBuilder, two_process_stream_trace
+
+
+def test_delays_on_true_clocks():
+    delays = MessageDelays(two_process_stream_trace())
+    assert delays.count() == 2
+    assert delays.mean() == pytest.approx(3.0)  # 102->105 and 106->109
+    assert delays.minimum() == pytest.approx(3.0)
+    assert delays.negative_fraction() == 0.0
+
+
+def test_per_pair_means():
+    delays = MessageDelays(two_process_stream_trace())
+    means = delays.pair_means()
+    assert means[((1, 10), (2, 20))] == pytest.approx(3.0)
+    assert means[((2, 20), (1, 10))] == pytest.approx(3.0)
+
+
+def test_skew_correction_fixes_negative_delays():
+    """With machine 2's clock far behind, raw delays are negative; the
+    corrected delays are sane."""
+    b = TraceBuilder()
+    cn, sn = "inet:red:1024", "inet:green:5000"
+    offset = -5000
+    b.connect(1, 10, 0, sock=400, sock_name=cn, peer_name=sn)
+    b.accept(2, 20, offset, sock=500, new_sock=510, sock_name=sn, peer_name=cn)
+    t = 10
+    for __ in range(5):
+        b.send(1, 10, t, sock=400, nbytes=8)
+        b.receive(2, 20, t + 2 + offset, sock=510, nbytes=8, source=cn)
+        b.send(2, 20, t + 2 + offset, sock=510, nbytes=8)
+        b.receive(1, 10, t + 4, sock=400, nbytes=8, source=sn)
+        t += 10
+    delays = MessageDelays(b.build())
+    assert delays.negative_fraction() == 0.0
+    assert delays.mean() == pytest.approx(2.0, abs=0.5)
+
+
+def test_raw_delays_without_correction_are_wrong():
+    b = TraceBuilder()
+    cn, sn = "inet:red:1024", "inet:green:5000"
+    b.connect(1, 10, 0, sock=400, sock_name=cn, peer_name=sn)
+    b.accept(2, 20, -5000, sock=500, new_sock=510, sock_name=sn, peer_name=cn)
+    b.send(1, 10, 10, sock=400, nbytes=8)
+    b.receive(2, 20, -4988, sock=510, nbytes=8, source=cn)
+    b.send(2, 20, -4988, sock=510, nbytes=8)
+    b.receive(1, 10, 14, sock=400, nbytes=8, source=sn)
+    # Forcing zero skews shows the raw damage.
+    delays = MessageDelays(b.build(), skews={1: 0.0, 2: 0.0})
+    assert delays.negative_fraction() > 0.0
+
+
+def test_empty_trace():
+    from repro.analysis.trace import Trace
+
+    delays = MessageDelays(Trace([]))
+    assert delays.count() == 0
+    assert delays.mean() == 0.0
+    assert "no matched messages" in delays.report()
+
+
+def test_report_format():
+    report = MessageDelays(two_process_stream_trace()).report()
+    assert "2 matched messages" in report
+    assert "->" in report
+
+
+def test_live_delays_match_network_latency():
+    """End to end: measured message delays sit near the configured
+    network base latency."""
+    from repro.analysis import Trace
+    from repro.core.cluster import Cluster
+    from repro.core.session import MeasurementSession
+    from repro.net.network import NetworkParams
+    from repro.programs import install_all
+
+    cluster = Cluster(
+        seed=91, net_params=NetworkParams(base_latency_ms=5.0, jitter_ms=0.0)
+    )
+    session = MeasurementSession(cluster, control_machine="yellow")
+    install_all(session)
+    session.command("filter f1 blue")
+    session.command("newjob pp")
+    session.command("addprocess pp red pingpongserver 5100 10")
+    session.command("addprocess pp green pingpongclient red 5100 10")
+    # accept/connect events are what lets the analysis pair the
+    # connection's two ends (Section 4.1) -- meter them too.
+    session.command("setflags pp send receive accept connect")
+    session.command("startjob pp")
+    session.settle()
+    delays = MessageDelays(Trace(session.read_trace("f1")))
+    assert delays.count() >= 20
+    # One-way delay = 5ms base + transfer + syscall scheduling slack.
+    assert 4.0 <= delays.mean() <= 9.0

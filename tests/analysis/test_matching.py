@@ -1,0 +1,117 @@
+"""Send/receive matching: connection discovery, stream byte-ranges,
+datagram FIFO (Section 4.1's recipient recovery)."""
+
+from repro.analysis.matching import MessageMatcher
+from tests.analysis.harness import TraceBuilder, two_process_stream_trace
+
+
+def test_connection_discovered_from_connect_accept_names():
+    trace = two_process_stream_trace()
+    matcher = MessageMatcher(trace)
+    assert len(matcher.connections) == 1
+    conn = matcher.connections[0]
+    assert conn.initiator == (1, 400)
+    assert conn.acceptor == (2, 510)
+
+
+def test_stream_sends_match_receives_both_directions():
+    trace = two_process_stream_trace()
+    matcher = MessageMatcher(trace)
+    pairs = {(p.send.process, p.recv.process, p.nbytes) for p in matcher.pairs}
+    assert ((1, 10), (2, 20), 100) in pairs
+    assert ((2, 20), (1, 10), 50) in pairs
+    assert matcher.matched_fraction() == 1.0
+
+
+def test_stream_matching_handles_coalesced_reads():
+    """Two 100-byte sends read as one 200-byte receive: both sends
+    pair with that receive."""
+    b = TraceBuilder()
+    cn, sn = "inet:red:1024", "inet:green:5000"
+    b.connect(1, 10, 100, sock=400, sock_name=cn, peer_name=sn)
+    b.accept(2, 20, 101, sock=500, new_sock=510, sock_name=sn, peer_name=cn)
+    b.send(1, 10, 102, sock=400, nbytes=100)
+    b.send(1, 10, 103, sock=400, nbytes=100)
+    b.receive(2, 20, 110, sock=510, nbytes=200, source=cn)
+    matcher = MessageMatcher(b.build())
+    recv_pairs = [p for p in matcher.pairs]
+    assert len(recv_pairs) == 2
+    assert sum(p.nbytes for p in recv_pairs) == 200
+
+
+def test_stream_matching_handles_split_reads():
+    """One 200-byte send read as two 100-byte receives."""
+    b = TraceBuilder()
+    cn, sn = "inet:red:1024", "inet:green:5000"
+    b.connect(1, 10, 100, sock=400, sock_name=cn, peer_name=sn)
+    b.accept(2, 20, 101, sock=500, new_sock=510, sock_name=sn, peer_name=cn)
+    b.send(1, 10, 102, sock=400, nbytes=200)
+    b.receive(2, 20, 110, sock=510, nbytes=100, source=cn)
+    b.receive(2, 20, 111, sock=510, nbytes=100, source=cn)
+    matcher = MessageMatcher(b.build())
+    assert len(matcher.pairs) == 2
+    sends = {p.send.index for p in matcher.pairs}
+    assert len(sends) == 1
+
+
+def test_unreceived_send_reported_unmatched():
+    b = TraceBuilder()
+    cn, sn = "inet:red:1024", "inet:green:5000"
+    b.connect(1, 10, 100, sock=400, sock_name=cn, peer_name=sn)
+    b.accept(2, 20, 101, sock=500, new_sock=510, sock_name=sn, peer_name=cn)
+    b.send(1, 10, 102, sock=400, nbytes=100)
+    b.receive(2, 20, 105, sock=510, nbytes=100, source=cn)
+    b.send(1, 10, 106, sock=400, nbytes=64)  # never read
+    matcher = MessageMatcher(b.build())
+    assert len(matcher.pairs) == 1
+    assert [e.index for e in matcher.unmatched_sends] == [4]
+    assert matcher.matched_fraction() == 0.5
+
+
+def test_datagram_fifo_matching_with_host_mapping():
+    b = TraceBuilder()
+    # A connect event on machine 1 teaches the matcher that literal
+    # host "red" is machine id 1 (sockName is the local bound name).
+    b.connect(1, 10, 90, sock=300, sock_name="inet:red:1024", peer_name="inet:green:9")
+    b.send(1, 10, 100, sock=301, nbytes=64, dest="inet:green:6000")
+    b.send(1, 10, 101, sock=301, nbytes=32, dest="inet:green:6000")
+    b.receive(2, 20, 105, sock=600, nbytes=64, source="inet:red:1025")
+    b.receive(2, 20, 106, sock=600, nbytes=32, source="inet:red:1025")
+    matcher = MessageMatcher(b.build())
+    dgram_pairs = [
+        p for p in matcher.pairs if p.send.name("destName") is not None
+    ]
+    assert len(dgram_pairs) == 2
+    assert dgram_pairs[0].send.index < dgram_pairs[1].send.index  # FIFO
+
+
+def test_datagram_length_mismatch_not_matched():
+    b = TraceBuilder()
+    b.send(1, 10, 100, sock=301, nbytes=64, dest="inet:green:6000")
+    b.receive(2, 20, 105, sock=600, nbytes=100, source="inet:red:1025")
+    matcher = MessageMatcher(b.build())
+    assert matcher.pairs == []
+    assert len(matcher.unmatched_sends) == 1
+    assert len(matcher.unmatched_recvs) == 1
+
+
+def test_lost_datagram_stays_unmatched():
+    b = TraceBuilder()
+    b.send(1, 10, 100, sock=301, nbytes=64, dest="inet:green:6000")
+    b.send(1, 10, 101, sock=301, nbytes=64, dest="inet:green:6000")
+    b.receive(2, 20, 110, sock=600, nbytes=64, source="inet:red:1025")
+    matcher = MessageMatcher(b.build())
+    assert len(matcher.pairs) == 1
+    assert len(matcher.unmatched_sends) == 1
+
+
+def test_one_sided_trace_still_groups_server_traffic():
+    """Only the server was metered (acquire case): its connection end
+    is still recorded."""
+    b = TraceBuilder()
+    sn, cn = "inet:green:5000", "inet:red:1024"
+    b.accept(2, 20, 101, sock=500, new_sock=510, sock_name=sn, peer_name=cn)
+    b.receive(2, 20, 105, sock=510, nbytes=10, source=cn)
+    matcher = MessageMatcher(b.build())
+    assert len(matcher.connections) == 1
+    assert matcher.connections[0].initiator is None

@@ -1,0 +1,67 @@
+"""Parallelism measurement."""
+
+import pytest
+
+from repro.analysis.parallelism import ParallelismProfile
+from tests.analysis.harness import TraceBuilder
+
+
+def _overlapping_trace():
+    """Two processes active 0-100 and 50-150: average ~1.33, peak 2."""
+    b = TraceBuilder()
+    b.send(1, 10, 0, sock=1, nbytes=5, dest="inet:x:1", procTime=0)
+    b.send(1, 10, 100, sock=1, nbytes=5, dest="inet:x:1", procTime=50)
+    b.send(2, 20, 50, sock=1, nbytes=5, dest="inet:x:1", procTime=0)
+    b.send(2, 20, 150, sock=1, nbytes=5, dest="inet:x:1", procTime=50)
+    return b.build()
+
+
+def test_spans_cover_first_to_last_event():
+    profile = ParallelismProfile(_overlapping_trace())
+    assert profile.spans[(1, 10)] == (0, 100)
+    assert profile.spans[(2, 20)] == (50, 150)
+    assert profile.elapsed_ms() == 150
+
+
+def test_peak_parallelism_in_overlap_window():
+    profile = ParallelismProfile(_overlapping_trace())
+    assert profile.peak_parallelism() == 2
+
+
+def test_average_parallelism_between_one_and_two():
+    profile = ParallelismProfile(_overlapping_trace())
+    assert 1.0 < profile.average_parallelism() < 2.0
+
+
+def test_serialized_processes_average_one():
+    b = TraceBuilder()
+    b.send(1, 10, 0, sock=1, nbytes=5, dest="inet:x:1")
+    b.send(1, 10, 100, sock=1, nbytes=5, dest="inet:x:1")
+    b.send(2, 20, 101, sock=1, nbytes=5, dest="inet:x:1")
+    b.send(2, 20, 200, sock=1, nbytes=5, dest="inet:x:1")
+    profile = ParallelismProfile(b.build())
+    assert profile.average_parallelism() == pytest.approx(1.0, abs=0.15)
+
+
+def test_total_cpu_sums_final_proc_times():
+    profile = ParallelismProfile(_overlapping_trace())
+    assert profile.total_cpu_ms() == 100
+
+
+def test_cpu_parallelism():
+    profile = ParallelismProfile(_overlapping_trace())
+    assert profile.cpu_parallelism() == pytest.approx(100 / 150, rel=0.01)
+
+
+def test_single_event_trace():
+    b = TraceBuilder()
+    b.send(1, 10, 42, sock=1, nbytes=5, dest="inet:x:1")
+    profile = ParallelismProfile(b.build())
+    assert profile.elapsed_ms() == 0
+    assert profile.average_parallelism() == 1.0
+
+
+def test_report_mentions_key_numbers():
+    report = ParallelismProfile(_overlapping_trace()).report()
+    assert "average active processes" in report
+    assert "peak: 2" in report

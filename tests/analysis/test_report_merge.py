@@ -1,0 +1,74 @@
+"""Trace merging, stats extensions, and the combined report."""
+
+import pytest
+
+from repro.analysis import Trace
+from repro.analysis.report import measurement_report
+from repro.analysis.stats import CommunicationStatistics
+from tests.analysis.harness import TraceBuilder, two_process_stream_trace
+
+
+def test_merge_combines_records_from_both_traces():
+    a = two_process_stream_trace()
+    b = TraceBuilder()
+    b.send(3, 30, 500, sock=1, nbytes=10, dest="inet:x:1")
+    merged = Trace.merge(a, b.build())
+    assert len(merged) == len(a) + 1
+    assert (3, 30) in merged.processes()
+
+
+def test_merge_orders_by_local_time():
+    early = TraceBuilder()
+    early.send(1, 10, 100, sock=1, nbytes=5, dest="inet:x:1")
+    late = TraceBuilder()
+    late.send(2, 20, 50, sock=1, nbytes=5, dest="inet:x:1")
+    merged = Trace.merge(early.build(), late.build())
+    assert merged.events[0].local_time == 50
+
+
+def test_merge_empty_traces():
+    merged = Trace.merge(Trace([]), Trace([]))
+    assert len(merged) == 0
+
+
+def test_message_size_histogram():
+    b = TraceBuilder()
+    for size in (10, 70, 70, 200):
+        b.send(1, 10, 100, sock=1, nbytes=size, dest="inet:x:1")
+    stats = CommunicationStatistics(b.build())
+    assert stats.message_size_histogram(bucket_bytes=64) == {0: 1, 64: 2, 192: 1}
+
+
+def test_send_rates():
+    b = TraceBuilder()
+    # 3 sends over 100ms of local clock -> 20 msgs/s.
+    for t in (0, 50, 100):
+        b.send(1, 10, t, sock=1, nbytes=5, dest="inet:x:1")
+    stats = CommunicationStatistics(b.build())
+    assert stats.send_rates()[(1, 10)] == pytest.approx(20.0)
+
+
+def test_send_rates_needs_two_sends():
+    b = TraceBuilder()
+    b.send(1, 10, 0, sock=1, nbytes=5, dest="inet:x:1")
+    stats = CommunicationStatistics(b.build())
+    assert stats.send_rates() == {}
+
+
+def test_report_contains_every_section():
+    report = measurement_report(two_process_stream_trace())
+    for fragment in (
+        "Communication statistics",
+        "Parallelism profile",
+        "Communication structure",
+        "Message delays",
+        "Clock skew",
+        "Ordering:",
+        "Trace audit",
+        "Timeline",
+    ):
+        assert fragment in report, fragment
+
+
+def test_report_on_empty_trace():
+    assert "(empty trace)" in measurement_report(Trace([]))

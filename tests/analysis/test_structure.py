@@ -1,0 +1,84 @@
+"""Structural studies: communication graphs and shape classification."""
+
+from repro.analysis.structure import CommunicationGraph
+from tests.analysis.harness import TraceBuilder, two_process_stream_trace
+
+
+def _pair_edges(a, b, builder, t):
+    """Add one matched datagram exchange a -> b (same machine ids)."""
+    builder.send(a[0], a[1], t, sock=1, nbytes=8, dest="inet:m%d:1" % b[0])
+    builder.receive(b[0], b[1], t + 1, sock=2, nbytes=8, source="inet:m%d:9" % a[0])
+
+
+def test_pair_shape():
+    graph = CommunicationGraph(two_process_stream_trace())
+    assert graph.shape() == "pair"
+    assert graph.is_connected()
+
+
+def test_edge_weights_accumulate():
+    graph = CommunicationGraph(two_process_stream_trace())
+    edges = {(src, dst): data for src, dst, data in graph.edges()}
+    assert edges[((1, 10), (2, 20))]["bytes"] == 100
+    assert edges[((2, 20), (1, 10))]["bytes"] == 50
+
+
+def test_star_shape():
+    b = TraceBuilder()
+    hub = (1, 10)
+    for i, spoke in enumerate([(2, 20), (3, 30), (4, 40)]):
+        # Teach host mapping via connect events, then exchange.
+        b.connect(spoke[0], spoke[1], i, sock=1,
+                  sock_name="inet:m%d:1" % spoke[0],
+                  peer_name="inet:m1:5000")
+        b.accept(1, 10, i, sock=5, new_sock=50 + i,
+                 sock_name="inet:m1:5000",
+                 peer_name="inet:m%d:1" % spoke[0])
+        b.send(spoke[0], spoke[1], 10 + i, sock=1, nbytes=8)
+        b.receive(1, 10, 11 + i, sock=50 + i, nbytes=8,
+                  source="inet:m%d:1" % spoke[0])
+    graph = CommunicationGraph(b.build())
+    assert graph.shape() == "star"
+    assert graph.hubs(1) == [hub]
+
+
+def test_ring_shape():
+    b = TraceBuilder()
+    nodes = [(1, 10), (2, 20), (3, 30), (4, 40)]
+    for i, node in enumerate(nodes):
+        nxt = nodes[(i + 1) % len(nodes)]
+        b.connect(node[0], node[1], i, sock=1,
+                  sock_name="inet:m%d:out" % node[0],
+                  peer_name="inet:m%d:in" % nxt[0])
+        b.accept(nxt[0], nxt[1], i, sock=2, new_sock=20 + i,
+                 sock_name="inet:m%d:in" % nxt[0],
+                 peer_name="inet:m%d:out" % node[0])
+        b.send(node[0], node[1], 10 + i, sock=1, nbytes=4)
+        b.receive(nxt[0], nxt[1], 11 + i, sock=20 + i, nbytes=4,
+                  source="inet:m%d:out" % node[0])
+    graph = CommunicationGraph(b.build())
+    assert graph.shape() == "ring"
+
+
+def test_fork_edges_included():
+    b = TraceBuilder()
+    b.fork(1, 10, 0, new_pid=11)
+    b.fork(1, 10, 1, new_pid=12)
+    graph = CommunicationGraph(b.build())
+    assert ((1, 11)) in graph.processes()
+    edges = {(src, dst): data for src, dst, data in graph.edges()}
+    assert edges[((1, 10), (1, 11))]["kind"] == "fork"
+
+
+def test_disconnected_components_reported():
+    b = TraceBuilder()
+    b.send(1, 10, 0, sock=1, nbytes=5, dest="inet:x:1")
+    b.send(2, 20, 0, sock=1, nbytes=5, dest="inet:y:1")
+    graph = CommunicationGraph(b.build())
+    assert not graph.is_connected()
+    assert len(graph.components()) == 2
+
+
+def test_report_readable():
+    report = CommunicationGraph(two_process_stream_trace()).report()
+    assert "shape: pair" in report

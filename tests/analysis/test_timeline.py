@@ -1,0 +1,47 @@
+"""Space-time diagram rendering."""
+
+from repro.analysis.timeline import Timeline, render_timeline
+from tests.analysis.harness import two_process_stream_trace
+
+
+def test_header_names_every_process_column():
+    timeline = Timeline(two_process_stream_trace())
+    header = timeline.header()
+    assert "1/10" in header
+    assert "2/20" in header
+
+
+def test_every_event_gets_one_row():
+    trace = two_process_stream_trace()
+    timeline = Timeline(trace)
+    rows = list(timeline.rows())
+    assert len(rows) == len(trace)
+
+
+def test_rows_follow_the_consistent_global_order():
+    trace = two_process_stream_trace()
+    timeline = Timeline(trace)
+    rendered = timeline.render()
+    # The client's send must appear above the server's receive.
+    lines = rendered.splitlines()
+    send_row = next(i for i, l in enumerate(lines) if "Send>" in l or "Send" in l)
+    recv_rows = [i for i, l in enumerate(lines) if "Rece" in l]
+    assert recv_rows and send_row < max(recv_rows)
+
+
+def test_message_arrows_point_to_peer_columns():
+    trace = two_process_stream_trace()
+    rendered = Timeline(trace).render()
+    assert ">" in rendered  # a send pointing at its receiver's column
+    assert "<" in rendered  # a receive pointing back
+
+
+def test_max_rows_truncation():
+    trace = two_process_stream_trace()
+    rendered = render_timeline(trace, max_rows=2)
+    assert "more events" in rendered
+
+
+def test_local_times_annotated():
+    rendered = render_timeline(two_process_stream_trace())
+    assert "t=100" in rendered

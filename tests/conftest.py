@@ -1,0 +1,74 @@
+"""Shared fixtures and guest-program helpers for the test suite."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.kernel import defs
+
+
+@pytest.fixture
+def cluster():
+    """A fresh default cluster (red/green/blue/yellow, ideal clocks)."""
+    return Cluster(seed=42)
+
+
+@pytest.fixture
+def machine(cluster):
+    return cluster.machine("red")
+
+
+@pytest.fixture
+def session(cluster):
+    """A running measurement system on the default cluster."""
+    return MeasurementSession(cluster, control_machine="yellow")
+
+
+def run_guests(cluster, *specs, max_events=1_000_000):
+    """Spawn (machine, main, argv) guests and run all to completion.
+
+    Returns the Proc objects in spec order.
+    """
+    procs = [
+        cluster.spawn(machine_name, main, argv=argv)
+        for machine_name, main, argv in specs
+    ]
+    cluster.run_until_exit(procs, max_events=max_events)
+    return procs
+
+
+def collector(results):
+    """A guest factory: returns a main() that runs ``body`` and appends
+    its return value to ``results`` (for asserting guest-side values).
+    """
+
+    def wrap(body):
+        def main(sys, argv):
+            value = yield from body(sys, argv)
+            results.append(value)
+            yield sys.exit(0)
+
+        return main
+
+    return wrap
+
+
+def simple_stream_server(port=5000, reply_prefix=b"", count=None):
+    """An accept-once echo server guest."""
+
+    def main(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", port))
+        yield sys.listen(fd, 5)
+        conn, __ = yield sys.accept(fd)
+        served = 0
+        while count is None or served < count:
+            data = yield sys.read(conn, 4096)
+            if not data:
+                break
+            yield sys.write(conn, reply_prefix + data)
+            served += 1
+        yield sys.close(conn)
+        yield sys.exit(0)
+
+    return main

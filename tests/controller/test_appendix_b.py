@@ -1,0 +1,160 @@
+"""The example session of Section 4.4 / Appendix B, as a transcript-
+shape test: same commands, same response shapes, same event flow."""
+
+import re
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.kernel import defs
+
+
+def _prog_a(sys, argv):
+    from repro import guestlib
+
+    fd = yield from guestlib.connect_retry(
+        sys, defs.AF_INET, defs.SOCK_STREAM, ("green", 7777)
+    )
+    for i in range(3):
+        yield sys.write(fd, b"msg-%d" % i)
+        yield sys.read(fd, 100)
+    yield sys.close(fd)
+    yield sys.exit(0)
+
+
+def _prog_b(sys, argv):
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(fd, ("", 7777))
+    yield sys.listen(fd, 5)
+    conn, __peer = yield sys.accept(fd)
+    while True:
+        data = yield sys.read(conn, 100)
+        if not data:
+            break
+        yield sys.write(conn, b"r:" + data)
+    yield sys.close(conn)
+    yield sys.exit(0)
+
+
+@pytest.fixture
+def finished_session():
+    cluster = Cluster(machines=("red", "green", "blue", "yellow"), seed=7)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    session.install_program("A", _prog_a)
+    session.install_program("B", _prog_b)
+    outputs = {}
+    outputs["filter"] = session.command("filter f1 blue")
+    outputs["newjob"] = session.command("newjob foo")
+    outputs["add_a"] = session.command("addprocess foo red A")
+    outputs["add_b"] = session.command("addprocess foo green B")
+    outputs["setflags"] = session.command(
+        "setflags foo send receive fork accept connect"
+    )
+    outputs["startjob"] = session.command("startjob foo")
+    session.settle()
+    outputs["rmjob"] = session.command("rmjob foo")
+    outputs["getlog"] = session.command("getlog f1 trace")
+    outputs["bye"] = session.command("bye")
+    return session, outputs
+
+
+def test_filter_creation_line(finished_session):
+    __, outputs = finished_session
+    assert re.match(
+        r"filter 'f1' \.\.\. created: identifier = \d+\n", outputs["filter"]
+    )
+
+
+def test_newjob_is_silent(finished_session):
+    __, outputs = finished_session
+    assert outputs["newjob"] == ""
+
+
+def test_process_creation_lines(finished_session):
+    __, outputs = finished_session
+    assert re.match(
+        r"process 'A' \.\.\. created: identifier = \d+\n", outputs["add_a"]
+    )
+    assert re.match(
+        r"process 'B' \.\.\. created: identifier = \d+\n", outputs["add_b"]
+    )
+
+
+def test_setflags_output_matches_appendix_b(finished_session):
+    __, outputs = finished_session
+    lines = outputs["setflags"].splitlines()
+    assert lines[0] == "new job flags = send receive fork accept connect"
+    assert "Process 'A' : Flags set" in lines
+    assert "Process 'B' : Flags set" in lines
+
+
+def test_startjob_reports_each_process(finished_session):
+    __, outputs = finished_session
+    assert "'A' started." in outputs["startjob"]
+    assert "'B' started." in outputs["startjob"]
+
+
+def test_done_notifications_with_reason_normal(finished_session):
+    session, __ = finished_session
+    transcript = session.transcript()
+    assert "DONE: process A in job 'foo' terminated: reason: normal" in transcript
+    assert "DONE: process B in job 'foo' terminated: reason: normal" in transcript
+
+
+def test_rmjob_reports_removals(finished_session):
+    __, outputs = finished_session
+    assert "'A' removed" in outputs["rmjob"]
+    assert "'B' removed" in outputs["rmjob"]
+
+
+def test_trace_file_retrieved_by_getlog(finished_session):
+    session, outputs = finished_session
+    assert outputs["getlog"] == ""
+    content = session.read_controller_file("trace")
+    events = [line.split()[0] for line in content.splitlines()]
+    assert "event=connect" in events
+    assert "event=accept" in events
+    assert "event=send" in events
+    assert "event=receive" in events
+    # fork was flagged but never used; termproc was NOT flagged.
+    assert "event=termproc" not in events
+
+
+def test_controller_exits_on_bye(finished_session):
+    session, __ = finished_session
+    session.settle(50)
+    assert not session.controller_alive()
+
+
+def test_prompt_shape(finished_session):
+    session, __ = finished_session
+    assert session.transcript().startswith("<Control> ")
+
+
+def test_transcript_is_deterministic():
+    """Two identically-seeded sessions produce identical transcripts."""
+
+    def run_once():
+        cluster = Cluster(seed=7)
+        session = MeasurementSession(cluster, control_machine="yellow")
+        session.install_program("A", _prog_a)
+        session.install_program("B", _prog_b)
+        for command in (
+            "filter f1 blue",
+            "newjob foo",
+            "addprocess foo red A",
+            "addprocess foo green B",
+            "setflags foo send receive fork accept connect",
+            "startjob foo",
+        ):
+            session.command(command)
+        session.settle()
+        session.command("rmjob foo")
+        session.command("getlog f1 trace")
+        session.command("bye")
+        return session.transcript(), session.read_controller_file("trace")
+
+    first = run_once()
+    second = run_once()
+    assert first == second

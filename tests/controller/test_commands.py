@@ -1,0 +1,421 @@
+"""The controller's command interpreter (Section 4.3), command by
+command, against a live measurement system."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.kernel import defs
+
+
+def _quick(sys, argv):
+    yield sys.compute(5)
+    yield sys.exit(0)
+
+
+def _forever(sys, argv):
+    while True:
+        yield sys.sleep(50)
+
+
+def _chatty(sys, argv):
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    for __ in range(int(argv[0]) if argv else 3):
+        yield sys.sendto(fd, b"m", ("green", 6000))
+        yield sys.sleep(10)
+    yield sys.exit(0)
+
+
+@pytest.fixture
+def session():
+    cluster = Cluster(seed=17)
+    sess = MeasurementSession(cluster, control_machine="yellow")
+    sess.install_program("quick", _quick)
+    sess.install_program("forever", _forever)
+    sess.install_program("chatty", _chatty)
+    return sess
+
+
+def test_help_lists_all_commands_and_flags(session):
+    out = session.command("help")
+    for command in (
+        "filter", "newjob", "addprocess", "acquire", "setflags", "startjob",
+        "stopjob", "removejob", "removeprocess", "jobs", "getlog", "source",
+        "sink", "die",
+    ):
+        assert command in out
+    for flag in ("send", "receivecall", "destsocket", "termproc"):
+        assert flag in out
+
+
+def test_unknown_command_reports(session):
+    out = session.command("frobnicate")
+    assert "unknown command" in out
+
+
+def test_bad_parameter_characters_rejected(session):
+    out = session.command("newjob bad!name")
+    assert "bad parameter" in out
+
+
+def test_filter_create_and_list(session):
+    out = session.command("filter f1 blue")
+    assert "filter 'f1' ... created: identifier =" in out
+    out = session.command("filter")
+    assert "'f1'" in out and "blue" in out
+
+
+def test_filter_duplicate_name_rejected(session):
+    session.command("filter f1 blue")
+    out = session.command("filter f1 red")
+    assert "already exists" in out
+
+
+def test_filter_defaults_to_local_machine(session):
+    session.command("filter f1")
+    out = session.command("filter")
+    assert "yellow" in out  # the controller's machine
+
+
+def test_filter_with_missing_filterfile_fails(session):
+    out = session.command("filter f1 blue nosuchfilter")
+    assert "not created" in out
+
+
+def test_newjob_requires_a_filter(session):
+    out = session.command("newjob foo")
+    assert "cannot be created" in out
+
+
+def test_newjob_uses_default_filter(session):
+    session.command("filter f1 blue")
+    out = session.command("newjob foo")
+    assert out == ""  # silent success, as in Appendix B
+    out = session.command("jobs")
+    assert "foo" in out and "f1" in out
+
+
+def test_newjob_duplicate_rejected(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    out = session.command("newjob foo")
+    assert "already exists" in out
+
+
+def test_newjob_unknown_filter_rejected(session):
+    session.command("filter f1 blue")
+    out = session.command("newjob foo nosuch")
+    assert "no filter" in out
+
+
+def test_addprocess_creates_suspended_process(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    out = session.command("addprocess foo red quick")
+    assert "process 'quick' ... created: identifier =" in out
+    jobs = session.command("jobs foo")
+    assert "new" in jobs
+    # It does not run until startjob.
+    session.settle(200)
+    assert "new" in session.command("jobs foo")
+
+
+def test_addprocess_copies_missing_executable(session):
+    """Section 3.5.3: the controller rcp's the file if it is only
+    present locally."""
+    cluster = session.cluster
+    # Install "special" only on the controller machine.
+    cluster.registry.register("special", _quick)
+    cluster.machine("yellow").fs.install(
+        "special", data="special", mode=0o755, program="special"
+    )
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    out = session.command("addprocess foo red special")
+    assert "created" in out
+    assert cluster.machine("red").fs.exists("special")
+
+
+def test_addprocess_unknown_job(session):
+    session.command("filter f1 blue")
+    out = session.command("addprocess nojob red quick")
+    assert "no job" in out
+
+
+def test_addprocess_no_daemon_machine(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    out = session.command("addprocess foo mars quick")
+    assert "not created" in out
+
+
+def test_setflags_union_semantics(session):
+    """"If two setflags commands are executed, the set of active flags
+    is the union of the two groups"."""
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red quick")
+    out = session.command("setflags foo send receive")
+    assert "new job flags = send receive" in out
+    assert "Process 'quick' : Flags set" in out
+    out = session.command("setflags foo fork")
+    assert "new job flags = send receive fork" in out
+
+
+def test_setflags_explicit_reset(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("setflags foo send receive")
+    out = session.command("setflags foo -send")
+    assert "new job flags = receive" in out
+
+
+def test_setflags_unknown_flag(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    out = session.command("setflags foo sendd")
+    assert "unknown meter flag" in out
+
+
+def test_startjob_runs_processes_and_reports(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red quick")
+    out = session.command("startjob foo")
+    assert "'quick' started." in out
+    session.settle()
+    out = session.drain_output()
+    assert "DONE: process quick in job 'foo' terminated: reason: normal" in out
+
+
+def test_startjob_refuses_killed_and_running(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red forever")
+    session.command("startjob foo")
+    out = session.command("startjob foo")
+    assert "cannot be started" in out and "running" in out
+
+
+def test_stopjob_and_restart(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red forever")
+    session.command("startjob foo")
+    out = session.command("stopjob foo")
+    assert "'forever' stopped." in out
+    assert "stopped" in session.command("jobs foo")
+    out = session.command("startjob foo")
+    assert "'forever' started." in out
+
+
+def test_stopjob_moves_new_to_stopped(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red quick")
+    session.command("stopjob foo")
+    assert "stopped" in session.command("jobs foo")
+
+
+def test_removejob_refuses_while_running(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red forever")
+    session.command("startjob foo")
+    out = session.command("removejob foo")
+    assert "not removed" in out
+    assert "foo" in session.command("jobs")
+
+
+def test_removejob_kills_stopped_processes(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red forever")
+    session.command("startjob foo")
+    session.command("stopjob foo")
+    out = session.command("removejob foo")
+    assert "'forever' removed" in out
+    assert "no jobs" in session.command("jobs")
+
+
+def test_removejob_after_completion(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red quick")
+    session.command("startjob foo")
+    session.settle()
+    out = session.command("rmjob foo")  # alias from Appendix B
+    assert "'quick' removed" in out
+
+
+def test_removeprocess_single(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red quick")
+    session.command("addprocess foo green forever")
+    session.command("startjob foo")
+    session.settle(100)
+    out = session.command("removeprocess foo quick")
+    assert "'quick' removed" in out
+    out = session.command("removeprocess foo forever")
+    assert "not removed" in out  # still running
+    jobs = session.command("jobs foo")
+    assert "quick" not in jobs
+
+
+def test_jobs_listing_shows_number_name_filter(session):
+    session.command("filter f1 blue")
+    session.command("newjob alpha")
+    session.command("newjob beta")
+    out = session.command("jobs")
+    assert "1: alpha (filter f1)" in out
+    assert "2: beta (filter f1)" in out
+
+
+def test_jobs_detail_shows_pid_state_machine_flags(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red quick")
+    session.command("setflags foo send")
+    out = session.command("jobs foo")
+    assert "new" in out and "'quick'" in out and "red" in out and "send" in out
+
+
+def test_getlog_copies_trace_to_destination(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red chatty")
+    session.command("setflags foo send")
+    session.command("startjob foo")
+    session.settle()
+    out = session.command("getlog f1 mytrace")
+    assert out == ""
+    content = session.read_controller_file("mytrace")
+    assert "event=send" in content
+
+
+def test_getlog_unknown_filter(session):
+    out = session.command("getlog nosuch dest")
+    assert "no filter" in out
+
+
+def test_source_runs_scripts(session):
+    script = "filter f1 blue\nnewjob foo\naddprocess foo red quick\n"
+    session.cluster.machine("yellow").fs.install(
+        "myscript", script, owner=session.uid, mode=0o644
+    )
+    out = session.command("source myscript")
+    assert "filter 'f1' ... created" in out
+    assert "process 'quick' ... created" in out
+
+
+def test_source_missing_file(session):
+    out = session.command("source nosuchscript")
+    assert "cannot source" in out
+
+
+def test_source_nesting_depth_limited(session):
+    """"Source commands may be nested within scripts to a maximum depth
+    of sixteen"."""
+    machine = session.cluster.machine("yellow")
+    # Script i sources script i+1.
+    for i in range(20):
+        machine.fs.install(
+            "s%d" % i, "source s%d\n" % (i + 1), owner=session.uid, mode=0o644
+        )
+    machine.fs.install("s20", "help\n", owner=session.uid, mode=0o644)
+    out = session.command("source s0")
+    assert "too deep" in out
+
+
+def test_sink_redirects_output_to_file(session):
+    session.command("filter f1 blue")
+    session.command("sink captured")
+    out = session.command("jobs")
+    assert out == ""  # nothing on the terminal
+    session.command("sink")  # back to the terminal
+    content = session.read_controller_file("captured")
+    assert "no jobs" in content
+
+
+def test_die_warns_with_active_processes_then_exits_on_repeat(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red forever")
+    session.command("startjob foo")
+    out = session.command("die")
+    assert "active processes" in out
+    assert session.controller_alive()
+    session.command("die")
+    session.settle(50)
+    assert not session.controller_alive()
+
+
+def test_die_warning_resets_after_other_commands(session):
+    session.command("filter f1 blue")
+    session.command("newjob foo")
+    session.command("addprocess foo red forever")
+    session.command("startjob foo")
+    session.command("die")
+    session.command("jobs")  # any command resets the warning
+    out = session.command("die")
+    assert "active processes" in out
+    assert session.controller_alive()
+
+
+def test_die_removes_filter_processes(session):
+    session.command("filter f1 blue")
+    pid_line = session.command("filter")
+    session.command("bye")  # alias
+    session.settle(100)
+    blue = session.cluster.machine("blue")
+    filters = [
+        p for p in blue.procs.values()
+        if p.program_name == "filter" and p.state != defs.PROC_ZOMBIE
+    ]
+    assert filters == []
+    del pid_line
+
+
+def test_acquire_and_refuse_to_start_stop(session):
+    target = session.cluster.spawn(
+        "red", _forever, uid=session.uid, program_name="server"
+    )
+    session.settle(20)
+    session.command("filter f1 blue")
+    session.command("newjob watch")
+    out = session.command("acquire watch red {0}".format(target.pid))
+    assert "acquired" in out
+    out = session.command("startjob watch")
+    assert "cannot be started" in out
+    session.command("stopjob watch")
+    assert target.state != defs.PROC_ZOMBIE
+    assert "acquired" in session.command("jobs watch")
+
+
+def test_acquire_foreign_process_denied(session):
+    target = session.cluster.spawn(
+        "red", _forever, uid=999, program_name="other"
+    )
+    session.settle(20)
+    session.command("filter f1 blue")
+    session.command("newjob watch")
+    out = session.command("acquire watch red {0}".format(target.pid))
+    assert "not acquired" in out
+
+
+def test_removejob_unmeters_acquired_process(session):
+    target = session.cluster.spawn(
+        "red", _forever, uid=session.uid, program_name="server"
+    )
+    session.settle(20)
+    session.command("filter f1 blue")
+    session.command("newjob watch")
+    session.command("setflags watch send")
+    session.command("acquire watch red {0}".format(target.pid))
+    assert target.meter_entry is not None
+    out = session.command("removejob watch")
+    assert "removed" in out
+    session.settle(20)
+    assert target.meter_entry is None
+    assert target.state != defs.PROC_ZOMBIE

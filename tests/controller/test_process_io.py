@@ -1,0 +1,124 @@
+"""Process I/O redirection across machine boundaries (Section 3.5.2):
+output forwarding, user input, and stdin from a file."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+
+
+def _upcase_echo(sys, argv):
+    """Reads lines from stdin, writes the uppercased line to stdout;
+    exits on the line 'quit'."""
+    from repro import guestlib
+
+    buffered = [b""]
+    while True:
+        line = yield from guestlib.read_line(sys, 0, buffered)
+        if line is None or line.strip() == "quit":
+            break
+        yield sys.write(1, (line.upper() + "\n").encode("ascii"))
+    yield sys.exit(0)
+
+
+def _summer(sys, argv):
+    """Sums integers from stdin until EOF marker 'end'; prints total."""
+    from repro import guestlib
+
+    buffered = [b""]
+    total = 0
+    while True:
+        line = yield from guestlib.read_line(sys, 0, buffered)
+        if line is None or line.strip() == "end":
+            break
+        total += int(line.strip())
+    yield sys.write(1, b"total %d\n" % total)
+    yield sys.exit(0)
+
+
+@pytest.fixture
+def session():
+    cluster = Cluster(seed=19)
+    sess = MeasurementSession(cluster, control_machine="yellow")
+    sess.install_program("upcase", _upcase_echo)
+    sess.install_program("summer", _summer)
+    return sess
+
+
+def _start_job(session, program):
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red {0}".format(program))
+    session.command("startjob j")
+
+
+def test_input_reaches_remote_process_and_output_returns(session):
+    _start_job(session, "upcase")
+    session.command("input j upcase hello.world")
+    session.settle(200)
+    out = session.drain_output()
+    # The process' stdout travelled process -> daemon -> controller.
+    assert "upcase: HELLO.WORLD" in out
+
+
+def test_input_line_by_line_interaction(session):
+    _start_job(session, "upcase")
+    session.command("input j upcase first")
+    session.settle(100)
+    session.command("input j upcase second")
+    session.settle(100)
+    session.command("input j upcase quit")
+    session.settle()
+    out = session.drain_output()
+    assert "upcase: FIRST" in out
+    assert "upcase: SECOND" in out
+    assert "DONE: process upcase in job 'j' terminated: reason: normal" in out
+
+
+def test_input_unknown_process_reports(session):
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    out = session.command("input j ghost hello")
+    assert "no process 'ghost'" in out
+
+
+def test_stdinfile_redirects_local_file(session):
+    # The input file lives on the controller's machine (yellow); the
+    # process runs on red -- the controller must copy it over first.
+    session.cluster.machine("yellow").fs.install(
+        "numbers", "3\n4\n10\nend\n", owner=session.uid, mode=0o644
+    )
+    _start_job(session, "summer")
+    out = session.command("stdinfile j summer numbers")
+    assert out == ""
+    session.settle()
+    out = session.drain_output()
+    assert "summer: total 17" in out
+    assert session.cluster.machine("red").fs.exists("numbers")
+
+
+def test_stdinfile_missing_file_reports(session):
+    _start_job(session, "upcase")
+    out = session.command("stdinfile j upcase nosuchfile")
+    assert "cannot copy" in out or "not redirected" in out
+
+
+def test_stdinfile_file_already_on_target_machine(session):
+    session.cluster.machine("red").fs.install(
+        "localnumbers", "1\n2\nend\n", owner=session.uid, mode=0o644
+    )
+    # Also on yellow so the rcp path is skipped? No: file on red only;
+    # controller on yellow has no copy, but the daemon opens it locally
+    # after the (red != yellow) rcp attempt... so install on yellow too.
+    session.cluster.machine("yellow").fs.install(
+        "localnumbers", "1\n2\nend\n", owner=session.uid, mode=0o644
+    )
+    _start_job(session, "summer")
+    session.command("stdinfile j summer localnumbers")
+    session.settle()
+    assert "summer: total 3" in session.drain_output()
+
+
+def test_help_lists_io_commands(session):
+    out = session.command("help")
+    assert "input" in out and "stdinfile" in out

@@ -1,0 +1,68 @@
+"""The Figure 4.2 process state diagram, exhaustively."""
+
+import itertools
+
+import pytest
+
+from repro.controller import states
+
+
+ALL = states.ALL_STATES
+
+#: The exact edge set of Figure 4.2.
+EXPECTED_EDGES = {
+    (states.NEW, states.RUNNING),
+    (states.NEW, states.STOPPED),
+    (states.RUNNING, states.STOPPED),
+    (states.STOPPED, states.RUNNING),
+    (states.RUNNING, states.KILLED),
+    (states.STOPPED, states.KILLED),
+}
+
+
+@pytest.mark.parametrize("old,new", list(itertools.product(ALL, ALL)))
+def test_transition_table_matches_figure_4_2(old, new):
+    assert states.can_transition(old, new) == ((old, new) in EXPECTED_EDGES)
+
+
+def test_new_cannot_be_killed_directly():
+    """"A process cannot move directly to the killed state from the new
+    state.  This restriction is enforced as a precautionary measure."""
+    assert not states.can_transition(states.NEW, states.KILLED)
+
+
+def test_killed_is_terminal():
+    for target in ALL:
+        assert not states.can_transition(states.KILLED, target)
+
+
+def test_acquired_is_isolated():
+    """"An acquired process cannot be stopped or killed"."""
+    for other in ALL:
+        assert not states.can_transition(states.ACQUIRED, other)
+        assert not states.can_transition(other, states.ACQUIRED)
+
+
+def test_startable_only_new_and_stopped():
+    assert [s for s in ALL if states.startable(s)] == [states.NEW, states.STOPPED]
+
+
+def test_stoppable_only_new_and_running():
+    assert [s for s in ALL if states.stoppable(s)] == [states.NEW, states.RUNNING]
+
+
+def test_removable_killed_stopped_acquired():
+    assert {s for s in ALL if states.removable(s)} == {
+        states.KILLED,
+        states.STOPPED,
+        states.ACQUIRED,
+    }
+
+
+def test_active_states_block_die():
+    assert set(states.ACTIVE_STATES) == {
+        states.NEW,
+        states.STOPPED,
+        states.RUNNING,
+        states.ACQUIRED,
+    }

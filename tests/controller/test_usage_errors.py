@@ -1,0 +1,68 @@
+"""Every command rejects bad arity/arguments with a usage message and
+leaves the controller alive (no crash-on-typo)."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+
+USAGE_CASES = [
+    ("newjob", "usage: newjob"),
+    ("addprocess", "usage: addprocess"),
+    ("addprocess onlyjob", "usage: addprocess"),
+    ("acquire", "usage: acquire"),
+    ("acquire j m", "usage: acquire"),
+    ("setflags", "usage: setflags"),
+    ("setflags onlyjob", "usage: setflags"),
+    ("startjob", "usage: startjob"),
+    ("stopjob", "usage: stopjob"),
+    ("removejob", "usage: removejob"),
+    ("removeprocess", "usage: removeprocess"),
+    ("removeprocess onlyjob", "usage: removeprocess"),
+    ("getlog", "usage: getlog"),
+    ("getlog onlyfilter", "usage: getlog"),
+    ("source", "usage: source"),
+    ("source a b", "usage: source"),
+    ("input", "usage: input"),
+    ("input j p", "usage: input"),
+    ("stdinfile", "usage: stdinfile"),
+    ("stdinfile j p f extra", "usage: stdinfile"),
+]
+
+
+@pytest.fixture(scope="module")
+def session():
+    cluster = Cluster(seed=67)
+    return MeasurementSession(cluster, control_machine="yellow")
+
+
+@pytest.mark.parametrize("line,expected", USAGE_CASES)
+def test_usage_message(session, line, expected):
+    out = session.command(line)
+    assert expected in out
+    assert session.controller_alive()
+
+
+def test_unknown_job_everywhere(session):
+    session.command("filter f0 blue")
+    for command in (
+        "addprocess nojob red x",
+        "acquire nojob red 1",
+        "setflags nojob send",
+        "startjob nojob",
+        "stopjob nojob",
+        "removejob nojob",
+        "removeprocess nojob x",
+        "jobs nojob",
+        "input nojob x y",
+        "stdinfile nojob x y",
+    ):
+        out = session.command(command)
+        assert "no job 'nojob'" in out, command
+    assert session.controller_alive()
+
+
+def test_acquire_non_numeric_pid(session):
+    session.command("newjob jj f0")
+    out = session.command("acquire jj red notapid")
+    assert "bad process identifier" in out

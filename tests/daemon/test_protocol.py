@@ -1,0 +1,50 @@
+"""Controller/daemon wire protocol (Figure 3.6)."""
+
+from repro.daemon import protocol
+
+
+def test_create_request_and_reply_keep_figure_3_6_numbers():
+    assert protocol.CREATE_REQ == 11
+    assert protocol.CREATE_REPLY == 18
+
+
+def test_every_request_has_a_distinct_reply():
+    replies = list(protocol.REPLY_FOR.values())
+    assert len(set(replies)) == len(replies)
+    for req, reply in protocol.REPLY_FOR.items():
+        assert req != reply
+
+
+def test_encode_decode_round_trip():
+    payload = protocol.encode(
+        protocol.CREATE_REQ,
+        filename="A",
+        params=["x", "y"],
+        filter_host="blue",
+        filter_port=1234,
+        meter_flags=7,
+        control_host="yellow",
+        control_port=4321,
+    )
+    msg_type, body = protocol.decode(payload)
+    assert msg_type == protocol.CREATE_REQ
+    assert body["filename"] == "A"
+    assert body["params"] == ["x", "y"]
+    assert body["filter_port"] == 1234
+
+
+def test_error_reply():
+    msg_type, body = protocol.decode(protocol.error_reply("ENOENT: A"))
+    assert msg_type == protocol.ERROR_REPLY
+    assert not protocol.is_ok(body)
+    assert "ENOENT" in body["status"]
+
+
+def test_is_ok():
+    __, body = protocol.decode(protocol.encode(protocol.CREATE_REPLY, status="ok"))
+    assert protocol.is_ok(body)
+
+
+def test_notifications_are_not_replies():
+    assert protocol.TERMINATION_NOTIFY not in protocol.REPLY_FOR.values()
+    assert protocol.OUTPUT_NOTIFY not in protocol.REPLY_FOR.values()

@@ -1,0 +1,105 @@
+"""Custom filter processes (Section 3.4).
+
+"Given one basic constraint, a user can write a custom filter.  This
+one constraint is that a filter process must listen to its standard
+input in order to receive meter messages from the kernel meter."
+
+A user-written filter -- a per-process event counter that logs summary
+lines instead of raw records -- is installed as an executable and used
+through the ordinary ``filter`` command.
+"""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.filtering.filterlib import MeterInbox
+from repro.kernel import defs
+from repro.metering.messages import MessageCodec
+
+
+def counting_filter(sys, argv):
+    """A custom filter: tallies events per (machine, pid) and rewrites
+    its summary log after every batch."""
+    filtername = argv[0] if argv else "counter"
+    log_path = argv[1] if len(argv) > 1 else "/usr/tmp/%s.log" % filtername
+    codec = MessageCodec((yield sys.hosttable()))
+    counts = {}
+    inbox = MeterInbox()
+    while True:
+        raw_messages = yield from inbox.wait(sys)
+        if not raw_messages:
+            continue
+        for raw in raw_messages:
+            record = codec.decode(raw)
+            key = (record["machine"], record["pid"], record["event"])
+            counts[key] = counts.get(key, 0) + 1
+        lines = [
+            "machine={0} pid={1} event={2} count={3}".format(*key, count)
+            for key, count in sorted(counts.items())
+        ]
+        fd = yield sys.open(log_path, "w")
+        yield sys.write(fd, ("\n".join(lines) + "\n").encode("ascii"))
+        yield sys.close(fd)
+
+
+def _chatter(sys, argv):
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    for __ in range(7):
+        yield sys.sendto(fd, b"x", ("green", 6000))
+    yield sys.exit(0)
+
+
+@pytest.fixture
+def session():
+    cluster = Cluster(seed=29)
+    sess = MeasurementSession(cluster, control_machine="yellow")
+    sess.install_program("chatter", _chatter)
+    # Install the custom filter like any executable.
+    sess.install_program("counterfilter", counting_filter)
+    return sess
+
+
+def test_custom_filter_via_filter_command(session):
+    out = session.command("filter c1 blue counterfilter")
+    assert "created" in out
+    session.command("newjob j c1")
+    session.command("addprocess j red chatter")
+    session.command("setflags j send socket")
+    session.command("startjob j")
+    session.settle()
+    __, log_text = session.find_filter_log("c1")
+    assert "event=send count=7" in log_text
+    assert "event=socket count=1" in log_text
+
+
+def test_custom_and_standard_filters_coexist(session):
+    session.command("filter std blue")
+    session.command("filter c1 green counterfilter")
+    session.command("newjob raw std")
+    session.command("addprocess raw red chatter")
+    session.command("setflags raw send")
+    session.command("newjob counted c1")
+    session.command("addprocess counted red chatter")
+    session.command("setflags counted send")
+    session.command("startjob raw")
+    session.command("startjob counted")
+    session.settle()
+    __, std_text = session.find_filter_log("std")
+    __, custom_text = session.find_filter_log("c1")
+    assert std_text.count("event=send") == 7  # raw records
+    assert "count=7" in custom_text  # the summary
+
+
+def test_custom_filter_unknown_fields_format(session):
+    """The custom filter's log format is its own business; getlog
+    fetches it verbatim."""
+    session.command("filter c1 blue counterfilter")
+    session.command("newjob j c1")
+    session.command("addprocess j red chatter")
+    session.command("setflags j send")
+    session.command("startjob j")
+    session.settle()
+    session.command("getlog c1 fetched")
+    content = session.read_controller_file("fetched")
+    assert "count=" in content

@@ -1,0 +1,114 @@
+"""Event record descriptions (Figure 3.2)."""
+
+import pytest
+
+from repro.filtering.descriptions import (
+    default_description_set,
+    default_descriptions_text,
+    parse_descriptions,
+)
+from repro.metering.messages import EVENT_TYPES, MessageCodec
+from repro.net.addresses import InternetName
+
+
+def test_default_text_parses():
+    ds = parse_descriptions(default_descriptions_text())
+    assert set(ds.by_type) == set(EVENT_TYPES.values())
+
+
+def test_default_text_has_figure_3_2_send_line():
+    text = default_descriptions_text()
+    send_lines = [l for l in text.splitlines() if l.startswith("SEND")]
+    assert send_lines == [
+        "SEND 1, pid,0,4,10 pc,4,4,10 sock,8,4,10 msgLength,12,4,10 "
+        "destNameLen,16,4,10 destName,20,16,16"
+    ]
+
+
+def test_header_line_lists_standard_fields():
+    text = default_descriptions_text()
+    assert text.splitlines()[0] == "HEADER size machine cpuTime procTime traceType"
+
+
+def test_descriptions_decode_matches_codec_decode():
+    """The filter's description-driven decode and the kernel codec must
+    agree on every field -- this IS the meter/filter protocol."""
+    codec = MessageCodec({1: "red", 2: "green"})
+    ds = default_description_set()
+    dest = InternetName("green", 7777, 2)
+    raw = codec.encode(
+        "send",
+        machine=1,
+        cpu_time=55,
+        proc_time=10,
+        pid=2117,
+        pc=9,
+        sock=0x2030,
+        msgLength=64,
+        destName=dest,
+        **codec.name_lengths(destName=dest)
+    )
+    via_codec = codec.decode(raw)
+    via_descriptions = ds.decode_message(raw, {1: "red", 2: "green"})
+    for key in ("machine", "cpuTime", "procTime", "pid", "pc", "sock",
+                "msgLength", "destNameLen", "destName", "event"):
+        assert via_descriptions[key] == via_codec[key], key
+
+
+def test_all_events_decodable_via_descriptions():
+    codec = MessageCodec()
+    ds = default_description_set()
+    from repro.metering import messages
+
+    for event in EVENT_TYPES:
+        body = {
+            name: 5 for name, kind in messages.BODY_FIELDS[event] if kind == "long"
+        }
+        raw = codec.encode(event, machine=1, cpu_time=1, proc_time=0, **body)
+        record = ds.decode_message(raw)
+        assert record["event"] == event
+        for name in body:
+            assert record[name] == 5
+
+
+def test_unknown_trace_type_raises():
+    ds = default_description_set()
+    raw = bytearray(60)
+    raw[0:4] = (60).to_bytes(4, "big")
+    raw[20:24] = (77).to_bytes(4, "big")
+    with pytest.raises(ValueError):
+        ds.decode_message(bytes(raw))
+
+
+def test_bad_field_spec_raises():
+    with pytest.raises(ValueError):
+        parse_descriptions("SEND 1, pid,0,4\n")
+
+
+def test_custom_description_subset():
+    """A user can describe only the fields they care about."""
+    ds = parse_descriptions("SEND 1, pid,0,4,10 msgLength,12,4,10\n")
+    codec = MessageCodec()
+    raw = codec.encode(
+        "send",
+        machine=1,
+        cpu_time=0,
+        proc_time=0,
+        pid=7,
+        pc=1,
+        sock=2,
+        msgLength=99,
+        destName=None,
+        destNameLen=0,
+    )
+    record = ds.decode_message(raw)
+    assert record["pid"] == 7
+    assert record["msgLength"] == 99
+    assert "sock" not in record
+
+
+def test_field_order_headers_first():
+    ds = default_description_set()
+    order = ds.field_order("send")
+    assert order[:6] == ["event", "size", "machine", "cpuTime", "procTime", "traceType"]
+    assert order[6:] == ["pid", "pc", "sock", "msgLength", "destNameLen", "destName"]

@@ -1,0 +1,40 @@
+"""Log record serialization round-trips."""
+
+from repro.filtering.records import format_record, parse_record_line, parse_trace
+
+
+def test_round_trip_preserves_values():
+    record = {"event": "send", "machine": 2, "pid": 2117, "destName": "inet:red:5"}
+    line = format_record(record)
+    assert parse_record_line(line) == record
+
+
+def test_field_order_is_respected():
+    record = {"b": 2, "a": 1, "c": 3}
+    line = format_record(record, field_order=["a", "b", "c"])
+    assert line == "a=1 b=2 c=3"
+
+
+def test_extra_fields_appended_after_ordered_ones():
+    record = {"z": 26, "a": 1}
+    line = format_record(record, field_order=["a", "missing"])
+    assert line == "a=1 z=26"
+
+
+def test_parse_coerces_integers_only():
+    record = parse_record_line("pid=7 name=inet:red:5 flag=0x10")
+    assert record["pid"] == 7
+    assert record["name"] == "inet:red:5"
+    assert record["flag"] == "0x10"  # not a plain int
+
+
+def test_parse_trace_skips_blank_lines():
+    text = "a=1\n\nb=2\n"
+    assert parse_trace(text) == [{"a": 1}, {"b": 2}]
+
+
+def test_empty_value_field():
+    line = format_record({"destName": "", "pid": 1}, field_order=["pid", "destName"])
+    parsed = parse_record_line(line)
+    assert parsed["destName"] == ""
+    assert parsed["pid"] == 1

@@ -1,0 +1,151 @@
+"""Selection rules (Figures 3.3 and 3.4)."""
+
+import pytest
+
+from repro.filtering.rules import RuleSet, parse_rules
+
+SEND_RECORD = {
+    "event": "send",
+    "size": 60,
+    "machine": 0,
+    "cpuTime": 5000,
+    "procTime": 10,
+    "traceType": 1,
+    "pid": 2117,
+    "pc": 9,
+    "sock": 4,
+    "msgLength": 700,
+    "destNameLen": 8,
+    "destName": "228320140",
+}
+
+ACCEPT_RECORD = {
+    "event": "accept",
+    "size": 80,
+    "machine": 5,
+    "cpuTime": 9000,
+    "procTime": 0,
+    "traceType": 8,
+    "pid": 2118,
+    "pc": 3,
+    "sock": 4,
+    "newSock": 5,
+    "sockName": "inet:red:5000",
+    "peerName": "inet:red:5000",
+}
+
+
+def test_figure_3_3_first_rule():
+    """"machine=5, cpuTime<10000" matches records from machine 5 with
+    cpuTime under 10000."""
+    rules = parse_rules("machine=5, cpuTime<10000\n")
+    assert rules.apply(ACCEPT_RECORD) is not None
+    assert rules.apply(SEND_RECORD) is None  # machine 0
+    too_late = dict(ACCEPT_RECORD, cpuTime=10000)
+    assert rules.apply(too_late) is None
+
+
+def test_figure_3_3_second_rule():
+    """"machine=0, type=1, sock=4, destName=228320140"."""
+    rules = parse_rules("machine=0, type=1, sock=4, destName=228320140\n")
+    assert rules.apply(SEND_RECORD) is not None
+    assert rules.apply(dict(SEND_RECORD, sock=5)) is None
+    assert rules.apply(ACCEPT_RECORD) is None
+
+
+def test_figure_3_4_wildcard_discard_rule():
+    """"machine=#*, type=1, pid=#*, size>=512": wildcard matches any
+    value; '#' discards the field from the saved record."""
+    rules = parse_rules("machine=#*, type=1, pid=#*, msgLength>=512\n")
+    saved = rules.apply(SEND_RECORD)
+    assert saved is not None
+    assert "machine" not in saved
+    assert "pid" not in saved
+    assert saved["msgLength"] == 700
+    small = dict(SEND_RECORD, msgLength=100)
+    assert rules.apply(small) is None
+
+
+def test_figure_3_4_cross_field_rule():
+    """"type=8, sockName=peerName": compare two fields of the record."""
+    rules = parse_rules("type=8, sockName=peerName\n")
+    assert rules.apply(ACCEPT_RECORD) is not None
+    differing = dict(ACCEPT_RECORD, peerName="inet:green:9")
+    assert rules.apply(differing) is None
+
+
+def test_any_rule_accepts():
+    rules = parse_rules("machine=5\nmachine=0\n")
+    assert rules.apply(SEND_RECORD) is not None
+    assert rules.apply(ACCEPT_RECORD) is not None
+    assert rules.apply(dict(SEND_RECORD, machine=9)) is None
+
+
+def test_empty_ruleset_accepts_everything_unreduced():
+    rules = RuleSet([])
+    assert rules.apply(SEND_RECORD) == SEND_RECORD
+
+
+def test_all_comparison_operators():
+    record = {"x": 10}
+    cases = [
+        ("x=10", True), ("x=9", False),
+        ("x!=9", True), ("x!=10", False),
+        ("x<11", True), ("x<10", False),
+        ("x>9", True), ("x>10", False),
+        ("x<=10", True), ("x<=9", False),
+        ("x>=10", True), ("x>=11", False),
+    ]
+    for text, expected in cases:
+        rules = parse_rules(text + "\n")
+        assert (rules.apply(record) is not None) == expected, text
+
+
+def test_type_alias_accepts_event_names():
+    rules = parse_rules("type=send\n")
+    assert rules.apply(SEND_RECORD) is not None
+    assert rules.apply(ACCEPT_RECORD) is None
+
+
+def test_wildcard_without_discard_keeps_field():
+    rules = parse_rules("machine=*\n")
+    saved = rules.apply(SEND_RECORD)
+    assert saved["machine"] == 0
+
+
+def test_discard_with_literal_value():
+    rules = parse_rules("machine=#0\n")
+    saved = rules.apply(SEND_RECORD)
+    assert saved is not None and "machine" not in saved
+    assert rules.apply(ACCEPT_RECORD) is None  # machine=5 no match
+
+
+def test_missing_field_fails_the_condition():
+    rules = parse_rules("newSock=5\n")
+    assert rules.apply(SEND_RECORD) is None
+    assert rules.apply(ACCEPT_RECORD) is not None
+
+
+def test_string_name_comparison():
+    rules = parse_rules("destName=228320140\n")
+    assert rules.apply(SEND_RECORD) is not None
+
+
+def test_first_matching_rule_controls_reduction():
+    rules = parse_rules("machine=#*, type=1\nmachine=*\n")
+    saved_send = rules.apply(SEND_RECORD)
+    assert "machine" not in saved_send  # first rule matched
+    saved_accept = rules.apply(ACCEPT_RECORD)
+    assert "machine" in saved_accept  # second rule matched
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_rules("this is not a rule\n")
+    with pytest.raises(ValueError):
+        parse_rules("x=\n")
+
+
+def test_blank_lines_ignored():
+    rules = parse_rules("\n\nmachine=0\n\n")
+    assert len(rules) == 1

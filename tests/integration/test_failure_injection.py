@@ -1,0 +1,159 @@
+"""Failure injection: the measurement system under partial failures.
+
+The paper's design quietly depends on several robustness properties --
+"Meter messages are lost if they are sent on an unconnected socket"
+(Appendix C), temporary daemon connections because "long-standing
+stream connections can be undependable" (Section 3.5.1) -- which these
+tests make explicit.
+"""
+
+import pytest
+
+from repro.analysis import Trace
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.kernel import defs
+from repro.programs import install_all
+
+
+def _make_session(seed=41):
+    cluster = Cluster(seed=seed)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    install_all(session)
+    return session
+
+
+def _kill(cluster, machine_name, program_name):
+    machine = cluster.machine(machine_name)
+    victims = [
+        p for p in machine.procs.values()
+        if p.program_name == program_name and p.state != defs.PROC_ZOMBIE
+    ]
+    for victim in victims:
+        machine.post_signal(victim, defs.SIGKILL)
+    return victims
+
+
+def test_filter_death_reported_and_computation_survives():
+    session = _make_session()
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red dgramproducer green 6000 100 64 5")
+    session.command("setflags j send immediate")
+    session.command("startjob j")
+    session.settle(100)
+    _kill(session.cluster, "blue", "filter")
+    session.settle()
+    out = session.drain_output()
+    # The controller learns about the filter's death...
+    assert "DONE: filter 'f1' terminated" in out
+    # ...and the metered computation still completes normally.
+    assert "DONE: process dgramproducer in job 'j' terminated: reason: normal" in out
+
+
+def test_metered_process_survives_filter_death():
+    """After the filter dies the meter connection is half dead; the
+    metered process must not notice (transparency under failure)."""
+    session = _make_session()
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red dgramproducer green 6000 50 64 2")
+    session.command("setflags j all immediate")
+    session.command("startjob j")
+    session.settle(40)
+    _kill(session.cluster, "blue", "filter")
+    session.settle()
+    red = session.cluster.machine("red")
+    producers = [
+        p for p in red.procs.values() if p.program_name == "dgramproducer"
+    ]
+    assert producers[0].exit_reason == defs.EXIT_NORMAL
+
+
+def test_daemon_death_fails_commands_gracefully():
+    session = _make_session()
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    _kill(session.cluster, "red", "meterdaemon")
+    session.settle(50)
+    out = session.command("addprocess j red dgramproducer green 6000 5 64 1")
+    assert "not created" in out
+    # The controller is still alive and usable on other machines.
+    out = session.command("addprocess j green dgramproducer red 6000 5 64 1")
+    assert "created" in out
+
+
+def test_partial_trace_preserved_after_filter_death():
+    session = _make_session()
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red dgramproducer green 6000 100 64 5")
+    session.command("setflags j send immediate")
+    session.command("startjob j")
+    session.settle(120)
+    _kill(session.cluster, "blue", "filter")
+    session.settle()
+    # The log file holds everything recorded up to the failure.
+    records = session.read_trace("f1")
+    sends = [r for r in records if r["event"] == "send"]
+    assert 0 < len(sends) < 100
+
+
+def test_externally_killed_process_reported_as_signaled():
+    """Somebody (here: root, outside the measurement system) kills a
+    running job process; the daemon's SIGCHLD path tells the controller
+    with reason 'signaled'."""
+    session = _make_session()
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red nameserver 5353")
+    session.command("startjob j")
+    session.settle(50)
+    _kill(session.cluster, "red", "nameserver")
+    session.settle(100)
+    out = session.drain_output()
+    assert (
+        "DONE: process nameserver in job 'j' terminated: reason: signaled"
+        in out
+    )
+    # The record moved to killed; the job can now be removed silently.
+    assert "killed" in session.command("jobs j")
+
+
+def test_acquired_process_keeps_running_after_controller_dies():
+    session = _make_session()
+    target = session.cluster.spawn(
+        "red",
+        __import__("repro.programs.server", fromlist=["name_server"]).name_server,
+        argv=["5353"],
+        uid=session.uid,
+        program_name="nameserver",
+    )
+    session.settle(20)
+    session.command("filter f1 blue")
+    session.command("newjob w")
+    session.command("acquire w red {0}".format(target.pid))
+    session.command("die")
+    session.command("die")  # confirm past the active-process warning
+    session.settle(100)
+    assert not session.controller_alive()
+    assert target.state != defs.PROC_ZOMBIE
+
+
+def test_meter_events_during_daemon_absence_are_unaffected():
+    """Meter messages flow directly from kernel to filter; the daemon
+    is only a control-plane actor.  Killing it mid-run must not stop
+    event collection."""
+    session = _make_session()
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red dgramproducer green 6000 60 64 4")
+    session.command("setflags j send immediate")
+    session.command("startjob j")
+    session.settle(80)
+    before = len(session.read_trace("f1"))
+    _kill(session.cluster, "red", "meterdaemon")
+    session.settle()
+    after = len(session.read_trace("f1"))
+    assert after > before
+    assert after >= 60

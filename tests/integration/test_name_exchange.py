@@ -1,0 +1,82 @@
+"""Socket-name exchange as (literal host name, port) -- Section 3.5.4.
+
+"A socket name is composed of the host address and the port number ...
+a socket name should not be exchanged between processes if this name
+will be used to make an IPC connection.  Therefore, when communicating
+an address, the literal name of the host and the number of the port
+are exchanged.  The receiving process then constructs the socket name
+using its own host address for the specified machine."
+"""
+
+import json
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.daemon import protocol
+from repro.kernel import defs
+from repro.programs import install_all
+
+
+def test_filter_location_travels_as_literal_host_and_port():
+    """Spy on the controller->daemon create request: the filter's
+    location must be the literal machine name plus port, never a raw
+    address/id."""
+    captured = []
+    original_decode = protocol.decode
+
+    def spying_decode(payload):
+        msg_type, body = original_decode(payload)
+        if msg_type == protocol.CREATE_REQ:
+            captured.append(body)
+        return msg_type, body
+
+    protocol.decode = spying_decode
+    try:
+        cluster = Cluster(seed=71)
+        session = MeasurementSession(cluster, control_machine="yellow")
+        install_all(session)
+        session.command("filter f1 blue")
+        session.command("newjob j")
+        session.command("addprocess j red nameserver 5353")
+    finally:
+        protocol.decode = original_decode
+    assert captured
+    body = captured[0]
+    assert body["filter_host"] == "blue"  # the literal name
+    assert isinstance(body["filter_port"], int)
+    assert body["control_host"] == "yellow"
+
+
+def test_receiver_reconstructs_names_locally():
+    """A guest that learns (host, port) over the wire can connect: the
+    kernel resolves the literal name with its own host table."""
+    cluster = Cluster(seed=72)
+    results = []
+
+    def server(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", 0))  # ephemeral: port unknown a priori
+        yield sys.listen(fd, 5)
+        name = yield sys.getsockname(fd)
+        # Advertise (literal host, port) over a datagram.
+        ad = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        payload = json.dumps({"host": name.host, "port": name.port})
+        yield sys.sendto(ad, payload.encode("ascii"), ("green", 6500))
+        conn, __peer = yield sys.accept(fd)
+        yield sys.write(conn, b"hello from the advertised socket")
+        yield sys.exit(0)
+
+    def client(sys, argv):
+        ad = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.bind(ad, ("", 6500))
+        data, __src = yield sys.recvfrom(ad, 512)
+        where = json.loads(data.decode("ascii"))
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.connect(fd, (where["host"], where["port"]))
+        results.append((yield sys.read(fd, 100)))
+        yield sys.exit(0)
+
+    server_proc = cluster.spawn("red", server, uid=100)
+    client_proc = cluster.spawn("green", client, uid=100)
+    cluster.run_until_exit([server_proc, client_proc])
+    assert results == [b"hello from the advertised socket"]

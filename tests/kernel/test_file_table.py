@@ -1,0 +1,48 @@
+"""Unit tests for the system open-file table."""
+
+from repro.kernel.file_table import FileTable
+
+
+class _FakeObj:
+    kind = "file"
+
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+def test_allocate_gives_unique_increasing_addrs():
+    table = FileTable()
+    entries = [table.allocate(_FakeObj()) for __ in range(5)]
+    addrs = [entry.addr for entry in entries]
+    assert len(set(addrs)) == 5
+    assert addrs == sorted(addrs)
+
+
+def test_refcount_zero_closes_object():
+    table = FileTable()
+    obj = _FakeObj()
+    entry = table.allocate(obj)
+    table.ref(entry)
+    table.ref(entry)
+    assert not table.unref(entry)
+    assert not obj.closed
+    assert table.unref(entry)
+    assert obj.closed
+
+
+def test_entry_removed_from_table_on_release():
+    table = FileTable()
+    entry = table.allocate(_FakeObj())
+    table.ref(entry)
+    assert table.live_count() == 1
+    table.unref(entry)
+    assert table.live_count() == 0
+
+
+def test_kind_reflects_object():
+    table = FileTable()
+    entry = table.allocate(_FakeObj())
+    assert entry.kind == "file"

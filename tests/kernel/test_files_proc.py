@@ -1,0 +1,357 @@
+"""File syscalls, descriptors, fork/exec/forkexec, rcp, procstat."""
+
+import pytest
+
+from repro.kernel import defs, errno
+from repro.kernel.errno import SyscallError
+from tests.conftest import run_guests
+
+
+def test_open_write_read_roundtrip(cluster):
+    contents = []
+
+    def guest(sys, argv):
+        fd = yield sys.open("/tmp/out", "w")
+        yield sys.write(fd, b"line one\n")
+        yield sys.write(fd, b"line two\n")
+        yield sys.close(fd)
+        fd = yield sys.open("/tmp/out", "r")
+        contents.append((yield sys.read(fd, 1000)))
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert contents == [b"line one\nline two\n"]
+
+
+def test_append_mode(cluster):
+    def guest(sys, argv):
+        fd = yield sys.open("/tmp/log", "w")
+        yield sys.write(fd, b"a")
+        yield sys.close(fd)
+        fd = yield sys.open("/tmp/log", "a")
+        yield sys.write(fd, b"b")
+        yield sys.close(fd)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    node = cluster.machine("red").fs.node("/tmp/log")
+    assert bytes(node.data) == b"ab"
+
+
+def test_unlink_syscall(cluster):
+    def guest(sys, argv):
+        fd = yield sys.open("/tmp/x", "w")
+        yield sys.close(fd)
+        yield sys.unlink("/tmp/x")
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert not cluster.machine("red").fs.exists("/tmp/x")
+
+
+def test_write_to_read_only_fd_denied(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        cluster.machine("red").fs.install("/tmp/ro", b"x", mode=0o644)
+        fd = yield sys.open("/tmp/ro", "r")
+        try:
+            yield sys.write(fd, b"nope")
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert errors == [errno.EACCES]
+
+
+def test_bad_fd_is_ebadf(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        try:
+            yield sys.read(55, 10)
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert errors == [errno.EBADF]
+
+
+def test_fd_allocation_is_lowest_free(cluster):
+    fds = []
+
+    def guest(sys, argv):
+        a = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        b = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.close(a)
+        c = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        fds.extend([a, b, c])
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    a, b, c = fds
+    assert c == a  # the freed slot is reused
+    assert b == a + 1
+
+
+def test_descriptor_limit_is_emfile(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        try:
+            for __ in range(defs.NOFILE + 1):
+                yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert errors == [errno.EMFILE]
+
+
+def test_dup_shares_file_offset(cluster):
+    reads = []
+
+    def guest(sys, argv):
+        cluster.machine("red").fs.install("/tmp/f", b"abcdef", mode=0o644)
+        fd = yield sys.open("/tmp/f", "r")
+        dup_fd = yield sys.dup(fd)
+        reads.append((yield sys.read(fd, 3)))
+        reads.append((yield sys.read(dup_fd, 3)))  # continues, not restarts
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert reads == [b"abc", b"def"]
+
+
+def test_dup2_replaces_target_descriptor(cluster):
+    out = []
+
+    def guest(sys, argv):
+        fd = yield sys.open("/tmp/out", "w")
+        yield sys.dup2(fd, 1)  # stdout now the file
+        yield sys.write(1, b"redirected")
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    node = cluster.machine("red").fs.node("/tmp/out")
+    assert bytes(node.data) == b"redirected"
+    del out
+
+
+def test_fork_child_inherits_descriptors(cluster):
+    got = []
+
+    def child(sys, argv):
+        got.append((yield sys.read(int(argv[0]), 100)))
+        yield sys.exit(0)
+
+    def parent(sys, argv):
+        a, b = yield sys.socketpair(defs.AF_UNIX, defs.SOCK_STREAM)
+        yield sys.fork(child, [str(b)])
+        yield sys.write(a, b"inherited")
+        __, events = yield sys.select([], want_children=True)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", parent, ()))
+    assert got == [b"inherited"]
+
+
+def test_fork_returns_child_pid_and_links_parent(cluster):
+    info = {}
+
+    def child(sys, argv):
+        yield sys.exit(0)
+
+    def parent(sys, argv):
+        pid = yield sys.fork(child, ())
+        info["child_pid"] = pid
+        info["self"] = yield sys.getpid()
+        yield sys.exit(0)
+
+    (proc,) = run_guests(cluster, ("red", parent, ()))
+    child_pid = info["child_pid"]
+    assert child_pid != info["self"]
+    machine = cluster.machine("red")
+    assert machine.procs[child_pid].ppid == proc.pid
+
+
+def test_execv_replaces_program_image(cluster):
+    cluster.install_program("target", _exec_target)
+
+    def guest(sys, argv):
+        yield sys.execv("/bin/target", ["arg1"])
+        raise AssertionError("unreachable: exec does not return")
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    assert proc.program_name == "target"
+    assert proc.exit_status == 99
+
+
+def _exec_target(sys, argv):
+    assert argv == ["arg1"]
+    yield sys.exit(99)
+
+
+def test_execv_missing_file_is_enoent(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        try:
+            yield sys.execv("/bin/nothing", [])
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert errors == [errno.ENOENT]
+
+
+def test_forkexec_creates_suspended_child(cluster):
+    cluster.install_program("sleeper", _sleeper)
+    pids = []
+
+    def guest(sys, argv):
+        pid = yield sys.forkexec("/bin/sleeper", [], start=False)
+        pids.append(pid)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    machine = cluster.machine("red")
+    child = machine.procs[pids[0]]
+    assert child.state == defs.PROC_EMBRYO
+    machine.continue_proc(child)
+    cluster.run_until_exit([child])
+    assert child.exit_status == 0
+
+
+def _sleeper(sys, argv):
+    yield sys.compute(1)
+    yield sys.exit(0)
+
+
+def test_forkexec_stdio_mapping(cluster):
+    cluster.install_program("writerprog", _writer_prog)
+    got = []
+
+    def parent(sys, argv):
+        a, b = yield sys.socketpair(defs.AF_UNIX, defs.SOCK_DGRAM)
+        yield sys.forkexec("/bin/writerprog", [], stdio_fd=b, start=True)
+        yield sys.close(b)
+        got.append((yield sys.read(a, 100)))
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", parent, ()))
+    assert got == [b"to stdout"]
+
+
+def _writer_prog(sys, argv):
+    yield sys.write(1, b"to stdout")
+    yield sys.exit(0)
+
+
+def test_forkexec_setuid_requires_root(cluster):
+    cluster.install_program("sleeper2", _sleeper)
+    errors = []
+
+    def guest(sys, argv):
+        try:
+            yield sys.forkexec("/bin/sleeper2", [], uid=300)
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    proc = cluster.spawn("red", guest, uid=100)
+    cluster.run_until_exit([proc])
+    assert errors == [errno.EPERM]
+
+
+def test_forkexec_as_root_can_setuid(cluster):
+    cluster.install_program("sleeper3", _sleeper)
+    pids = []
+
+    def guest(sys, argv):
+        pids.append((yield sys.forkexec("/bin/sleeper3", [], uid=100)))
+        yield sys.exit(0)
+
+    proc = cluster.spawn("red", guest, uid=0)
+    cluster.run_until_exit([proc])
+    assert cluster.machine("red").procs[pids[0]].uid == 100
+
+
+def test_rcp_copies_between_machines(cluster):
+    cluster.machine("red").fs.install("/data/file", b"payload", mode=0o644)
+
+    def guest(sys, argv):
+        yield sys.rcp("red", "/data/file", "green", "/data/copy")
+        yield sys.exit(0)
+
+    run_guests(cluster, ("blue", guest, ()))
+    node = cluster.machine("green").fs.node("/data/copy")
+    assert bytes(node.data) == b"payload"
+
+
+def test_rcp_copies_program_attribute(cluster):
+    cluster.install_program("prog", _sleeper, machines=["red"])
+
+    def guest(sys, argv):
+        yield sys.rcp("red", "/bin/prog", "green", "/bin/prog")
+        yield sys.exit(0)
+
+    run_guests(cluster, ("blue", guest, ()))
+    assert cluster.machine("green").fs.node("/bin/prog").program == "prog"
+
+
+def test_rcp_respects_source_permissions(cluster):
+    cluster.machine("red").fs.install("/data/secret", b"s", owner=1, mode=0o600)
+    errors = []
+
+    def guest(sys, argv):
+        try:
+            yield sys.rcp("red", "/data/secret", "green", "/tmp/x")
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    proc = cluster.spawn("blue", guest, uid=100)
+    cluster.run_until_exit([proc])
+    assert errors == [errno.EACCES]
+
+
+def test_rcp_takes_time_proportional_to_size(cluster):
+    cluster.machine("red").fs.install("/data/big", b"x" * 100_000, mode=0o644)
+
+    def guest(sys, argv):
+        yield sys.rcp("red", "/data/big", "green", "/data/big")
+        yield sys.exit(0)
+
+    run_guests(cluster, ("blue", guest, ()))
+    # 100 KB over 1.25 MB/s is ~80ms of transfer time.
+    assert cluster.sim.now >= 50.0
+
+
+def test_procstat_and_hasaccount(cluster):
+    stats = {}
+
+    def target(sys, argv):
+        yield sys.sleep(10_000)
+        yield sys.exit(0)
+
+    victim = cluster.spawn("red", target, uid=100)
+
+    def guest(sys, argv):
+        stats["stat"] = yield sys.procstat(int(argv[0]))
+        stats["acct100"] = yield sys.hasaccount(100)
+        stats["acct999"] = yield sys.hasaccount(999)
+        stats["acct0"] = yield sys.hasaccount(0)
+        yield sys.exit(0)
+
+    cluster.machine("red").accounts.add(100)
+    proc = cluster.spawn("red", guest, argv=[str(victim.pid)], uid=0)
+    cluster.run_until_exit([proc])
+    assert stats["stat"]["uid"] == 100
+    assert stats["acct100"] is True
+    assert stats["acct999"] is False
+    assert stats["acct0"] is True  # root always

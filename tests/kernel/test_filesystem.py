@@ -1,0 +1,118 @@
+"""Unit tests for the per-machine filesystem."""
+
+import pytest
+
+from repro.kernel.errno import SyscallError
+from repro.kernel.filesystem import FileNode, FileSystem, OpenFile
+
+
+@pytest.fixture
+def fs():
+    filesystem = FileSystem()
+    filesystem.install("/etc/motd", b"hello", owner=0, mode=0o644)
+    filesystem.install("/home/user/secret", b"s3cret", owner=100, mode=0o600)
+    filesystem.install("/bin/prog", b"prog", owner=0, mode=0o755, program="prog")
+    return filesystem
+
+
+def test_install_and_exists(fs):
+    assert fs.exists("/etc/motd")
+    assert not fs.exists("/etc/nothing")
+
+
+def test_lookup_missing_raises_enoent(fs):
+    with pytest.raises(SyscallError) as err:
+        fs.lookup("/etc/nothing", uid=0)
+    assert err.value.errno == 2  # ENOENT
+
+
+def test_world_readable_file_readable_by_anyone(fs):
+    assert fs.lookup("/etc/motd", uid=999, want="read")
+
+
+def test_owner_only_file_denied_to_others(fs):
+    with pytest.raises(SyscallError) as err:
+        fs.lookup("/home/user/secret", uid=200, want="read")
+    assert err.value.errno == 13  # EACCES
+
+
+def test_owner_can_read_own_file(fs):
+    node = fs.lookup("/home/user/secret", uid=100, want="read")
+    assert bytes(node.data) == b"s3cret"
+
+
+def test_root_bypasses_permissions(fs):
+    assert fs.lookup("/home/user/secret", uid=0, want="read")
+    assert fs.lookup("/home/user/secret", uid=0, want="write")
+
+
+def test_exec_requires_execute_bit(fs):
+    assert fs.lookup("/bin/prog", uid=100, want="exec")
+    with pytest.raises(SyscallError):
+        fs.lookup("/etc/motd", uid=100, want="exec")
+
+
+def test_root_cannot_exec_nonexecutable(fs):
+    with pytest.raises(SyscallError):
+        fs.lookup("/etc/motd", uid=0, want="exec")
+
+
+def test_create_truncates_existing_writable_file(fs):
+    fs.install("/tmp/log", b"old", owner=100, mode=0o644)
+    node = fs.create("/tmp/log", uid=100)
+    assert bytes(node.data) == b""
+
+
+def test_create_denied_on_unwritable_existing_file(fs):
+    with pytest.raises(SyscallError):
+        fs.create("/home/user/secret", uid=200)
+
+
+def test_unlink(fs):
+    fs.install("/tmp/x", b"x", owner=100, mode=0o644)
+    fs.unlink("/tmp/x", uid=100)
+    assert not fs.exists("/tmp/x")
+
+
+def test_unlink_permission_denied(fs):
+    with pytest.raises(SyscallError):
+        fs.unlink("/home/user/secret", uid=200)
+
+
+def test_install_replaces_content_and_program(fs):
+    fs.install("/bin/prog", b"other", program="other")
+    assert fs.node("/bin/prog").program == "other"
+
+
+def test_paths_sorted(fs):
+    assert fs.paths() == sorted(fs.paths())
+
+
+def test_openfile_read_write_offsets():
+    node = FileNode(b"abcdef", owner=0, mode=0o644)
+    reader = OpenFile(node, "r")
+    assert reader.read(3) == b"abc"
+    assert reader.read(10) == b"def"
+    assert reader.read(10) == b""
+
+
+def test_openfile_append_mode_starts_at_end():
+    node = FileNode(b"log:", owner=0, mode=0o644)
+    writer = OpenFile(node, "w", append=True)
+    writer.write(b"entry")
+    assert bytes(node.data) == b"log:entry"
+
+
+def test_openfile_overwrite_in_middle():
+    node = FileNode(b"xxxxxx", owner=0, mode=0o644)
+    writer = OpenFile(node, "w")
+    writer.write(b"ab")
+    assert bytes(node.data) == b"abxxxx"
+
+
+def test_mode_bits_owner_vs_world():
+    node = FileNode(b"", owner=100, mode=0o604)
+    assert node.readable_by(100)
+    assert node.readable_by(200)  # world read
+    assert not node.writable_by(200)
+    assert node.writable_by(100)

@@ -1,0 +1,186 @@
+"""Scheduler and process-lifecycle tests: time slicing, CPU accounting,
+crash handling, exits."""
+
+import pytest
+
+from repro.kernel import defs
+from repro.kernel.errno import SyscallError
+from tests.conftest import run_guests
+
+
+def test_compute_advances_time_and_charges_cpu(cluster):
+    def guest(sys, argv):
+        yield sys.compute(35)
+        yield sys.exit(0)
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    # 35ms of compute plus a small per-syscall trap cost.
+    assert proc.cpu_ms == pytest.approx(35.0, abs=0.5)
+    assert cluster.sim.now >= 35.0
+
+
+def test_proc_time_reports_ten_ms_granularity(cluster):
+    def guest(sys, argv):
+        yield sys.compute(37)
+        yield sys.exit(0)
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    assert proc.proc_time() == 30.0  # 37ms exact -> 30ms reported
+
+
+def test_two_computing_processes_share_one_cpu(cluster):
+    def guest(sys, argv):
+        yield sys.compute(50)
+        yield sys.exit(0)
+
+    a, b = run_guests(cluster, ("red", guest, ()), ("red", guest, ()))
+    # Serialized on one CPU: elapsed ~100ms, not ~50ms.
+    assert cluster.sim.now >= 100.0
+    assert a.cpu_ms == pytest.approx(50.0, abs=0.5)
+    assert b.cpu_ms == pytest.approx(50.0, abs=0.5)
+
+
+def test_processes_on_different_machines_run_in_parallel(cluster):
+    def guest(sys, argv):
+        yield sys.compute(50)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()), ("green", guest, ()))
+    assert cluster.sim.now < 100.0
+
+
+def test_round_robin_interleaves_long_computes(cluster):
+    finish_times = {}
+
+    def guest(sys, argv):
+        yield sys.compute(30)
+        finish_times[argv[0]] = (yield sys.gettimeofday())
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ("a",)), ("red", guest, ("b",)))
+    # With a 10ms quantum both finish near the end (interleaved), so
+    # the first finisher ends well after its own 30ms of work.
+    assert min(finish_times.values()) >= 50.0
+
+
+def test_stopiteration_return_is_normal_exit(cluster):
+    def guest(sys, argv):
+        yield sys.compute(1)
+        return 7  # plain return: exits with that status
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    assert proc.exit_reason == defs.EXIT_NORMAL
+    assert proc.exit_status == 7
+
+
+def test_uncaught_python_exception_is_error_exit(cluster):
+    def guest(sys, argv):
+        yield sys.compute(1)
+        raise RuntimeError("boom")
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    assert proc.exit_reason == defs.EXIT_ERROR
+    assert any("boom" in line for line in cluster.machine("red").console)
+
+
+def test_uncaught_syscall_error_is_error_exit(cluster):
+    def guest(sys, argv):
+        yield sys.open("/does/not/exist", "r")
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    assert proc.exit_reason == defs.EXIT_ERROR
+
+
+def test_guest_can_catch_syscall_errors(cluster):
+    def guest(sys, argv):
+        try:
+            yield sys.open("/does/not/exist", "r")
+        except SyscallError as err:
+            yield sys.log("caught %d" % err.errno)
+        yield sys.exit(0)
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    assert proc.exit_reason == defs.EXIT_NORMAL
+    assert any("caught 2" in line for line in cluster.machine("red").console)
+
+
+def test_sleep_blocks_without_cpu(cluster):
+    def guest(sys, argv):
+        yield sys.sleep(100)
+        yield sys.exit(0)
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    assert cluster.sim.now >= 100.0
+    assert proc.cpu_ms < 1.0
+
+
+def test_sleeping_process_does_not_block_the_cpu(cluster):
+    order = []
+
+    def sleeper(sys, argv):
+        yield sys.sleep(50)
+        order.append("sleeper")
+        yield sys.exit(0)
+
+    def worker(sys, argv):
+        yield sys.compute(10)
+        order.append("worker")
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", sleeper, ()), ("red", worker, ()))
+    assert order == ["worker", "sleeper"]
+
+
+def test_exit_status_propagates(cluster):
+    def guest(sys, argv):
+        yield sys.exit(42)
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    assert proc.exit_status == 42
+    assert proc.state == defs.PROC_ZOMBIE
+
+
+def test_exit_log_records_terminations(cluster):
+    def guest(sys, argv):
+        yield sys.exit(0)
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    machine = cluster.machine("red")
+    assert (proc.pid, proc.program_name, 0, defs.EXIT_NORMAL) in machine.exit_log
+
+
+def test_getpid_getuid(cluster):
+    seen = {}
+
+    def guest(sys, argv):
+        seen["pid"] = yield sys.getpid()
+        seen["uid"] = yield sys.getuid()
+        yield sys.exit(0)
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    assert seen == {"pid": proc.pid, "uid": 100}
+
+
+def test_gettimeofday_reads_local_clock():
+    from repro.core.cluster import Cluster
+
+    cluster = Cluster(seed=1, clock_skew={"red": (1000.0, 0.0)})
+    seen = []
+
+    def guest(sys, argv):
+        seen.append((yield sys.gettimeofday()))
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert seen[0] >= 1000.0
+
+
+def test_zombies_can_be_reaped(cluster):
+    def guest(sys, argv):
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    machine = cluster.machine("red")
+    assert machine.procs
+    machine.reap_zombies()
+    assert not machine.procs

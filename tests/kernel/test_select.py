@@ -1,0 +1,179 @@
+"""select() semantics: readiness, timeout, child events."""
+
+from repro.kernel import defs
+from tests.conftest import run_guests
+
+
+def test_select_returns_ready_socket(cluster):
+    results = []
+
+    def receiver(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.bind(fd, ("", 6000))
+        ready, __ = yield sys.select([fd])
+        results.append(ready)
+        yield sys.exit(0)
+
+    def sender(sys, argv):
+        yield sys.sleep(20)
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.sendto(fd, b"wake", ("red", 6000))
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", receiver, ()), ("green", sender, ()))
+    assert len(results[0]) == 1
+
+
+def test_select_timeout_returns_empty(cluster):
+    times = []
+
+    def guest(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.bind(fd, ("", 6000))
+        start = yield sys.gettimeofday()
+        ready, __ = yield sys.select([fd], timeout_ms=50)
+        end = yield sys.gettimeofday()
+        times.append((ready, end - start))
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    ready, elapsed = times[0]
+    assert ready == []
+    assert elapsed >= 49.0
+
+
+def test_select_zero_timeout_polls(cluster):
+    results = []
+
+    def guest(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.bind(fd, ("", 6000))
+        ready, __ = yield sys.select([fd], timeout_ms=0)
+        results.append(ready)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert results == [[]]
+
+
+def test_select_multiple_fds_reports_only_ready(cluster):
+    results = []
+
+    def receiver(sys, argv):
+        quiet = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.bind(quiet, ("", 6001))
+        busy = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.bind(busy, ("", 6000))
+        ready, __ = yield sys.select([quiet, busy])
+        results.append((ready, busy))
+        yield sys.exit(0)
+
+    def sender(sys, argv):
+        yield sys.sleep(20)
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.sendto(fd, b"x", ("red", 6000))
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", receiver, ()), ("green", sender, ()))
+    ready, busy_fd = results[0]
+    assert ready == [busy_fd]
+
+
+def test_select_listener_readable_on_pending_connection(cluster):
+    results = []
+
+    def server(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", 5000))
+        yield sys.listen(fd, 5)
+        ready, __ = yield sys.select([fd])
+        results.append(ready == [fd])
+        conn, __peer = yield sys.accept(fd)  # returns at once
+        yield sys.exit(0)
+
+    def client(sys, argv):
+        from repro import guestlib
+
+        yield from guestlib.connect_retry(
+            sys, defs.AF_INET, defs.SOCK_STREAM, ("red", 5000)
+        )
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", server, ()), ("green", client, ()))
+    assert results == [True]
+
+
+def test_select_want_children_wakes_on_termination(cluster):
+    events = []
+
+    def child(sys, argv):
+        yield sys.compute(30)
+        yield sys.exit(5)
+
+    def parent(sys, argv):
+        yield sys.fork(child, ())
+        __, child_events = yield sys.select([], want_children=True)
+        events.extend(child_events)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", parent, ()))
+    assert events[0]["status"] == 5
+
+
+def test_select_mixes_fds_and_children(cluster):
+    seen = []
+
+    def child(sys, argv):
+        yield sys.compute(10)
+        yield sys.exit(0)
+
+    def sender(sys, argv):
+        yield sys.sleep(40)
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.sendto(fd, b"x", ("red", 6000))
+        yield sys.exit(0)
+
+    def parent_with_fork(sys, argv):
+        yield sys.fork(child, ())
+        yield from parent_body(sys, argv)
+
+    def parent_body(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.bind(fd, ("", 6000))
+        got_child = False
+        got_data = False
+        while not (got_child and got_data):
+            ready, child_events = yield sys.select([fd], want_children=True)
+            if child_events:
+                got_child = True
+            if ready:
+                yield sys.recvfrom(fd, 100)
+                got_data = True
+        seen.append("both")
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", parent_with_fork, ()), ("green", sender, ()))
+    assert seen == ["both"]
+
+
+def test_tty_select_and_read(cluster):
+    from repro.kernel.tty import Terminal
+
+    machine = cluster.machine("red")
+    tty = Terminal()
+    lines = []
+
+    def guest(sys, argv):
+        ready, __ = yield sys.select([0])
+        data = yield sys.read(0, 100)
+        lines.append(data)
+        yield sys.exit(0)
+
+    proc = machine.create_process(main=guest, uid=100, start=False)
+    machine.attach_terminal(proc, tty)
+    machine.continue_proc(proc)
+    cluster.run(until_ms=20)
+    assert lines == []  # nothing typed yet
+    tty.push_line("hello")
+    cluster.run_until_exit([proc])
+    assert lines == [b"hello\n"]

@@ -1,0 +1,195 @@
+"""Signal semantics: stop/continue/kill and child notifications --
+the primitives the daemons use for process control (Section 3.5.1)."""
+
+import pytest
+
+from repro.kernel import defs
+from tests.conftest import run_guests
+
+
+def _counter_guest(counts, key):
+    def guest(sys, argv):
+        for __ in range(1000):
+            yield sys.compute(5)
+            counts[key] = counts.get(key, 0) + 1
+        yield sys.exit(0)
+
+    return guest
+
+
+def test_embryo_process_does_not_run_until_continued(cluster):
+    counts = {}
+    machine = cluster.machine("red")
+    proc = machine.create_process(
+        main=_counter_guest(counts, "a"), uid=100, start=False
+    )
+    cluster.run(until_ms=100.0)
+    assert counts.get("a", 0) == 0
+    assert proc.state == defs.PROC_EMBRYO
+    machine.continue_proc(proc)
+    cluster.run(until_ms=200.0)
+    assert counts["a"] > 0
+
+
+def test_sigstop_halts_a_running_process(cluster):
+    counts = {}
+    machine = cluster.machine("red")
+    proc = machine.create_process(main=_counter_guest(counts, "a"), uid=100)
+    cluster.run(until_ms=53.0)
+    machine.post_signal(proc, defs.SIGSTOP)
+    cluster.run(until_ms=60.0)
+    frozen = counts["a"]
+    cluster.run(until_ms=500.0)
+    assert counts["a"] == frozen
+
+
+def test_sigcont_resumes_where_it_stopped(cluster):
+    counts = {}
+    machine = cluster.machine("red")
+    proc = machine.create_process(main=_counter_guest(counts, "a"), uid=100)
+    cluster.run(until_ms=53.0)
+    machine.post_signal(proc, defs.SIGSTOP)
+    cluster.run(until_ms=100.0)
+    before = counts["a"]
+    machine.post_signal(proc, defs.SIGCONT)
+    cluster.run(until_ms=200.0)
+    assert counts["a"] > before
+
+
+def test_sigkill_terminates(cluster):
+    counts = {}
+    machine = cluster.machine("red")
+    proc = machine.create_process(main=_counter_guest(counts, "a"), uid=100)
+    cluster.run(until_ms=20.0)
+    machine.post_signal(proc, defs.SIGKILL)
+    cluster.run(until_ms=30.0)
+    assert proc.state == defs.PROC_ZOMBIE
+    assert proc.exit_reason == defs.EXIT_SIGNALED
+
+
+def test_sigkill_on_sleeping_process(cluster):
+    machine = cluster.machine("red")
+
+    def guest(sys, argv):
+        yield sys.sleep(10_000)
+        yield sys.exit(0)
+
+    proc = machine.create_process(main=guest, uid=100)
+    cluster.run(until_ms=10.0)
+    assert proc.state == defs.PROC_SLEEPING
+    machine.post_signal(proc, defs.SIGKILL)
+    assert proc.state == defs.PROC_ZOMBIE
+
+
+def test_stop_then_kill_while_stopped(cluster):
+    counts = {}
+    machine = cluster.machine("red")
+    proc = machine.create_process(main=_counter_guest(counts, "a"), uid=100)
+    cluster.run(until_ms=20.0)
+    machine.post_signal(proc, defs.SIGSTOP)
+    cluster.run(until_ms=40.0)
+    machine.post_signal(proc, defs.SIGKILL)
+    assert proc.state == defs.PROC_ZOMBIE
+
+
+def test_stopped_sleeper_wakes_only_after_cont(cluster):
+    machine = cluster.machine("red")
+    log = []
+
+    def guest(sys, argv):
+        yield sys.sleep(30)
+        log.append(("woke", cluster.sim.now))
+        yield sys.exit(0)
+
+    proc = machine.create_process(main=guest, uid=100)
+    cluster.run(until_ms=10.0)
+    machine.post_signal(proc, defs.SIGSTOP)
+    cluster.run(until_ms=200.0)
+    assert log == []  # timer fired but the process is stopped
+    machine.post_signal(proc, defs.SIGCONT)
+    cluster.run(until_ms=300.0)
+    assert log and log[0][1] >= 200.0
+
+
+def test_kill_syscall_requires_matching_uid(cluster):
+    machine = cluster.machine("red")
+    victim = machine.create_process(main=_counter_guest({}, "v"), uid=100)
+    result = {}
+
+    def attacker(sys, argv):
+        try:
+            yield sys.kill(int(argv[0]), defs.SIGKILL)
+            result["outcome"] = "killed"
+        except Exception as err:
+            result["outcome"] = str(err)
+        yield sys.exit(0)
+
+    proc = cluster.spawn("red", attacker, argv=[str(victim.pid)], uid=200)
+    cluster.run_until_exit([proc])
+    assert "EPERM" in result["outcome"]
+    assert victim.state != defs.PROC_ZOMBIE
+
+
+def test_root_can_kill_anyone(cluster):
+    machine = cluster.machine("red")
+    victim = machine.create_process(main=_counter_guest({}, "v"), uid=100)
+
+    def root_killer(sys, argv):
+        yield sys.kill(int(argv[0]), defs.SIGKILL)
+        yield sys.exit(0)
+
+    proc = cluster.spawn("red", root_killer, argv=[str(victim.pid)], uid=0)
+    cluster.run_until_exit([proc, victim])
+    assert victim.state == defs.PROC_ZOMBIE
+
+
+def test_kill_unknown_pid_is_esrch(cluster):
+    result = {}
+
+    def guest(sys, argv):
+        try:
+            yield sys.kill(99999, defs.SIGKILL)
+        except Exception as err:
+            result["err"] = str(err)
+        yield sys.exit(0)
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    assert "ESRCH" in result["err"]
+
+
+def test_parent_gets_child_termination_event(cluster):
+    events = []
+
+    def child(sys, argv):
+        yield sys.compute(5)
+        yield sys.exit(3)
+
+    def parent(sys, argv):
+        pid = yield sys.fork(child, ())
+        ready, child_events = yield sys.select([], want_children=True)
+        events.extend(child_events)
+        assert pid == child_events[0]["pid"]
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", parent, ()))
+    assert events[0]["status"] == 3
+    assert events[0]["reason"] == defs.EXIT_NORMAL
+
+
+def test_signaled_child_reports_signaled_reason(cluster):
+    events = []
+
+    def child(sys, argv):
+        yield sys.sleep(10_000)
+        yield sys.exit(0)
+
+    def parent(sys, argv):
+        pid = yield sys.fork(child, ())
+        yield sys.sleep(10)
+        yield sys.kill(pid, defs.SIGKILL)
+        __, child_events = yield sys.select([], want_children=True)
+        events.extend(child_events)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", parent, ()))
+    assert events[0]["reason"] == defs.EXIT_SIGNALED

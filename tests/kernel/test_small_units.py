@@ -1,0 +1,99 @@
+"""Small-unit coverage: wait queues, packets, errno names, and the
+controller's data model."""
+
+import pytest
+
+from repro.controller.model import FilterInfo, Job, ProcessRecord
+from repro.controller import states
+from repro.kernel.errno import SyscallError, errno_name
+from repro.kernel.packets import Packet, packet_size
+from repro.kernel.waitq import WaitQueue
+
+
+class _FakeMachine:
+    def __init__(self):
+        self.woken = []
+
+    def wake(self, proc):
+        self.woken.append(proc)
+
+
+class _FakeProc:
+    def __init__(self, machine):
+        self.machine = machine
+
+
+def test_waitqueue_add_is_idempotent():
+    queue = WaitQueue("test")
+    machine = _FakeMachine()
+    proc = _FakeProc(machine)
+    queue.add(proc)
+    queue.add(proc)
+    assert len(queue) == 1
+    assert proc in queue
+
+
+def test_waitqueue_wake_all_calls_each_machine():
+    queue = WaitQueue()
+    machine = _FakeMachine()
+    procs = [_FakeProc(machine) for __ in range(3)]
+    for proc in procs:
+        queue.add(proc)
+    queue.wake_all()
+    assert machine.woken == procs
+
+
+def test_waitqueue_discard_missing_is_noop():
+    queue = WaitQueue()
+    queue.discard(_FakeProc(_FakeMachine()))
+    assert len(queue) == 0
+
+
+def test_packet_attribute_access():
+    class _Host:
+        name = "red"
+
+    packet = Packet("dgram", _Host(), data=b"x", dst_name="y")
+    assert packet.data == b"x"
+    assert packet.dst_name == "y"
+    with pytest.raises(AttributeError):
+        packet.nonexistent
+
+
+def test_packet_size_includes_header():
+    assert packet_size(100) == 140
+
+
+def test_errno_name_known_and_unknown():
+    assert errno_name(1) == "EPERM"
+    assert errno_name(3) == "ESRCH"
+    assert errno_name(4242) == "E4242"
+
+
+def test_syscall_error_message_includes_name_and_detail():
+    err = SyscallError(2, "/missing/file")
+    assert "ENOENT" in str(err)
+    assert "/missing/file" in str(err)
+    assert err.errno == 2
+
+
+def test_job_find_process_and_active():
+    job = Job("foo", "f1", number=1)
+    a = ProcessRecord("A", "foo", "red", 2117, states.NEW)
+    b = ProcessRecord("B", "foo", "green", 2118, states.KILLED)
+    job.processes.extend([a, b])
+    assert job.find_process("A") is a
+    assert job.find_process("C") is None
+    assert job.active_processes() == [a]
+
+
+def test_filter_info_holds_meter_location():
+    info = FilterInfo("f1", "blue", 2117, "blue", 4411, "/usr/tmp/f1.log")
+    assert info.meter_host == "blue"
+    assert info.meter_port == 4411
+
+
+def test_process_record_repr_readable():
+    record = ProcessRecord("A", "foo", "red", 2117, states.RUNNING)
+    text = repr(record)
+    assert "A" in text and "2117" in text and "running" in text

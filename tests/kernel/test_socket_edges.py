@@ -1,0 +1,227 @@
+"""Socket-layer edge cases and invariants."""
+
+import pytest
+
+from repro.kernel import defs, errno
+from repro.kernel.errno import SyscallError
+from tests.conftest import run_guests
+
+
+def test_connect_twice_is_eisconn(cluster):
+    errors = []
+
+    def server(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", 5000))
+        yield sys.listen(fd, 5)
+        yield sys.accept(fd)
+        yield sys.sleep(100)
+        yield sys.exit(0)
+
+    def client(sys, argv):
+        from repro import guestlib
+
+        fd = yield from guestlib.connect_retry(
+            sys, defs.AF_INET, defs.SOCK_STREAM, ("red", 5000)
+        )
+        try:
+            yield sys.connect(fd, ("red", 5000))
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", server, ()), ("green", client, ()))
+    assert errors == [errno.EISCONN]
+
+
+def test_accept_before_listen_is_einval(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", 5000))
+        try:
+            yield sys.accept(fd)
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert errors == [errno.EINVAL]
+
+
+def test_read_on_listening_socket_is_einval(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", 5000))
+        yield sys.listen(fd, 5)
+        try:
+            yield sys.read(fd, 10)
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert errors == [errno.EINVAL]
+
+
+def test_write_on_unconnected_stream_is_enotconn(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        try:
+            yield sys.write(fd, b"x")
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert errors == [errno.ENOTCONN]
+
+
+def test_bind_twice_is_einval(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.bind(fd, ("", 5000))
+        try:
+            yield sys.bind(fd, ("", 5001))
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert errors == [errno.EINVAL]
+
+
+def test_same_port_different_types_coexist(cluster):
+    """A stream and a datagram socket may share a port number (the
+    (type, port) pair is the key, as with TCP/UDP)."""
+
+    def guest(sys, argv):
+        a = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(a, ("", 5000))
+        b = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.bind(b, ("", 5000))
+        yield sys.exit(0)
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    assert proc.exit_reason == defs.EXIT_NORMAL
+
+
+def test_socketpair_inet_rejected(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        try:
+            yield sys.socketpair(defs.AF_INET, defs.SOCK_STREAM)
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert errors == [errno.EOPNOTSUPP]
+
+
+def test_flow_control_credit_never_negative(cluster):
+    """Invariant: the sender's credit view stays within
+    [0, SOCK_BUFFER_BYTES] through a large, chunked transfer."""
+    observed = []
+
+    def sink(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", 5000))
+        yield sys.listen(fd, 5)
+        conn, __ = yield sys.accept(fd)
+        while True:
+            data = yield sys.read(conn, 700)
+            if not data:
+                break
+            yield sys.sleep(1)  # slow reader forces backpressure
+        yield sys.exit(0)
+
+    def source(sys, argv):
+        from repro import guestlib
+
+        fd = yield from guestlib.connect_retry(
+            sys, defs.AF_INET, defs.SOCK_STREAM, ("red", 5000)
+        )
+        for i in range(10):
+            yield sys.write(fd, b"z" * 3000)
+        yield sys.close(fd)
+        yield sys.exit(0)
+
+    sink_proc = cluster.spawn("red", sink, uid=100)
+    source_proc = cluster.spawn("green", source, uid=100)
+    # Observe the sender's socket credit as the sim runs.
+    green = cluster.machine("green")
+
+    def probe():
+        for entry in green.file_table.entries.values():
+            if entry.kind == "socket" and entry.obj.is_stream:
+                observed.append(entry.obj.send_credit)
+
+    for __ in range(400):
+        cluster.sim.run(max_events=50)
+        probe()
+        if source_proc.state == defs.PROC_ZOMBIE:
+            break
+    cluster.run_until_exit([sink_proc, source_proc], max_events=3_000_000)
+    assert observed
+    assert all(0 <= credit <= defs.SOCK_BUFFER_BYTES for credit in observed)
+
+
+def test_shutdown_on_unconnected_socket_is_enotconn(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        try:
+            yield sys.shutdown(fd, "w")
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert errors == [errno.ENOTCONN]
+
+
+def test_write_after_own_shutdown_is_epipe(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        a, b = yield sys.socketpair(defs.AF_UNIX, defs.SOCK_STREAM)
+        yield sys.shutdown(a, "w")
+        try:
+            yield sys.write(a, b"late")
+        except SyscallError as err:
+            errors.append(err.errno)
+        # ... but the other direction still works after a half close.
+        yield sys.write(b, b"still fine")
+        data = yield sys.read(a, 100)
+        assert data == b"still fine"
+        yield sys.exit(0)
+
+    (proc,) = run_guests(cluster, ("red", guest, ()))
+    assert errors == [errno.EPIPE]
+    assert proc.exit_reason == defs.EXIT_NORMAL
+
+
+def test_half_close_gives_peer_eof_but_accepts_data(cluster):
+    results = []
+
+    def guest(sys, argv):
+        a, b = yield sys.socketpair(defs.AF_UNIX, defs.SOCK_STREAM)
+        yield sys.shutdown(a, "w")
+        yield sys.sleep(5)
+        results.append((yield sys.read(b, 100)))  # EOF from a
+        yield sys.write(b, b"reply anyway")
+        results.append((yield sys.read(a, 100)))
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", guest, ()))
+    assert results == [b"", b"reply anyway"]

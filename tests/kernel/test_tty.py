@@ -1,0 +1,52 @@
+"""Terminal device semantics."""
+
+from repro.kernel.tty import Terminal
+
+
+def test_push_and_read_bytes():
+    tty = Terminal()
+    tty.push_input("hello")
+    assert tty.readable()
+    assert tty.read(3) == b"hel"
+    assert tty.read(10) == b"lo"
+    assert not tty.readable()
+
+
+def test_push_line_appends_newline():
+    tty = Terminal()
+    tty.push_line("cmd")
+    assert tty.read(100) == b"cmd\n"
+
+
+def test_eof_makes_readable_with_empty_read():
+    tty = Terminal()
+    tty.send_eof()
+    assert tty.readable()
+    assert tty.read(10) == b""
+
+
+def test_write_collects_output_and_fires_hook():
+    tty = Terminal()
+    chunks = []
+    tty.on_output = chunks.append
+    tty.write(b"one")
+    tty.write(b"two")
+    assert tty.peek_output() == "onetwo"
+    assert chunks == [b"one", b"two"]
+
+
+def test_take_output_drains():
+    tty = Terminal()
+    tty.write(b"data")
+    assert tty.take_output() == "data"
+    assert tty.take_output() == ""
+
+
+def test_readable_wakes_waiters():
+    from repro.kernel.waitq import WaitQueue
+
+    tty = Terminal()
+    assert isinstance(tty.rd_wait, WaitQueue)
+    assert not tty.readable()
+    tty.push_input("x")
+    assert tty.readable()

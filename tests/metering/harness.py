@@ -1,0 +1,67 @@
+"""Test harness: a minimal in-test filter and setmeter rigging.
+
+Lets metering tests observe the exact records a real filter would see,
+without standing up the whole measurement system.
+"""
+
+from repro.kernel import defs
+from repro.metering import flags as mf
+from repro.metering.messages import MessageCodec, decode_stream
+
+COLLECT_PORT = 4400
+
+
+def start_collector(cluster, machine="blue", port=COLLECT_PORT):
+    """Spawn a guest that accepts meter connections and decodes every
+    meter message into the returned list."""
+    records = []
+    codec = MessageCodec(cluster.host_table.names_by_id())
+
+    def collector(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", port))
+        yield sys.listen(fd, defs.SOMAXCONN)
+        conns = {}
+        while True:
+            ready, __ = yield sys.select([fd] + list(conns))
+            for ready_fd in ready:
+                if ready_fd == fd:
+                    conn, __peer = yield sys.accept(fd)
+                    conns[conn] = b""
+                    continue
+                data = yield sys.read(ready_fd, 8192)
+                if not data:
+                    yield sys.close(ready_fd)
+                    del conns[ready_fd]
+                    continue
+                buf = conns[ready_fd] + data
+                recs, buf = decode_stream(buf, codec)
+                records.extend(recs)
+                conns[ready_fd] = buf
+
+    proc = cluster.spawn(machine, collector, uid=0, program_name="collector")
+    return records, proc
+
+
+def rig_meter(cluster, machine, target_pid, flags, port=COLLECT_PORT, filter_host="blue", uid=0):
+    """Run a root rigger guest that connects a meter socket to the
+    collector and setmeters the target.  Returns the rigger proc."""
+
+    def rigger(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.connect(fd, (filter_host, port))
+        yield sys.setmeter(target_pid, flags, fd)
+        yield sys.close(fd)
+        yield sys.exit(0)
+
+    proc = cluster.spawn(machine, rigger, uid=uid, program_name="rigger")
+    cluster.run_until_exit([proc])
+    return proc
+
+
+def metered_spawn(cluster, machine, main, argv=(), flags=mf.M_ALL | mf.M_IMMEDIATE, uid=100):
+    """Spawn a guest suspended, rig its metering, start it."""
+    proc = cluster.spawn(machine, main, argv=argv, uid=uid, start=False)
+    rig_meter(cluster, machine, proc.pid, flags)
+    cluster.machine(machine).continue_proc(proc)
+    return proc

@@ -1,0 +1,78 @@
+"""Unit tests for <meterflags.h>."""
+
+import pytest
+
+from repro.metering import flags as mf
+
+
+def test_event_flags_are_distinct_bits():
+    values = [
+        mf.METERSEND,
+        mf.METERRECEIVECALL,
+        mf.METERRECEIVE,
+        mf.METERACCEPT,
+        mf.METERCONNECT,
+        mf.METERFORK,
+        mf.METERSOCKET,
+        mf.METERDUP,
+        mf.METERDESTSOCKET,
+        mf.METERTERMPROC,
+    ]
+    assert len(set(values)) == len(values)
+    for a in values:
+        assert bin(a).count("1") == 1
+
+
+def test_m_all_covers_every_event_but_not_immediate():
+    assert mf.M_ALL & mf.METERSEND
+    assert mf.M_ALL & mf.METERTERMPROC
+    assert not (mf.M_ALL & mf.M_IMMEDIATE)
+
+
+def test_flags_from_names_sets():
+    set_mask, clear_mask = mf.flags_from_names(["send", "receive"])
+    assert set_mask == mf.METERSEND | mf.METERRECEIVE
+    assert clear_mask == 0
+
+
+def test_flags_from_names_resets_with_dash():
+    set_mask, clear_mask = mf.flags_from_names(["-send"])
+    assert set_mask == 0
+    assert clear_mask == mf.METERSEND
+
+
+def test_flags_all_and_minus_all():
+    set_mask, __ = mf.flags_from_names(["all"])
+    assert set_mask == mf.M_ALL
+    __, clear_mask = mf.flags_from_names(["-all"])
+    assert clear_mask == mf.M_ALL
+
+
+def test_unknown_flag_raises():
+    with pytest.raises(ValueError):
+        mf.flags_from_names(["sendd"])
+
+
+def test_case_insensitive():
+    set_mask, __ = mf.flags_from_names(["SEND", "Receive"])
+    assert set_mask == mf.METERSEND | mf.METERRECEIVE
+
+
+def test_names_from_flags_round_trip():
+    mask = mf.METERSEND | mf.METERACCEPT | mf.METERFORK
+    names = mf.names_from_flags(mask)
+    assert set(names) == {"send", "accept", "fork"}
+    back, __ = mf.flags_from_names(names)
+    assert back == mask
+
+
+def test_flag_name_single_bit():
+    assert mf.flag_name(mf.METERCONNECT) == "connect"
+    assert mf.flag_name(mf.M_IMMEDIATE) == "immediate"
+
+
+def test_special_values():
+    assert mf.SELF == -1
+    assert mf.NO_CHANGE == -1
+    assert mf.NONE == 0
+    assert mf.SOCK_NONE not in (0, -1)  # distinct from a real fd and NO_CHANGE

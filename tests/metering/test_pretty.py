@@ -1,0 +1,80 @@
+"""Annotated meter-message hexdumps."""
+
+import pytest
+
+from repro.metering.messages import MessageCodec
+from repro.metering.pretty import annotate_message, annotate_stream
+from repro.net.addresses import InternetName
+
+HOSTS = {1: "red", 2: "green"}
+
+
+def _send_message(codec):
+    dest = InternetName("green", 6001, 2)
+    return codec.encode(
+        "send",
+        machine=1,
+        cpu_time=777,
+        proc_time=20,
+        pid=2117,
+        pc=9,
+        sock=0x1010,
+        msgLength=100,
+        destName=dest,
+        **codec.name_lengths(destName=dest)
+    )
+
+
+def test_annotation_labels_every_field():
+    codec = MessageCodec(HOSTS)
+    text = annotate_message(_send_message(codec), HOSTS)
+    for field in ("size", "machine", "cpuTime", "procTime", "traceType",
+                  "pid", "pc", "sock", "msgLength", "destNameLen", "destName"):
+        assert field in text, field
+    assert text.startswith("send message, 60 bytes")
+    assert "= 2117" in text
+    assert "inet:green:6001" in text
+
+
+def test_annotation_offsets_cover_whole_message():
+    codec = MessageCodec(HOSTS)
+    raw = _send_message(codec)
+    text = annotate_message(raw, HOSTS)
+    assert "[ 56: 60]" not in text  # destName starts at 44, 16 bytes
+    assert "[ 44: 60]" in text  # last field ends exactly at size
+
+
+def test_annotation_rejects_garbage():
+    with pytest.raises(ValueError):
+        annotate_message(b"\x00" * 10)
+    bad = bytearray(60)
+    bad[0:4] = (60).to_bytes(4, "big")
+    bad[20:24] = (99).to_bytes(4, "big")
+    with pytest.raises(ValueError):
+        annotate_message(bytes(bad))
+
+
+def test_annotate_stream_splits_messages():
+    codec = MessageCodec(HOSTS)
+    raw = _send_message(codec) * 3
+    text = annotate_stream(raw, HOSTS)
+    assert text.count("send message") == 3
+    limited = annotate_stream(raw, HOSTS, limit=2)
+    assert limited.count("send message") == 2
+
+
+def test_annotation_of_no_name_field():
+    codec = MessageCodec(HOSTS)
+    raw = codec.encode(
+        "send",
+        machine=1,
+        cpu_time=0,
+        proc_time=0,
+        pid=1,
+        pc=1,
+        sock=1,
+        msgLength=5,
+        destName=None,
+        destNameLen=0,
+    )
+    assert "(no name)" in annotate_message(raw, HOSTS)

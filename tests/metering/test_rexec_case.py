@@ -1,0 +1,80 @@
+"""The rexec-server case (Section 3.2).
+
+"If an outside agent is used to create a process, such as the system
+rexec server, the new process will be monitored only if the server is
+being monitored or if monitoring is explicitly set for the new process
+after it is created."
+"""
+
+from repro.kernel import defs
+from repro.metering import flags as mf
+from tests.metering.harness import metered_spawn, start_collector
+
+
+def _payload(sys, argv):
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    yield sys.sendto(fd, b"work", ("green", 6000))
+    yield sys.exit(0)
+
+
+def _rexec_server(sys, argv):
+    """Creates one child via fork+exec on request (simplified)."""
+    pid = yield sys.forkexec("/bin/payload", [], start=True)
+    __, events = yield sys.select([], want_children=True)
+    yield sys.exit(0)
+
+
+def test_children_of_metered_server_are_metered(cluster):
+    records, __ = start_collector(cluster)
+    cluster.install_program("payload", _payload)
+    server = metered_spawn(
+        cluster, "red", _rexec_server, flags=mf.METERSEND | mf.M_IMMEDIATE, uid=100
+    )
+    cluster.run_until_exit([server])
+    cluster.run(until_ms=cluster.sim.now + 30)
+    sends = [r for r in records if r["event"] == "send"]
+    assert sends, "the exec'd child inherited the meter connection"
+    assert sends[0]["pid"] != server.pid  # it is the child's event
+
+
+def test_children_of_unmetered_server_are_not_metered(cluster):
+    records, __ = start_collector(cluster)
+    cluster.install_program("payload", _payload)
+    server = cluster.spawn("red", _rexec_server, uid=100)
+    cluster.run_until_exit([server])
+    cluster.run(until_ms=cluster.sim.now + 30)
+    assert records == []
+
+
+def test_monitoring_can_be_set_explicitly_after_creation(cluster):
+    """The other half of the sentence: an unmetered agent's child can
+    be acquired afterwards."""
+    from tests.metering.harness import rig_meter
+
+    records, __ = start_collector(cluster)
+
+    def slow_payload(sys, argv):
+        yield sys.sleep(100)
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.sendto(fd, b"late work", ("green", 6000))
+        yield sys.exit(0)
+
+    cluster.install_program("slowpayload", slow_payload)
+
+    def server(sys, argv):
+        yield sys.forkexec("/bin/slowpayload", [], start=True)
+        yield sys.select([], want_children=True)
+        yield sys.exit(0)
+
+    server_proc = cluster.spawn("red", server, uid=100)
+    cluster.run(until_ms=cluster.sim.now + 30)
+    child = next(
+        p for p in cluster.machine("red").procs.values()
+        if p.program_name == "slowpayload"
+    )
+    rig_meter(cluster, "red", child.pid, mf.METERSEND | mf.M_IMMEDIATE)
+    cluster.run_until_exit([server_proc])
+    cluster.run(until_ms=cluster.sim.now + 30)
+    sends = [r for r in records if r["event"] == "send"]
+    assert len(sends) == 1
+    assert sends[0]["pid"] == child.pid

@@ -1,0 +1,283 @@
+"""setmeter(2) conformance: the Appendix C manual page semantics."""
+
+import pytest
+
+from repro.kernel import defs, errno
+from repro.kernel.errno import SyscallError
+from repro.metering import flags as mf
+from tests.conftest import run_guests
+from tests.metering.harness import start_collector
+
+
+def _idle(sys, argv):
+    yield sys.sleep(100_000)
+    yield sys.exit(0)
+
+
+def _run(cluster, main, uid=0, machine="red"):
+    proc = cluster.spawn(machine, main, uid=uid)
+    cluster.run_until_exit([proc])
+    return proc
+
+
+def _meter_socket(sys, host="blue"):
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.connect(fd, (host, 4400))
+    return fd
+
+
+def test_setmeter_self_with_minus_one(cluster):
+    start_collector(cluster)
+
+    def guest(sys, argv):
+        fd = yield from _meter_socket(sys)
+        yield sys.setmeter(mf.SELF, mf.METERSEND, fd)
+        yield sys.exit(0)
+
+    proc = _run(cluster, guest, uid=100)
+    assert proc.meter_flags == mf.METERSEND
+
+
+def test_setmeter_flags_no_change(cluster):
+    start_collector(cluster)
+
+    def guest(sys, argv):
+        fd = yield from _meter_socket(sys)
+        yield sys.setmeter(mf.SELF, mf.METERSEND, fd)
+        yield sys.setmeter(mf.SELF, mf.NO_CHANGE, mf.NO_CHANGE)
+        yield sys.exit(0)
+
+    proc = _run(cluster, guest, uid=100)
+    assert proc.meter_flags == mf.METERSEND
+
+
+def test_setmeter_flags_replace_not_union(cluster):
+    """The man page: the new bit mask "replaces the processes previous
+    bit mask" (the *controller* implements union semantics on top)."""
+    start_collector(cluster)
+
+    def guest(sys, argv):
+        fd = yield from _meter_socket(sys)
+        yield sys.setmeter(mf.SELF, mf.METERSEND, fd)
+        yield sys.setmeter(mf.SELF, mf.METERRECEIVE, mf.NO_CHANGE)
+        yield sys.exit(0)
+
+    proc = _run(cluster, guest, uid=100)
+    assert proc.meter_flags == mf.METERRECEIVE
+
+
+def test_setmeter_none_clears_flags(cluster):
+    start_collector(cluster)
+
+    def guest(sys, argv):
+        fd = yield from _meter_socket(sys)
+        yield sys.setmeter(mf.SELF, mf.M_ALL, fd)
+        yield sys.setmeter(mf.SELF, mf.NONE, mf.NO_CHANGE)
+        yield sys.exit(0)
+
+    proc = _run(cluster, guest, uid=100)
+    assert proc.meter_flags == 0
+
+
+def test_setmeter_unknown_pid_is_esrch(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        try:
+            yield sys.setmeter(99999, mf.M_ALL, mf.NO_CHANGE)
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    _run(cluster, guest, uid=100)
+    assert errors == [errno.ESRCH]
+
+
+def test_setmeter_foreign_process_is_eperm(cluster):
+    victim = cluster.spawn("red", _idle, uid=100)
+    errors = []
+
+    def guest(sys, argv):
+        try:
+            yield sys.setmeter(victim.pid, mf.M_ALL, mf.NO_CHANGE)
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    _run(cluster, guest, uid=200)
+    assert errors == [errno.EPERM]
+
+
+def test_superuser_can_meter_any_process(cluster):
+    victim = cluster.spawn("red", _idle, uid=100)
+
+    def guest(sys, argv):
+        yield sys.setmeter(victim.pid, mf.METERSEND, mf.NO_CHANGE)
+        yield sys.exit(0)
+
+    _run(cluster, guest, uid=0)
+    assert victim.meter_flags == mf.METERSEND
+
+
+def test_same_user_can_meter_own_process(cluster):
+    victim = cluster.spawn("red", _idle, uid=100)
+
+    def guest(sys, argv):
+        yield sys.setmeter(victim.pid, mf.METERSEND, mf.NO_CHANGE)
+        yield sys.exit(0)
+
+    _run(cluster, guest, uid=100)
+    assert victim.meter_flags == mf.METERSEND
+
+
+def test_meter_socket_must_be_internet_stream(cluster):
+    errors = []
+
+    def guest(sys, argv):
+        dgram = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        try:
+            yield sys.setmeter(mf.SELF, mf.M_ALL, dgram)
+        except SyscallError as err:
+            errors.append(err.errno)
+        unix = yield sys.socket(defs.AF_UNIX, defs.SOCK_STREAM)
+        try:
+            yield sys.setmeter(mf.SELF, mf.M_ALL, unix)
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    _run(cluster, guest, uid=100)
+    assert errors == [errno.EINVAL, errno.EINVAL]
+
+
+def test_meter_socket_bad_fd_is_esrch(cluster):
+    """Appendix C ERRORS: [ESRCH] "The socket does not exist"."""
+    errors = []
+
+    def guest(sys, argv):
+        try:
+            yield sys.setmeter(mf.SELF, mf.M_ALL, 33)
+        except SyscallError as err:
+            errors.append(err.errno)
+        yield sys.exit(0)
+
+    _run(cluster, guest, uid=100)
+    assert errors == [errno.ESRCH]
+
+
+def test_meter_socket_not_in_descriptor_table(cluster):
+    """"The connected socket is not listed in the descriptor table of
+    the metered process" -- and does not consume a descriptor slot."""
+    start_collector(cluster)
+    victim = cluster.spawn("red", _idle, uid=100)
+
+    def guest(sys, argv):
+        fd = yield from _meter_socket(sys)
+        yield sys.setmeter(victim.pid, mf.M_ALL, fd)
+        yield sys.close(fd)
+        yield sys.exit(0)
+
+    _run(cluster, guest, uid=0)
+    assert victim.meter_entry is not None
+    assert victim.meter_entry not in victim.fds.values()
+
+
+def test_new_meter_socket_closes_the_old_one(cluster):
+    start_collector(cluster)
+    victim = cluster.spawn("red", _idle, uid=100)
+
+    def guest(sys, argv):
+        fd1 = yield from _meter_socket(sys)
+        yield sys.setmeter(victim.pid, mf.M_ALL, fd1)
+        fd2 = yield from _meter_socket(sys)
+        yield sys.setmeter(victim.pid, mf.NO_CHANGE, fd2)
+        yield sys.close(fd1)
+        yield sys.close(fd2)
+        yield sys.exit(0)
+
+    _run(cluster, guest, uid=0)
+    cluster.run(until_ms=cluster.sim.now + 10)
+    entry = victim.meter_entry
+    assert entry is not None
+    assert entry.refcount == 1  # only the victim holds the new socket
+
+
+def test_sock_none_closes_meter_connection(cluster):
+    start_collector(cluster)
+    victim = cluster.spawn("red", _idle, uid=100)
+
+    def attach(sys, argv):
+        fd = yield from _meter_socket(sys)
+        yield sys.setmeter(victim.pid, mf.M_ALL, fd)
+        yield sys.close(fd)
+        yield sys.exit(0)
+
+    def detach(sys, argv):
+        yield sys.setmeter(victim.pid, mf.NONE, mf.SOCK_NONE)
+        yield sys.exit(0)
+
+    _run(cluster, attach, uid=0)
+    assert victim.meter_entry is not None
+    _run(cluster, detach, uid=0)
+    assert victim.meter_entry is None
+    assert victim.meter_flags == 0
+
+
+def test_fork_inherits_meter_socket_and_flags(cluster):
+    start_collector(cluster)
+    child_record = {}
+
+    def child(sys, argv):
+        yield sys.sleep(1)
+        yield sys.exit(0)
+
+    def parent(sys, argv):
+        fd = yield from _meter_socket(sys)
+        yield sys.setmeter(mf.SELF, mf.METERSEND | mf.METERFORK, fd)
+        yield sys.close(fd)
+        pid = yield sys.fork(child, ())
+        child_record["pid"] = pid
+        yield sys.sleep(5)
+        yield sys.exit(0)
+
+    proc = cluster.spawn("red", parent, uid=100)
+    cluster.run(until_ms=cluster.sim.now + 3)
+    machine = cluster.machine("red")
+    child_proc = machine.procs[child_record["pid"]]
+    assert child_proc.meter_flags == mf.METERSEND | mf.METERFORK
+    assert child_proc.meter_entry is not None
+    assert child_proc.meter_entry.obj is proc.meter_entry.obj
+    cluster.run_until_exit([proc])
+
+
+def test_meter_does_not_reduce_available_descriptors(cluster):
+    """"The meter does not reduce the number of open files and sockets
+    available to the metered process": a metered and an unmetered
+    process can open exactly as many descriptors."""
+    start_collector(cluster)
+    counts = []
+
+    def fill_descriptors(sys):
+        opened = 0
+        try:
+            while True:
+                yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+                opened += 1
+        except SyscallError:
+            pass
+        return opened
+
+    def metered(sys, argv):
+        fd = yield from _meter_socket(sys)
+        yield sys.setmeter(mf.SELF, mf.M_ALL, fd)
+        yield sys.close(fd)
+        counts.append((yield from fill_descriptors(sys)))
+        yield sys.exit(0)
+
+    def unmetered(sys, argv):
+        counts.append((yield from fill_descriptors(sys)))
+        yield sys.exit(0)
+
+    _run(cluster, metered, uid=100)
+    _run(cluster, unmetered, uid=100, machine="green")
+    assert counts[0] == counts[1]

@@ -1,0 +1,113 @@
+"""Unit tests for socket names and their 16-byte wire form."""
+
+import pytest
+
+from repro.net.addresses import (
+    AF_INET,
+    AF_PAIR,
+    AF_UNIX,
+    NO_NAME,
+    InternetName,
+    PairName,
+    UnixName,
+    decode_name,
+    parse_name,
+)
+
+
+def test_wire_form_is_sixteen_bytes_for_every_family():
+    for name in (
+        InternetName("red", 5000, host_id=3),
+        UnixName("/tmp/sock"),
+        PairName(42),
+    ):
+        assert len(name.wire_bytes()) == 16
+
+
+def test_inet_round_trip_preserves_port_and_host():
+    name = InternetName("green", 7777, host_id=2)
+    decoded = decode_name(name.wire_bytes(), {2: "green"})
+    assert isinstance(decoded, InternetName)
+    assert decoded.port == 7777
+    assert decoded.host == "green"
+    assert decoded.display() == "inet:green:7777"
+
+
+def test_inet_decode_without_host_table_shows_numeric_id():
+    name = InternetName("green", 7777, host_id=2)
+    decoded = decode_name(name.wire_bytes())
+    assert decoded.host == "2"
+
+
+def test_unix_round_trip():
+    name = UnixName("/usr/tmp/x")
+    decoded = decode_name(name.wire_bytes())
+    assert isinstance(decoded, UnixName)
+    assert decoded.path == "/usr/tmp/x"
+
+
+def test_unix_path_truncates_like_sun_path():
+    name = UnixName("/a/very/long/path/that/exceeds")
+    decoded = decode_name(name.wire_bytes())
+    assert decoded.path == "/a/very/long/p"  # 14 bytes
+
+
+def test_pair_round_trip():
+    name = PairName(99)
+    decoded = decode_name(name.wire_bytes())
+    assert isinstance(decoded, PairName)
+    assert decoded.unique_id == 99
+    assert decoded.display() == "pair:99"
+
+
+def test_zero_name_decodes_to_none():
+    assert decode_name(NO_NAME) is None
+
+
+def test_decode_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        decode_name(b"\x00" * 15)
+
+
+def test_decode_rejects_unknown_family():
+    raw = (77).to_bytes(2, "big") + b"\x00" * 14
+    with pytest.raises(ValueError):
+        decode_name(raw)
+
+
+def test_wire_len_reports_meaningful_bytes():
+    assert InternetName("red", 1, 1).wire_len() == 8
+    assert UnixName("/ab").wire_len() == 2 + 3
+    assert PairName(1).wire_len() == 6
+
+
+def test_display_parse_round_trip():
+    for name in (
+        InternetName("blue", 4000, 3),
+        UnixName("/gateway/7"),
+        PairName(12),
+    ):
+        parsed = parse_name(name.display())
+        assert parsed == name
+
+
+def test_parse_name_empty_and_dash_are_none():
+    assert parse_name("") is None
+    assert parse_name("-") is None
+
+
+def test_parse_name_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_name("bogus:thing")
+
+
+def test_equality_and_hash_by_display():
+    assert InternetName("red", 5, 1) == InternetName("red", 5, 9)
+    assert hash(UnixName("/x")) == hash(UnixName("/x"))
+    assert InternetName("red", 5, 1) != UnixName("red:5")
+
+
+def test_family_constants_match_bsd():
+    assert AF_UNIX == 1
+    assert AF_INET == 2
+    assert AF_PAIR not in (AF_UNIX, AF_INET)

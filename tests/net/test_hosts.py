@@ -1,0 +1,47 @@
+"""Host table behaviour."""
+
+import pytest
+
+from repro.net.hosts import HostTable
+
+
+def test_add_assigns_increasing_ids():
+    table = HostTable()
+    a = table.add("red")
+    b = table.add("green")
+    assert (a.host_id, b.host_id) == (1, 2)
+
+
+def test_duplicate_name_rejected():
+    table = HostTable()
+    table.add("red")
+    with pytest.raises(ValueError):
+        table.add("red")
+
+
+def test_lookup_by_name_and_id():
+    table = HostTable()
+    host = table.add("blue")
+    assert table.lookup("blue") is host
+    assert table.lookup_id(host.host_id) is host
+
+
+def test_lookup_unknown_raises_keyerror():
+    table = HostTable()
+    with pytest.raises(KeyError):
+        table.lookup("mars")
+
+
+def test_names_by_id_map():
+    table = HostTable()
+    table.add("red")
+    table.add("green")
+    assert table.names_by_id() == {1: "red", 2: "green"}
+
+
+def test_contains_iter_len():
+    table = HostTable()
+    table.add("red")
+    assert "red" in table and "blue" not in table
+    assert len(table) == 1
+    assert [host.name for host in table] == ["red"]

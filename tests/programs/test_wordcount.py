@@ -1,0 +1,81 @@
+"""The distributed word-count workload."""
+
+import pytest
+
+from repro.analysis import CommunicationGraph, Trace
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.kernel import defs
+from repro.programs import install_all
+from repro.programs.wordcount import count_words, merge_counts
+
+SAMPLE_TEXT = """\
+the quick brown fox jumps over the lazy dog
+the dog barks and the fox runs
+quick quick slow
+monitoring distributed programs is hard, said the fox.
+"""
+
+
+def test_count_words_reference():
+    counts = count_words("The cat, the hat! THE bat")
+    assert counts == {"the": 3, "cat": 1, "hat": 1, "bat": 1}
+
+
+def test_merge_counts():
+    total = merge_counts({"a": 1}, {"a": 2, "b": 5})
+    assert total == {"a": 3, "b": 5}
+
+
+def _run_wordcount(session, nmappers=2):
+    session.cluster.machine("yellow").fs.install(
+        "corpus", SAMPLE_TEXT, owner=session.uid, mode=0o644
+    )
+    session.command("filter f1 blue")
+    session.command("newjob wc")
+    session.command(
+        "addprocess wc yellow wccoordinator 5700 {0} corpus red 5800".format(nmappers)
+    )
+    session.command("addprocess wc red wcreducer 5800 {0}".format(nmappers))
+    mapper_machines = ["green", "blue"][:nmappers]
+    for machine in mapper_machines:
+        session.command("addprocess wc {0} wcmapper yellow 5700".format(machine))
+    session.command("setflags wc all")
+    session.command("startjob wc")
+    session.settle()
+    return session
+
+
+@pytest.fixture
+def session():
+    cluster = Cluster(seed=61)
+    sess = MeasurementSession(cluster, control_machine="yellow")
+    install_all(sess)
+    return sess
+
+
+def test_wordcount_produces_correct_totals(session):
+    _run_wordcount(session)
+    out = session.drain_output()
+    # "the" appears 5 times in the corpus.
+    assert "wccoordinator: top words: the=5" in out
+    assert "DONE: process wccoordinator in job 'wc' terminated: reason: normal" in out
+
+
+def test_wordcount_matches_local_reference(session):
+    _run_wordcount(session)
+    reference = count_words(SAMPLE_TEXT)
+    top = sorted(reference.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+    expected = ", ".join("{0}={1}".format(w, c) for w, c in top)
+    assert "top words: " + expected in session.drain_output()
+
+
+def test_wordcount_trace_shows_scatter_gather(session):
+    _run_wordcount(session)
+    trace = Trace(session.read_trace("f1"))
+    assert len(trace.processes()) == 4  # coordinator, reducer, 2 mappers
+    graph = CommunicationGraph(trace)
+    # Both mappers talk to coordinator and reducer: a connected mesh.
+    assert graph.is_connected()
+    accepts = trace.by_type("accept")
+    assert len(accepts) >= 5  # 2 scatter + 2 gather + 1 result

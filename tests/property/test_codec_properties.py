@@ -1,0 +1,133 @@
+"""Property tests: the Appendix-A codec and the description decoder
+agree on arbitrary messages, and framing never corrupts a stream."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filtering.descriptions import default_description_set
+from repro.metering import messages
+from repro.metering.messages import EVENT_TYPES, MessageCodec, decode_stream
+from repro.net.addresses import InternetName, PairName, UnixName
+
+HOSTS = {1: "red", 2: "green", 3: "blue", 4: "yellow"}
+
+def _inet_name(host_id, port):
+    # The wire form carries only the host id; keep host consistent.
+    return InternetName(HOSTS[host_id], port, host_id)
+
+
+_names = st.one_of(
+    st.none(),
+    st.builds(
+        _inet_name,
+        host_id=st.sampled_from(sorted(HOSTS)),
+        port=st.integers(min_value=1, max_value=65535),
+    ),
+    st.builds(
+        UnixName,
+        path=st.text(
+            alphabet="abcdefghij/._", min_size=1, max_size=14
+        ),
+    ),
+    st.builds(PairName, unique_id=st.integers(min_value=1, max_value=2**31 - 1)),
+)
+
+
+def _message_strategy():
+    longs = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+    @st.composite
+    def build(draw):
+        event = draw(st.sampled_from(sorted(EVENT_TYPES)))
+        body = {}
+        names = {}
+        for field, kind in messages.BODY_FIELDS[event]:
+            if kind == "long":
+                if field.endswith("NameLen"):
+                    continue  # derived below
+                body[field] = draw(longs)
+            else:
+                names[field] = draw(_names)
+        codec = MessageCodec(HOSTS)
+        body.update(names)
+        body.update(codec.name_lengths(**names))
+        header = {
+            "machine": draw(st.sampled_from(sorted(HOSTS))),
+            "cpu_time": draw(st.integers(min_value=0, max_value=2**31 - 1)),
+            "proc_time": draw(st.integers(min_value=0, max_value=10**6)),
+        }
+        return event, header, body
+
+    return build()
+
+
+@given(_message_strategy())
+@settings(max_examples=200)
+def test_encode_decode_round_trip(message):
+    event, header, body = message
+    codec = MessageCodec(HOSTS)
+    raw = codec.encode(event, **dict(header, **body))
+    record = codec.decode(raw)
+    assert record["event"] == event
+    assert record["machine"] == header["machine"]
+    assert record["cpuTime"] == header["cpu_time"]
+    assert record["procTime"] == header["proc_time"]
+    for field, kind in messages.BODY_FIELDS[event]:
+        if kind == "long":
+            assert record[field] == body.get(field, 0) or field.endswith("NameLen")
+        else:
+            expected = body[field].display() if body[field] is not None else ""
+            # UnixName paths are truncated to 14 bytes on the wire.
+            if expected.startswith("unix:"):
+                assert record[field] == "unix:" + expected[5:19]
+            else:
+                assert record[field] == expected
+
+
+@given(_message_strategy())
+@settings(max_examples=100)
+def test_codec_and_descriptions_always_agree(message):
+    """The generated description file decodes exactly like the codec."""
+    event, header, body = message
+    codec = MessageCodec(HOSTS)
+    raw = codec.encode(event, **dict(header, **body))
+    via_codec = codec.decode(raw)
+    via_descriptions = default_description_set().decode_message(raw, HOSTS)
+    for key, value in via_descriptions.items():
+        if key == "size":
+            continue
+        assert via_codec[key] == value, key
+
+
+@given(st.lists(_message_strategy(), min_size=0, max_size=20), st.data())
+@settings(max_examples=50)
+def test_stream_framing_survives_arbitrary_chunking(batch, data):
+    """Concatenate N messages, split at random boundaries, feed the
+    chunks through incremental decode: same records out."""
+    codec = MessageCodec(HOSTS)
+    wire = b"".join(
+        codec.encode(event, **dict(header, **body))
+        for event, header, body in batch
+    )
+    # Random chunk boundaries.
+    boundaries = sorted(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(wire)),
+                max_size=10,
+            )
+        )
+    )
+    chunks = []
+    prev = 0
+    for boundary in boundaries + [len(wire)]:
+        chunks.append(wire[prev:boundary])
+        prev = boundary
+    records = []
+    buf = b""
+    for chunk in chunks:
+        buf += chunk
+        recs, buf = decode_stream(buf, codec)
+        records.extend(recs)
+    assert buf == b""
+    assert [r["event"] for r in records] == [event for event, __, __ in batch]

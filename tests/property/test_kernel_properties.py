@@ -1,0 +1,94 @@
+"""Property tests on kernel-level invariants: CPU conservation, FIFO
+streams under random scheduling, deterministic replay."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import Cluster
+from repro.kernel import defs
+
+
+@st.composite
+def _compute_workloads(draw):
+    n_procs = draw(st.integers(min_value=1, max_value=5))
+    work = [
+        draw(st.floats(min_value=0.5, max_value=80.0)) for __ in range(n_procs)
+    ]
+    seed = draw(st.integers(min_value=0, max_value=500))
+    return work, seed
+
+
+@given(_compute_workloads())
+@settings(max_examples=30, deadline=None)
+def test_single_cpu_conserves_time(workload):
+    """On one machine, elapsed >= sum of CPU charged (one CPU), and
+    every process is charged what it asked for (plus trap costs)."""
+    work, seed = workload
+    cluster = Cluster(seed=seed)
+
+    def make_guest(ms):
+        def guest(sys, argv):
+            yield sys.compute(ms)
+            yield sys.exit(0)
+
+        return guest
+
+    procs = [cluster.spawn("red", make_guest(ms), uid=100) for ms in work]
+    cluster.run_until_exit(procs)
+    total_cpu = sum(p.cpu_ms for p in procs)
+    assert cluster.sim.now >= total_cpu - 1e-6
+    for proc, ms in zip(procs, work):
+        assert proc.cpu_ms >= ms - 1e-6
+        assert proc.cpu_ms <= ms + 1.0  # trap overhead only
+
+
+@given(_compute_workloads())
+@settings(max_examples=20, deadline=None)
+def test_runs_are_deterministic(workload):
+    """Identical seeds and workloads give identical final clocks and
+    CPU charges."""
+    work, seed = workload
+
+    def run_once():
+        cluster = Cluster(seed=seed)
+
+        def make_guest(ms):
+            def guest(sys, argv):
+                yield sys.compute(ms)
+                yield sys.exit(0)
+
+            return guest
+
+        procs = [
+            cluster.spawn("red", make_guest(ms), uid=100) for ms in work
+        ]
+        cluster.run_until_exit(procs)
+        return cluster.sim.now, [p.cpu_ms for p in procs]
+
+    assert run_once() == run_once()
+
+
+@given(
+    st.integers(min_value=0, max_value=300),
+    st.lists(st.integers(min_value=1, max_value=400), min_size=1, max_size=12),
+)
+@settings(max_examples=25, deadline=None)
+def test_datagram_pair_gateway_is_fifo(seed, sizes):
+    """Local datagram socketpairs (the daemon gateway) deliver whole
+    messages in order, whatever the payload pattern."""
+    cluster = Cluster(seed=seed)
+    got = []
+
+    def guest(sys, argv):
+        a, b = yield sys.socketpair(defs.AF_UNIX, defs.SOCK_DGRAM)
+        for i, size in enumerate(sizes):
+            yield sys.write(a, bytes([i % 256]) * size)
+        for __ in sizes:
+            got.append((yield sys.read(b, 2048)))
+        yield sys.exit(0)
+
+    proc = cluster.spawn("red", guest, uid=100)
+    cluster.run_until_exit([proc])
+    assert [len(d) for d in got] == sizes
+    for i, data in enumerate(got):
+        assert data == bytes([i % 256]) * sizes[i]

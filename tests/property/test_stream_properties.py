@@ -1,0 +1,90 @@
+"""Property tests on the stream socket layer: arbitrary write/read
+chunkings deliver exactly the sent bytes, in order."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import Cluster
+from repro.kernel import defs
+
+
+@st.composite
+def _transfers(draw):
+    writes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=6000),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    read_size = draw(st.integers(min_value=1, max_value=5000))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return writes, read_size, seed
+
+
+@given(_transfers())
+@settings(max_examples=30, deadline=None)
+def test_stream_delivers_exact_bytes_in_order(transfer):
+    writes, read_size, seed = transfer
+    cluster = Cluster(seed=seed)
+    payloads = [
+        bytes((i + j) % 251 for j in range(size))
+        for i, size in enumerate(writes)
+    ]
+    total = sum(len(p) for p in payloads)
+    received = []
+
+    def sink(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", 5000))
+        yield sys.listen(fd, 5)
+        conn, __ = yield sys.accept(fd)
+        got = b""
+        while len(got) < total:
+            data = yield sys.read(conn, read_size)
+            if not data:
+                break
+            got += data
+        received.append(got)
+        yield sys.exit(0)
+
+    def source(sys, argv):
+        from repro import guestlib
+
+        fd = yield from guestlib.connect_retry(
+            sys, defs.AF_INET, defs.SOCK_STREAM, ("red", 5000)
+        )
+        for payload in payloads:
+            yield sys.write(fd, payload)
+        yield sys.close(fd)
+        yield sys.exit(0)
+
+    a = cluster.spawn("red", sink, uid=100)
+    b = cluster.spawn("green", source, uid=100)
+    cluster.run_until_exit([a, b], max_events=3_000_000)
+    assert received == [b"".join(payloads)]
+
+
+@given(st.integers(min_value=0, max_value=50), st.integers(min_value=1, max_value=200))
+@settings(max_examples=30, deadline=None)
+def test_datagram_payloads_arrive_intact(seed, size):
+    cluster = Cluster(seed=seed)
+    payload = bytes(i % 256 for i in range(size))
+    got = []
+
+    def receiver(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.bind(fd, ("", 6000))
+        data, __ = yield sys.recvfrom(fd, defs.MAX_DGRAM_BYTES)
+        got.append(data)
+        yield sys.exit(0)
+
+    def sender(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.sendto(fd, payload, ("red", 6000))
+        yield sys.exit(0)
+
+    a = cluster.spawn("red", receiver, uid=100)
+    b = cluster.spawn("green", sender, uid=100)
+    cluster.run_until_exit([a, b])
+    assert got == [payload]

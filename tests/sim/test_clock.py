@@ -1,0 +1,40 @@
+"""Unit tests for drifting machine clocks."""
+
+import pytest
+
+from repro.sim.clock import MachineClock
+
+
+def test_ideal_clock_is_identity():
+    clock = MachineClock()
+    assert clock.local_time(0.0) == 0.0
+    assert clock.local_time(1234.5) == 1234.5
+
+
+def test_offset_shifts_local_time():
+    clock = MachineClock(offset_ms=500.0)
+    assert clock.local_time(100.0) == 600.0
+
+
+def test_drift_scales_with_elapsed_time():
+    clock = MachineClock(drift_ppm=1000.0)  # 0.1% fast
+    assert clock.local_time(1_000_000.0) == pytest.approx(1_001_000.0)
+
+
+def test_offset_and_drift_combine():
+    clock = MachineClock(offset_ms=-200.0, drift_ppm=-500.0)
+    assert clock.local_time(1000.0) == pytest.approx(-200.0 + 999.5)
+
+
+def test_global_time_inverts_local_time():
+    clock = MachineClock(offset_ms=321.0, drift_ppm=77.0)
+    for t in (0.0, 10.0, 99999.0):
+        assert clock.global_time(clock.local_time(t)) == pytest.approx(t)
+
+
+def test_two_skewed_clocks_disagree_grows_over_time():
+    fast = MachineClock(drift_ppm=100.0)
+    slow = MachineClock(drift_ppm=-100.0)
+    gap_early = fast.local_time(1000.0) - slow.local_time(1000.0)
+    gap_late = fast.local_time(1_000_000.0) - slow.local_time(1_000_000.0)
+    assert gap_late > gap_early > 0

@@ -1,0 +1,66 @@
+"""Simulator edge cases not covered by the main suite."""
+
+import pytest
+
+from repro.sim.simulator import Simulator
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(5.0, lambda: sim.schedule_at(20.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [20.0]
+
+
+def test_schedule_at_in_the_past_clamps_to_now():
+    sim = Simulator()
+    times = []
+
+    def later():
+        sim.schedule_at(1.0, lambda: times.append(sim.now))  # already past
+
+    sim.schedule(10.0, later)
+    sim.run()
+    assert times == [10.0]
+
+
+def test_cancel_one_of_many_at_same_time():
+    sim = Simulator()
+    fired = []
+    handles = [
+        sim.schedule(3.0, lambda i=i: fired.append(i)) for i in range(5)
+    ]
+    sim.cancel(handles[2])
+    sim.run()
+    assert fired == [0, 1, 3, 4]
+
+
+def test_step_returns_false_on_empty_queue():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_run_until_time_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until_ms=42.0)
+    assert sim.now == 42.0
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.cancel(handle)
+    assert sim.pending_events() == 1
+
+
+def test_events_run_counter():
+    sim = Simulator()
+    for __ in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_run == 4

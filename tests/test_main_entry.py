@@ -1,0 +1,28 @@
+"""The ``python -m repro`` entry point."""
+
+from repro.__main__ import _available, main
+
+
+def test_lists_examples(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "quickstart" in out
+    assert "tsp_study" in out
+
+
+def test_unknown_example_fails(capsys):
+    assert main(["no_such_example"]) == 1
+    assert "unknown example" in capsys.readouterr().out
+
+
+def test_available_finds_all_seven():
+    names = _available()
+    assert {
+        "quickstart",
+        "tsp_study",
+        "acquire_server",
+        "custom_filter",
+        "clock_skew_ordering",
+        "debug_hang",
+        "measure_wordcount",
+    } <= set(names)

@@ -1,0 +1,133 @@
+"""Robustness -- the monitor's guarantees under injected faults.
+
+The paper's promise (Sections 2, 3.1) is that metering rides reliable
+streams and never perturbs the computation.  Drive a metered job
+through seeded fault schedules -- datagram loss bursts, a healing
+partition, a machine crash -- and measure two things: job completion
+(survivors finish normally) and meter-record recall (fraction of the
+unaffected machines' events that reached the filter log).
+"""
+
+from benchmarks.conftest import fresh_session
+from repro.faults import FaultInjector, FaultPlan
+from repro.kernel import defs
+
+N_SENDS = 40
+
+
+def _start_job(session, machines):
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    for index, machine in enumerate(machines):
+        session.command(
+            "addprocess j {0} dgramproducer {1} {2} {3} 64 5".format(
+                machine, "red" if machine != "red" else "green",
+                6000 + index, N_SENDS,
+            )
+        )
+    session.command("setflags j send immediate")
+    session.command("startjob j")
+
+
+def _recall(session, cluster, machine):
+    host_id = cluster.machine(machine).host.host_id
+    records = session.read_trace("f1")
+    sends = [
+        r for r in records if r["event"] == "send" and r["machine"] == host_id
+    ]
+    return len(sends) / float(N_SENDS)
+
+
+def _producer_states(cluster, machine):
+    return [
+        (p.state, p.exit_reason)
+        for p in cluster.machine(machine).procs.values()
+        if p.program_name == "dgramproducer"
+    ]
+
+
+def test_robustness_loss_burst(benchmark):
+    """A heavy datagram loss burst hits the computation's traffic but
+    never the meter stream: recall stays 1.0."""
+
+    def scenario():
+        session = fresh_session(seed=21)
+        cluster = session.cluster
+        _start_job(session, ["red"])
+        now = cluster.sim.now
+        plan = FaultPlan().loss_burst(now + 20.0, duration_ms=100.0, loss=0.6)
+        FaultInjector(cluster, plan).arm()
+        session.settle()
+        return session, cluster
+
+    session, cluster = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    recall = _recall(session, cluster, "red")
+    dropped = cluster.network.datagrams_dropped
+    print(
+        "\n[robustness/loss] recall {0:.2f} with {1} datagrams dropped".format(
+            recall, dropped
+        )
+    )
+    assert recall == 1.0
+    assert dropped > 0  # the burst really did bite the workload
+    assert _producer_states(cluster, "red") == [
+        (defs.PROC_ZOMBIE, defs.EXIT_NORMAL)
+    ]
+
+
+def test_robustness_partition_and_heal(benchmark):
+    """Partition one producer's machine away mid-run, then heal: the
+    unaffected machine's recall is perfect and both jobs complete."""
+
+    def scenario():
+        session = fresh_session(seed=22)
+        cluster = session.cluster
+        _start_job(session, ["red", "green"])
+        now = cluster.sim.now
+        plan = (
+            FaultPlan()
+            .partition(now + 40.0, [["red", "blue", "yellow"], ["green"]])
+            .heal(now + 140.0)
+        )
+        FaultInjector(cluster, plan).arm()
+        session.settle()
+        return session, cluster
+
+    session, cluster = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    recall = _recall(session, cluster, "red")
+    print("\n[robustness/partition] red recall {0:.2f}".format(recall))
+    assert recall == 1.0
+    for machine in ("red", "green"):
+        assert _producer_states(cluster, machine) == [
+            (defs.PROC_ZOMBIE, defs.EXIT_NORMAL)
+        ]
+
+
+def test_robustness_machine_crash(benchmark):
+    """Crash one producer's machine mid-run (and reboot it later): the
+    controller survives, the other machine's recall is perfect."""
+
+    def scenario():
+        session = fresh_session(seed=23)
+        cluster = session.cluster
+        _start_job(session, ["red", "green"])
+        now = cluster.sim.now
+        plan = (
+            FaultPlan()
+            .crash(now + 50.0, "green")
+            .reboot(now + 200.0, "green")
+        )
+        FaultInjector(cluster, plan, session=session).arm()
+        session.settle()
+        return session, cluster
+
+    session, cluster = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    recall = _recall(session, cluster, "red")
+    print("\n[robustness/crash] red recall {0:.2f}".format(recall))
+    assert recall == 1.0
+    assert session.controller_alive()
+    assert cluster.machine("green").crash_count == 1
+    assert not cluster.machine("green").crashed
+    assert _producer_states(cluster, "red") == [
+        (defs.PROC_ZOMBIE, defs.EXIT_NORMAL)
+    ]

@@ -75,6 +75,8 @@ class ControllerState:
         self.filters = {}  # name -> FilterInfo
         self.filter_order = []  # creation order (for the default filter)
         self.jobs = {}  # name -> Job
+        #: machine -> {"failures": int, "degraded": bool} (RPC health).
+        self.daemon_health = {}
         self.next_job_number = 1
         self.input_stack = []
         self.sink_fd = None  # output file fd, or None for the terminal
@@ -162,7 +164,10 @@ def _handle_notification_fds(sys, state, ready):
             conn, __ = yield sys.accept(state.notify_listen)
             state.notify_buffers[conn] = b""
         elif fd in state.notify_buffers:
-            data = yield sys.read(fd, 4096)
+            try:
+                data = yield sys.read(fd, 4096)
+            except SyscallError:
+                data = b""  # daemon's machine died mid-notification
             if not data:
                 yield sys.close(fd)
                 del state.notify_buffers[fd]
@@ -236,33 +241,90 @@ def _emit(sys, state, text):
 # ----------------------------------------------------------------------
 
 
+#: RPC policy: per-call deadline, bounded retries on transient errors,
+#: and per-machine health so a dead daemon degrades the machine instead
+#: of wedging every later command behind full retry cycles.
+RPC_DEADLINE_MS = 1500.0
+RPC_ATTEMPTS = 3
+RPC_BACKOFF_MS = 40.0
+RPC_BACKOFF_CAP_MS = 320.0
+
+
+def _daemon_health(state, machine):
+    return state.daemon_health.setdefault(
+        machine, {"failures": 0, "degraded": False}
+    )
+
+
 def _rpc(sys, state, machine, msg_type, **body):
     """One controller/daemon exchange (Section 3.5.1).
 
     Returns (reply type, reply body); connection problems surface as an
     ERROR_REPLY so command handlers report rather than crash.
+
+    Robustness: each attempt carries a connect/receive deadline, and
+    transient failures (daemon not up yet, path severed) are retried
+    with jittered exponential backoff.  A machine whose daemon exhausts
+    the retry budget is marked *degraded*: later RPCs to it fast-fail
+    after a single attempt until one succeeds again.  A daemon that
+    hangs up mid-exchange is NOT retried -- the request may already
+    have executed (e.g. the process may have been created), and
+    repeating it could duplicate the side effect.
     """
     body.setdefault("uid", state.uid)
     body.setdefault("control_host", state.hostname)
     body.setdefault("control_port", state.notify_port)
-    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
-    try:
-        yield sys.connect(fd, (machine, METERDAEMON_PORT))
-        yield from guestlib.send_frame(
-            sys, fd, protocol.encode(msg_type, **body)
-        )
-        payload = yield from guestlib.recv_frame(sys, fd)
-    except SyscallError as err:
-        yield sys.close(fd)
-        return protocol.ERROR_REPLY, {
-            "status": "no meterdaemon on '{0}' ({1})".format(
+    request = protocol.encode(msg_type, **body)
+    health = _daemon_health(state, machine)
+    attempts = 1 if health["degraded"] else RPC_ATTEMPTS
+    delay = RPC_BACKOFF_MS
+    last_status = None
+    for attempt in range(attempts):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        try:
+            yield sys.connect(fd, (machine, METERDAEMON_PORT), RPC_DEADLINE_MS)
+            yield from guestlib.send_frame(sys, fd, request)
+            payload = yield from guestlib.recv_frame_timeout(
+                sys, fd, RPC_DEADLINE_MS
+            )
+        except SyscallError as err:
+            yield sys.close(fd)
+            health["failures"] += 1
+            last_status = "no meterdaemon on '{0}' ({1})".format(
                 machine, errno_name(err.errno)
             )
-        }
-    yield sys.close(fd)
-    if payload is None:
-        return protocol.ERROR_REPLY, {"status": "daemon closed the connection"}
-    return protocol.decode(payload)
+            if err.errno not in guestlib.TRANSIENT_ERRNOS:
+                break
+            if attempt + 1 < attempts:
+                yield from guestlib.backoff_sleep(sys, delay)
+                delay = min(delay * 2.0, RPC_BACKOFF_CAP_MS)
+            continue
+        yield sys.close(fd)
+        if payload is None:
+            # Mid-exchange hangup: ambiguous outcome, never retried.
+            return protocol.ERROR_REPLY, {
+                "status": "daemon closed the connection"
+            }
+        health["failures"] = 0
+        if health["degraded"]:
+            health["degraded"] = False
+            yield from _emit(
+                sys,
+                state,
+                "WARNING: meterdaemon on '{0}' is responding again".format(
+                    machine
+                ),
+            )
+        return protocol.decode(payload)
+    if not health["degraded"]:
+        health["degraded"] = True
+        yield from _emit(
+            sys,
+            state,
+            "WARNING: meterdaemon on '{0}' is not responding; "
+            "marking machine degraded".format(machine),
+        )
+    return protocol.ERROR_REPLY, {"status": last_status}
 
 
 # ----------------------------------------------------------------------
@@ -719,6 +781,20 @@ def cmd_jobs(sys, state, args):
                     record.machine,
                     flag_names,
                 ),
+            )
+        degraded = sorted(
+            {
+                record.machine
+                for record in job.processes
+                if state.daemon_health.get(record.machine, {}).get("degraded")
+            }
+        )
+        if degraded:
+            yield from _emit(
+                sys,
+                state,
+                "  degraded machines (meterdaemon not responding): "
+                + " ".join(degraded),
             )
 
 

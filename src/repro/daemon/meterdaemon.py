@@ -64,16 +64,40 @@ def meterdaemon(sys, argv):
 # ----------------------------------------------------------------------
 
 
+#: Notification delivery policy: a termination or output report is
+#: retried across transient failures (controller briefly unreachable,
+#: partition healing) before the daemon gives up on it.
+NOTIFY_ATTEMPTS = 4
+NOTIFY_BACKOFF_MS = 25.0
+NOTIFY_BACKOFF_CAP_MS = 200.0
+NOTIFY_CONNECT_TIMEOUT_MS = 1000.0
+
+
 def _notify_controller(sys, address, payload):
-    """Connect to a controller's notification socket and send one frame."""
+    """Connect to a controller's notification socket and send one frame.
+
+    Returns True if the frame was sent.  Transient connection failures
+    are retried with capped, jittered exponential backoff; hard errors
+    (the controller is really gone) abandon the notification, since
+    there is nobody left to tell.
+    """
     host, port = address
-    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
-    try:
-        yield sys.connect(fd, (host, port))
-        yield from guestlib.send_frame(sys, fd, payload)
-    except SyscallError:
-        pass  # controller gone; nothing useful to do
-    yield sys.close(fd)
+    delay = NOTIFY_BACKOFF_MS
+    for attempt in range(NOTIFY_ATTEMPTS):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        try:
+            yield sys.connect(fd, (host, port), NOTIFY_CONNECT_TIMEOUT_MS)
+            yield from guestlib.send_frame(sys, fd, payload)
+            yield sys.close(fd)
+            return True
+        except SyscallError as err:
+            yield sys.close(fd)
+            if err.errno not in guestlib.TRANSIENT_ERRNOS:
+                return False  # controller gone; nothing useful to do
+            if attempt + 1 < NOTIFY_ATTEMPTS:
+                yield from guestlib.backoff_sleep(sys, delay)
+                delay = min(delay * 2.0, NOTIFY_BACKOFF_CAP_MS)
+    return False
 
 
 def _report_termination(sys, state, event):
@@ -122,7 +146,10 @@ def _forward_output(sys, state, fd):
 
 
 def _serve_request(sys, state, conn):
-    payload = yield from guestlib.recv_frame(sys, conn)
+    try:
+        payload = yield from guestlib.recv_frame(sys, conn)
+    except SyscallError:
+        return  # requester's machine died mid-request
     if payload is None:
         return
     state.requests_served += 1

@@ -1,0 +1,18 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper's monitor exists to diagnose distributed programs that
+misbehave -- lost datagrams, hung processes, crashed readers (Sections
+2, 4.2).  This package makes the world able to misbehave on purpose,
+reproducibly: a :class:`FaultPlan` declares *what goes wrong when* in
+simulated milliseconds, and a :class:`FaultInjector` arms the plan on a
+cluster's event queue.  Same plan + same seed => identical trace.
+
+Supported faults: machine crash and reboot, network partition and heal,
+link degradation (datagram loss bursts, latency spikes), and targeted
+process/daemon kills.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultPlan", "FaultInjector"]

@@ -1,0 +1,161 @@
+"""FaultInjector: arm a FaultPlan on a cluster's event queue.
+
+Faults fire as ordinary simulator events, so a run with a plan is just
+as deterministic as a run without one: same cluster seed + same plan =>
+the same fault firing order, the same packet losses, the same traces.
+The injector keeps an applied-fault ``log`` so tests can assert that
+two runs saw identical fault sequences.
+"""
+
+from repro.kernel import defs
+from repro.kernel import errno
+
+
+class FaultInjector:
+    """Applies a :class:`~repro.faults.plan.FaultPlan` to a cluster.
+
+    ``session`` is optional; when given, :meth:`_do_reboot` can respawn
+    a meterdaemon on the rebooted machine (standing in for init) and
+    the session's ``daemons`` map is kept current.
+    """
+
+    def __init__(self, cluster, plan, session=None):
+        self.cluster = cluster
+        self.plan = plan
+        self.session = session
+        #: (sim time, human description) per applied fault, in order.
+        self.log = []
+        self.armed = False
+
+    # ------------------------------------------------------------------
+
+    def arm(self):
+        """Schedule every planned fault on the simulator clock."""
+        if self.armed:
+            raise RuntimeError("fault plan already armed")
+        self._check_machine_names()
+        self.armed = True
+        for __, event in self.plan.sorted_events():
+            self.cluster.sim.schedule_at(
+                event.at_ms, self._firer(event)
+            )
+        return self
+
+    def _check_machine_names(self):
+        """Reject unknown machine names now, not mid-run as a KeyError
+        deep inside a scheduled event."""
+        known = set(self.cluster.machines)
+        for __, event in self.plan.sorted_events():
+            named = []
+            if "machine" in event.args:
+                named.append(event.args["machine"])
+            for group in event.args.get("groups", ()):
+                named.extend(group)
+            for name in named:
+                if name not in known:
+                    raise ValueError(
+                        "fault plan names unknown machine {0!r} "
+                        "(cluster has: {1})".format(
+                            name, ", ".join(sorted(known))
+                        )
+                    )
+
+    def _firer(self, event):
+        def fire():
+            handler = getattr(self, "_do_" + event.kind)
+            detail = handler(**event.args)
+            description = "{0}{1}".format(
+                event.describe(), " ({0})".format(detail) if detail else ""
+            )
+            self.log.append((self.cluster.sim.now, description))
+
+        return fire
+
+    def describe_applied(self):
+        """The applied-fault log as lines (for determinism checks)."""
+        return [text for __, text in self.log]
+
+    # ------------------------------------------------------------------
+    # Machines
+    # ------------------------------------------------------------------
+
+    def _do_crash(self, machine):
+        self.cluster.machine(machine).crash()
+
+    def _do_reboot(self, machine, restart_daemon):
+        target = self.cluster.machine(machine)
+        target.reboot()
+        if restart_daemon and self.session is not None:
+            from repro.daemon.meterdaemon import meterdaemon
+
+            self.session.daemons[machine] = target.create_process(
+                main=meterdaemon, uid=0, program_name="meterdaemon"
+            )
+            return "meterdaemon restarted"
+        return None
+
+    # ------------------------------------------------------------------
+    # Network
+    # ------------------------------------------------------------------
+
+    def _do_partition(self, groups):
+        self.cluster.network.set_partition(groups)
+        broken = self._sever_unreachable()
+        return "severed {0} channels".format(broken) if broken else None
+
+    def _do_heal(self):
+        self.cluster.network.heal_partition()
+
+    def _do_loss_burst(self, duration_ms, loss):
+        network = self.cluster.network
+        network.extra_loss += loss
+
+        def restore():
+            network.extra_loss = max(0.0, network.extra_loss - loss)
+
+        self.cluster.sim.schedule(duration_ms, restore)
+
+    def _do_latency_spike(self, duration_ms, extra_ms):
+        network = self.cluster.network
+        network.extra_latency_ms += extra_ms
+
+        def restore():
+            network.extra_latency_ms = max(
+                0.0, network.extra_latency_ms - extra_ms
+            )
+
+        self.cluster.sim.schedule(duration_ms, restore)
+
+    def _sever_unreachable(self):
+        """Break every reliable channel and reset every stream socket
+        whose endpoints can no longer reach each other."""
+        network = self.cluster.network
+        broken = 0
+        for channel in network.severed_channels():
+            network.break_channel(channel)
+            broken += 1
+        for source in self.cluster.machines.values():
+            if source.crashed:
+                continue
+            for sock in list(source.endpoints.values()):
+                if sock.peer is None:
+                    continue
+                peer_host, __ = sock.peer
+                if not network.reachable(source.host, peer_host):
+                    sock.reset(errno.ECONNRESET)
+        return broken
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+
+    def _do_kill_process(self, machine, program):
+        target = self.cluster.machine(machine)
+        victims = [
+            proc
+            for proc in target.active_procs()
+            if proc.program_name == program
+        ]
+        for proc in victims:
+            target.post_signal(proc, defs.SIGKILL)
+        return "killed {0}".format(len(victims))

@@ -1,0 +1,135 @@
+"""FaultPlan: a declarative, seed-reproducible schedule of faults.
+
+A plan is an ordered list of :class:`FaultEvent` entries, each pinned
+to an absolute simulated time.  Building a plan performs no action;
+:class:`~repro.faults.injector.FaultInjector` arms it on a cluster.
+Builder methods chain::
+
+    plan = (FaultPlan()
+            .kill_daemon(at_ms=150.0, machine="green")
+            .partition(at_ms=200.0, groups=[["red", "blue", "yellow"], ["green"]])
+            .heal(at_ms=400.0)
+            .crash(at_ms=500.0, machine="red")
+            .reboot(at_ms=800.0, machine="red"))
+"""
+
+# Fault kinds.
+CRASH = "crash"
+REBOOT = "reboot"
+PARTITION = "partition"
+HEAL = "heal"
+LOSS_BURST = "loss_burst"
+LATENCY_SPIKE = "latency_spike"
+KILL_PROCESS = "kill_process"
+
+
+class FaultEvent:
+    """One scheduled fault: a kind, an absolute time, and arguments."""
+
+    __slots__ = ("at_ms", "kind", "args")
+
+    def __init__(self, at_ms, kind, **args):
+        if at_ms < 0:
+            raise ValueError("fault time must be >= 0, got %r" % at_ms)
+        self.at_ms = float(at_ms)
+        self.kind = kind
+        self.args = args
+
+    def describe(self):
+        details = " ".join(
+            "{0}={1}".format(key, value)
+            for key, value in sorted(self.args.items())
+        )
+        return "[{0:10.3f}] {1}{2}".format(
+            self.at_ms, self.kind, " " + details if details else ""
+        )
+
+    def __repr__(self):
+        return "FaultEvent({0!r}, at={1}, {2})".format(
+            self.kind, self.at_ms, self.args
+        )
+
+
+class FaultPlan:
+    """An ordered schedule of faults on the simulator clock."""
+
+    def __init__(self):
+        self.events = []
+
+    def _add(self, at_ms, kind, **args):
+        self.events.append(FaultEvent(at_ms, kind, **args))
+        return self
+
+    # -- machines --------------------------------------------------------
+
+    def crash(self, at_ms, machine):
+        """Power the machine off: processes die unflushed, peers see
+        connection resets, in-flight traffic is destroyed."""
+        return self._add(at_ms, CRASH, machine=str(machine))
+
+    def reboot(self, at_ms, machine, restart_daemon=True):
+        """Bring a crashed machine back with a cold kernel.  With
+        ``restart_daemon`` (and a session armed on the injector) a fresh
+        meterdaemon is spawned, as init would."""
+        return self._add(
+            at_ms, REBOOT, machine=str(machine), restart_daemon=bool(restart_daemon)
+        )
+
+    # -- network ---------------------------------------------------------
+
+    def partition(self, at_ms, groups):
+        """Split the internetwork into ``groups`` (lists of machine
+        names); traffic crosses no group boundary and in-flight reliable
+        traffic across the cut is destroyed.  Hosts in no group share
+        one implicit group."""
+        frozen = tuple(tuple(str(name) for name in group) for group in groups)
+        return self._add(at_ms, PARTITION, groups=frozen)
+
+    def heal(self, at_ms):
+        """End the partition.  Connections broken by it stay broken;
+        new connections succeed."""
+        return self._add(at_ms, HEAL)
+
+    def loss_burst(self, at_ms, duration_ms, loss):
+        """Add ``loss`` (0..1) datagram loss probability on remote links
+        for ``duration_ms``."""
+        return self._add(
+            at_ms, LOSS_BURST, duration_ms=float(duration_ms), loss=float(loss)
+        )
+
+    def latency_spike(self, at_ms, duration_ms, extra_ms):
+        """Add ``extra_ms`` one-way latency on remote links for
+        ``duration_ms``."""
+        return self._add(
+            at_ms,
+            LATENCY_SPIKE,
+            duration_ms=float(duration_ms),
+            extra_ms=float(extra_ms),
+        )
+
+    # -- processes -------------------------------------------------------
+
+    def kill_process(self, at_ms, machine, program):
+        """SIGKILL every live process named ``program`` on ``machine``."""
+        return self._add(
+            at_ms, KILL_PROCESS, machine=str(machine), program=str(program)
+        )
+
+    def kill_daemon(self, at_ms, machine):
+        """SIGKILL the machine's meterdaemon (control plane loss)."""
+        return self.kill_process(at_ms, machine, "meterdaemon")
+
+    # --------------------------------------------------------------------
+
+    def sorted_events(self):
+        """Events in firing order (time, then declaration order)."""
+        return sorted(
+            enumerate(self.events), key=lambda pair: (pair[1].at_ms, pair[0])
+        )
+
+    def describe(self):
+        """Human-readable schedule, one line per fault."""
+        return [event.describe() for __, event in self.sorted_events()]
+
+    def __len__(self):
+        return len(self.events)

@@ -12,6 +12,7 @@ and the message framing, handing complete raw meter messages to the
 filter body.
 """
 
+from repro.kernel.errno import SyscallError
 from repro.metering.messages import HEADER_BYTES, peek_size
 
 #: Any framed size outside these bounds means the connection is not
@@ -59,7 +60,13 @@ class MeterInbox:
                 self.buffers[conn] = b""
                 self.connections_accepted += 1
                 continue
-            data = yield sys.read(fd, 4096)
+            try:
+                data = yield sys.read(fd, 4096)
+            except SyscallError:
+                # Connection reset: the metered machine crashed or the
+                # path was severed.  The stream is gone; records already
+                # logged stay logged, the filter itself must survive.
+                data = b""
             if not data:
                 yield sys.close(fd)
                 del self.buffers[fd]

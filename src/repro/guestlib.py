@@ -58,6 +58,34 @@ def read_exactly(sys, fd, nbytes):
     return b"".join(parts)
 
 
+def read_exactly_timeout(sys, fd, nbytes, timeout_ms):
+    """Like :func:`read_exactly` but with a deadline: raises
+    ``SyscallError(ETIMEDOUT)`` if the bytes do not arrive in time.
+
+    The deadline is enforced with select-with-timeout against a
+    ``gettimeofday`` budget, so a peer that stops talking mid-frame
+    cannot wedge the caller forever.
+    """
+    start = yield sys.gettimeofday()
+    deadline = start + timeout_ms
+    parts = []
+    remaining = nbytes
+    while remaining > 0:
+        now = yield sys.gettimeofday()
+        budget = deadline - now
+        if budget <= 0:
+            raise SyscallError(errno.ETIMEDOUT, "read deadline expired")
+        ready, __ = yield sys.select([fd], timeout_ms=budget)
+        if fd not in ready:
+            raise SyscallError(errno.ETIMEDOUT, "read deadline expired")
+        data = yield sys.read(fd, remaining)
+        if not data:
+            return None
+        parts.append(data)
+        remaining -= len(data)
+    return b"".join(parts)
+
+
 def read_line(sys, fd, buffered):
     """Read one newline-terminated line.
 
@@ -77,26 +105,65 @@ def read_line(sys, fd, buffered):
     return line.decode("ascii", "replace")
 
 
-def connect_retry(sys, domain, type_, name, attempts=50, backoff_ms=20.0):
-    """Create a socket and connect, retrying on ECONNREFUSED.
+#: Errnos worth retrying: the peer may come (back) up, the partition
+#: may heal.  Anything else is a hard programming or permission error.
+TRANSIENT_ERRNOS = frozenset(
+    {
+        errno.ECONNREFUSED,
+        errno.ECONNRESET,
+        errno.ETIMEDOUT,
+        errno.ENETUNREACH,
+        errno.EPIPE,
+    }
+)
+
+
+def backoff_sleep(sys, delay_ms):
+    """Sleep ``delay_ms`` scaled by a seeded-random factor in [0.5, 1.0]
+    (decorrelates retry storms without hurting reproducibility: the
+    jitter comes from the simulator's own RNG via ``random(2)``)."""
+    jitter = yield sys.random()
+    yield sys.sleep(delay_ms * (0.5 + 0.5 * jitter))
+
+
+def connect_retry(
+    sys,
+    domain,
+    type_,
+    name,
+    attempts=50,
+    backoff_ms=20.0,
+    max_backoff_ms=320.0,
+    timeout_ms=None,
+):
+    """Create a socket and connect, retrying on transient errors.
 
     Workload processes of a job all start at once (startjob), so a
     client can race its server's listen(); real 4.2BSD programs retried
-    exactly like this.  Returns the connected fd.
+    exactly like this.  The wait between attempts doubles from
+    ``backoff_ms`` up to ``max_backoff_ms``, jittered by the simulator
+    RNG so many retriers do not stampede in lockstep.  Returns the
+    connected fd; on exhaustion raises a ``SyscallError`` naming the
+    destination and the attempt count.
     """
     last_err = None
+    delay = backoff_ms
     for __ in range(attempts):
         fd = yield sys.socket(domain, type_)
         try:
-            yield sys.connect(fd, name)
+            yield sys.connect(fd, name, timeout_ms)
             return fd
         except SyscallError as err:
             last_err = err
             yield sys.close(fd)
-            if err.errno != errno.ECONNREFUSED:
+            if err.errno not in TRANSIENT_ERRNOS:
                 raise
-            yield sys.sleep(backoff_ms)
-    raise last_err
+            yield from backoff_sleep(sys, delay)
+            delay = min(delay * 2.0, max_backoff_ms)
+    raise SyscallError(
+        last_err.errno,
+        "connect to {0!r} failed after {1} attempts".format(name, attempts),
+    )
 
 
 def send_frame(sys, fd, payload):
@@ -120,6 +187,24 @@ def recv_frame(sys, fd):
     if length > MAX_FRAME_BYTES:
         return None
     payload = yield from read_exactly(sys, fd, length)
+    return payload
+
+
+def recv_frame_timeout(sys, fd, timeout_ms):
+    """Like :func:`recv_frame` but raises ``SyscallError(ETIMEDOUT)``
+    when the whole frame has not arrived within ``timeout_ms``."""
+    start = yield sys.gettimeofday()
+    header = yield from read_exactly_timeout(sys, fd, 4, timeout_ms)
+    if header is None:
+        return None
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_BYTES:
+        return None
+    now = yield sys.gettimeofday()
+    budget = timeout_ms - (now - start)
+    if budget <= 0:
+        raise SyscallError(errno.ETIMEDOUT, "read deadline expired")
+    payload = yield from read_exactly_timeout(sys, fd, length, budget)
     return payload
 
 

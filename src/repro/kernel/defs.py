@@ -49,3 +49,4 @@ EPHEMERAL_PORT_LAST = 5000
 EXIT_NORMAL = "normal"
 EXIT_SIGNALED = "signaled"
 EXIT_ERROR = "error"
+EXIT_CRASHED = "machinecrash"  # the whole machine went down (fault injection)

@@ -26,6 +26,7 @@ ECONNRESET = 54
 EISCONN = 56
 ENOTCONN = 57
 ECONNREFUSED = 61
+ETIMEDOUT = 60  # Connection (or kernel-enforced deadline) timed out.
 EPIPE = 32
 ESOCKTNOSUPPORT = 44
 

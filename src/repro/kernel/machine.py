@@ -53,6 +53,11 @@ class Machine(SocketCalls, FileCalls, ProcessCalls):
         self.fs = FileSystem()
         self.file_table = FileTable()
 
+        #: True while this machine is down (fault injection).  A
+        #: crashed machine delivers no packets and runs no processes.
+        self.crashed = False
+        self.crash_count = 0
+
         # Process table.  Pids only have meaning locally (Section 3.5.1);
         # each machine seeds differently so example transcripts read
         # like the paper's (distinct 21xx identifiers).
@@ -180,6 +185,81 @@ class Machine(SocketCalls, FileCalls, ProcessCalls):
             parent.children.discard(proc.pid)
             parent.child_wait.wake_all()
         self.exit_log.append((proc.pid, proc.program_name, status, reason))
+
+    # ------------------------------------------------------------------
+    # Machine failure (fault injection)
+    # ------------------------------------------------------------------
+
+    def crash(self):
+        """Power off instantly: every process dies with no flush, open
+        sockets vanish, remote peers are woken with a connection reset,
+        and in-flight traffic to or from this host is destroyed.
+
+        The disk (``self.fs``) survives, as a real disk would.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        self.network.set_host_down(self.host.name)
+        # Remote ends of our stream connections learn the hard way:
+        # reads fail ECONNRESET, writes fail EPIPE (no graceful close).
+        for sock in list(self.endpoints.values()):
+            if sock.peer is None:
+                continue
+            peer_host, peer_eid = sock.peer
+            if peer_host is self.host:
+                continue
+            peer_machine = peer_host.machine
+            if peer_machine is None or peer_machine.crashed:
+                continue
+            peer_sock = peer_machine.endpoints.get(peer_eid)
+            if peer_sock is not None:
+                peer_sock.reset()
+        self.network.break_channels_involving(self.host)
+        for proc in list(self.procs.values()):
+            self._crash_proc(proc)
+        self.procs.clear()
+        self.run_queue.clear()
+        self.cpu_busy = False
+        self.inet_ports.clear()
+        self.unix_names.clear()
+        self.endpoints.clear()
+        self.console.append("[{0:10.3f}] panic: machine crashed".format(self.sim.now))
+
+    def _crash_proc(self, proc):
+        """Terminate a process as the hardware dying would: no metering
+        flush, no SIGCHLD, no graceful descriptor teardown."""
+        if proc.state == defs.PROC_ZOMBIE:
+            return
+        proc.run_token += 1
+        proc.clear_wait_state()
+        proc.state = defs.PROC_ZOMBIE
+        proc.stopped = False
+        proc.exit_status = None
+        proc.exit_reason = defs.EXIT_CRASHED
+        if proc.gen is not None:
+            try:
+                proc.gen.close()
+            except Exception:
+                pass
+            proc.gen = None
+        proc.fds.clear()
+        proc.meter_entry = None
+        proc.meter_buffer = []
+
+    def reboot(self):
+        """Bring a crashed machine back with a cold kernel: empty
+        process table, fresh file table, no sockets.  The file system
+        and user accounts survive; daemons must be restarted."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.network.set_host_up(self.host.name)
+        self.file_table = FileTable()
+        self._next_ephemeral = defs.EPHEMERAL_PORT_FIRST
+        self._dispatch_scheduled = False
+        self.console.append("[{0:10.3f}] reboot".format(self.sim.now))
 
     def reap_zombies(self):
         """Remove zombie entries from the process table."""
@@ -415,6 +495,8 @@ class Machine(SocketCalls, FileCalls, ProcessCalls):
             self.network.send_datagram(self.host, dst_host, size, deliver)
 
     def deliver_packet(self, packet):
+        if self.crashed:
+            return  # a dead machine receives nothing
         handler = {
             packets.CONN_REQ: self._on_conn_req,
             packets.CONN_ACK: self._on_conn_ack,
@@ -545,6 +627,15 @@ class Machine(SocketCalls, FileCalls, ProcessCalls):
                 reliable_channel=("conn", sock.endpoint_id, peer_eid),
                 size=32,
             )
+        # The connection is over: release its FIFO clearance state so a
+        # long run does not accumulate an entry per dead connection.
+        # (Graceful: the STREAM_CLOSE just sent still arrives.)
+        if sock.endpoint_id is not None:
+            self.network.close_channel(("hs", sock.endpoint_id))
+            if sock.peer is not None:
+                __, peer_eid = sock.peer
+                self.network.close_channel(("conn", sock.endpoint_id, peer_eid))
+                self.network.close_channel(("win", sock.endpoint_id, peer_eid))
         if sock.pair_peer is not None:
             sock.pair_peer.set_peer_closed()
             sock.pair_peer.pair_peer = None

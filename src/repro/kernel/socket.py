@@ -19,7 +19,7 @@ the accepting side.
 import itertools
 from collections import deque
 
-from repro.kernel import defs
+from repro.kernel import defs, errno
 from repro.kernel.waitq import WaitQueue
 
 # Socket connection states.
@@ -185,6 +185,21 @@ class Socket:
         return err
 
     # ------------------------------------------------------------------
+
+    def reset(self, err=None):
+        """Abort the connection (peer crashed or the path was severed):
+        undelivered data is gone, the next read fails with ECONNRESET,
+        writes fail with EPIPE, and every blocked caller wakes."""
+        if self.closed:
+            return
+        self.error = errno.ECONNRESET if err is None else err
+        self.peer_closed = True
+        self.peer_gone = True
+        self.recv_queue.clear()
+        self.recv_bytes = 0
+        self.rd_wait.wake_all()
+        self.wr_wait.wake_all()
+        self.conn_wait.wake_all()
 
     def set_peer_closed(self, full=True):
         self.peer_closed = True

@@ -57,8 +57,11 @@ class Sys:
     def listen(self, fd, backlog):
         return Request("listen", (fd, backlog))
 
-    def connect(self, fd, name):
-        return Request("connect", (fd, name))
+    def connect(self, fd, name, timeout_ms=None):
+        """Stream: block until established, refused, or -- when
+        ``timeout_ms`` is given -- the deadline passes (ETIMEDOUT).
+        Datagram: predefine the recipient (never blocks)."""
+        return Request("connect", (fd, name, timeout_ms))
 
     def accept(self, fd):
         """Returns (new fd, peer SocketName)."""
@@ -179,6 +182,11 @@ class Sys:
     def gettimeofday(self):
         """The machine's local clock in milliseconds (drifts!)."""
         return Request("gettimeofday", ())
+
+    def random(self):
+        """A uniform float in [0, 1) from the (seeded, deterministic)
+        simulator RNG -- the guest-visible rand(3) for backoff jitter."""
+        return Request("random", ())
 
     # -- metering (the paper's new syscall) --------------------------------
 

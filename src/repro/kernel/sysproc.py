@@ -117,6 +117,9 @@ class ProcessCalls:
     def sys_gettimeofday(self, proc, request):
         return self.clock.local_time(self.sim.now)
 
+    def sys_random(self, proc, request):
+        return self.sim.rng.random()
+
     def sys_log(self, proc, request):
         (message,) = request.args
         self.console_log(proc, message)

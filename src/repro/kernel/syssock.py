@@ -130,7 +130,7 @@ class SocketCalls:
         return 0
 
     def sys_connect(self, proc, request):
-        fd, name_arg = request.args
+        fd, name_arg, timeout_ms = request.args
         entry = proc.lookup_socket(fd)
         sock = entry.obj
         if sock.is_dgram:
@@ -139,9 +139,9 @@ class SocketCalls:
             sock.default_dest = dest
             self.meter.on_connect(proc, entry, sock, dest)
             return 0
-        return self._stream_connect(proc, request, entry, name_arg)
+        return self._stream_connect(proc, request, entry, name_arg, timeout_ms)
 
-    def _stream_connect(self, proc, request, entry, name_arg):
+    def _stream_connect(self, proc, request, entry, name_arg, timeout_ms):
         sock = entry.obj
         state = proc.syscall_state
         if sock.state == ST_CONNECTED:
@@ -155,6 +155,10 @@ class SocketCalls:
             raise SyscallError(errno.ECONNREFUSED)
         if sock.state == ST_LISTENING:
             raise SyscallError(errno.EINVAL, "connect on listening socket")
+        if sock.error is not None:
+            err = sock.consume_error()
+            sock.state = ST_UNCONNECTED
+            raise SyscallError(err, "connection reset during connect")
         if not state.get("initiated"):
             dest = self._resolve_dest_name(sock, name_arg)
             dst_host = self._host_for_name(dest)
@@ -163,6 +167,9 @@ class SocketCalls:
             self.endpoints[sock.endpoint_id] = sock
             sock.state = ST_CONNECTING
             state["initiated"] = True
+            if timeout_ms is not None:
+                state["deadline"] = self.sim.now + float(timeout_ms)
+                self._schedule_timeout_wake(proc, float(timeout_ms))
             self.send_packet(
                 dst_host,
                 packets.Packet(
@@ -175,6 +182,15 @@ class SocketCalls:
                 reliable_channel=("hs", sock.endpoint_id),
                 size=64,
             )
+        elif "deadline" in state and self.sim.now + 1e-9 >= state["deadline"]:
+            # Handshake timed out (the SYN or its reply is marooned on a
+            # severed path, or the peer machine is down): abandon the
+            # embryo endpoint so a late reply cannot resurrect it.
+            self.endpoints.pop(sock.endpoint_id, None)
+            self.network.break_channel(("hs", sock.endpoint_id))
+            sock.endpoint_id = None
+            sock.state = ST_UNCONNECTED
+            raise SyscallError(errno.ETIMEDOUT, "connect timed out")
         return self.block(proc, request, [sock.conn_wait])
 
     def sys_accept(self, proc, request):
@@ -406,6 +422,8 @@ class SocketCalls:
         paper buffers meter messages in the kernel until delivery."""
         if sock.state != ST_CONNECTED or sock.peer is None:
             return False
+        if sock.peer_gone or sock.error is not None:
+            return False  # connection reset: the path to the filter died
         self._ship_stream_data(sock, data)
         sock.messages_sent += 1
         sock.bytes_sent += len(data)

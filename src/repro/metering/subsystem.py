@@ -156,6 +156,11 @@ class MeterSubsystem:
         if self.machine.kernel_stream_send(sock, data):
             self.wire_sends += 1
             self.wire_bytes += len(data)
+        elif sock.closed or sock.peer_gone or sock.error is not None:
+            # The meter connection broke (filter died, path severed):
+            # transparency under failure (Section 2) -- quietly un-meter
+            # the process and let it keep computing, never perturb it.
+            self._drop_meter_socket(proc)
 
     # ------------------------------------------------------------------
     # Hooks called by the syscall layer

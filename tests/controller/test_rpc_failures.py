@@ -1,0 +1,120 @@
+"""Controller/daemon RPC failure paths: dead daemons, mid-exchange
+hangups, unresponsive daemons, and health-based degradation."""
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.daemon.meterdaemon import METERDAEMON_PORT, meterdaemon
+from repro.kernel import defs
+
+
+def _make_session(seed=17):
+    cluster = Cluster(seed=seed)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    return session
+
+
+def _kill_daemon(cluster, machine_name):
+    machine = cluster.machine(machine_name)
+    for proc in list(machine.procs.values()):
+        if proc.program_name == "meterdaemon" and proc.state != defs.PROC_ZOMBIE:
+            machine.post_signal(proc, defs.SIGKILL)
+
+
+def _close_after_request(sys, argv):
+    """A fake daemon: reads the request, then hangs up without replying
+    (the ambiguous mid-exchange failure)."""
+    from repro import guestlib
+
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(fd, ("", METERDAEMON_PORT))
+    yield sys.listen(fd, 5)
+    while True:
+        conn, __ = yield sys.accept(fd)
+        yield from guestlib.recv_frame(sys, conn)
+        yield sys.close(conn)
+
+
+def _silent_daemon(sys, argv):
+    """A fake daemon that accepts and then never answers anything."""
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    yield sys.bind(fd, ("", METERDAEMON_PORT))
+    yield sys.listen(fd, 5)
+    held = []
+    while True:
+        conn, __ = yield sys.accept(fd)
+        held.append(conn)
+
+
+def test_no_daemon_listening_is_an_error_reply_and_degrades():
+    session = _make_session()
+    _kill_daemon(session.cluster, "red")
+    session.settle(20)
+    out = session.command("filter fx red")
+    assert "filter 'fx' not created" in out
+    assert "no meterdaemon on 'red' (ECONNREFUSED)" in out
+    assert "WARNING: meterdaemon on 'red' is not responding" in out
+    assert session.controller_alive()
+
+
+def test_degraded_machine_fast_fails_without_repeat_warnings():
+    session = _make_session()
+    cluster = session.cluster
+    _kill_daemon(cluster, "red")
+    session.settle(20)
+    before_first = cluster.sim.now
+    session.command("filter fx red")
+    first_elapsed = cluster.sim.now - before_first
+    before_second = cluster.sim.now
+    out = session.command("filter fy red")
+    second_elapsed = cluster.sim.now - before_second
+    # Degraded: single attempt, no backoff cycle, no second warning.
+    assert "not created" in out
+    assert "WARNING" not in out
+    assert second_elapsed < first_elapsed
+
+
+def test_daemon_recovery_clears_degraded_state():
+    session = _make_session()
+    cluster = session.cluster
+    _kill_daemon(cluster, "red")
+    session.settle(20)
+    session.command("filter fx red")  # marks red degraded
+    red = cluster.machine("red")
+    session.daemons["red"] = red.create_process(
+        main=meterdaemon, uid=0, program_name="meterdaemon"
+    )
+    session.settle(20)
+    out = session.command("filter fy red")
+    assert "WARNING: meterdaemon on 'red' is responding again" in out
+    assert "filter 'fy' ... created" in out
+
+
+def test_daemon_closing_mid_exchange_is_not_retried():
+    session = _make_session()
+    cluster = session.cluster
+    _kill_daemon(cluster, "red")
+    session.settle(20)
+    cluster.spawn("red", _close_after_request, uid=0, program_name="fakedaemon")
+    session.settle(20)
+    out = session.command("filter fx red")
+    assert "daemon closed the connection" in out
+    # Ambiguous outcome: the machine is answering, so not degraded.
+    assert "WARNING" not in out
+    assert session.controller_alive()
+
+
+def test_unresponsive_daemon_hits_the_deadline_instead_of_hanging():
+    session = _make_session()
+    cluster = session.cluster
+    _kill_daemon(cluster, "red")
+    session.settle(20)
+    cluster.spawn("red", _silent_daemon, uid=0, program_name="fakedaemon")
+    session.settle(20)
+    before = cluster.sim.now
+    out = session.command("filter fx red")
+    elapsed = cluster.sim.now - before
+    assert "not created" in out
+    assert "ETIMEDOUT" in out
+    # Three deadlined attempts plus backoff, not an unbounded wait.
+    assert elapsed < 10_000.0
+    assert session.controller_alive()

@@ -1,0 +1,111 @@
+"""The acceptance chaos scenario (ISSUE): a meterdaemon is killed
+mid-job and a two-way partition opens and later heals.  The controller
+must report the degraded machine without hanging, surviving processes
+must complete, the filter log must hold every meter record from the
+unaffected machines, and the whole run must be deterministic."""
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.faults import FaultInjector, FaultPlan
+from repro.kernel import defs
+from repro.programs import install_all
+
+SEED = 1234
+
+
+def _run_chaos(seed=SEED):
+    cluster = Cluster(seed=seed)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    install_all(session)
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    # Two producers: red is never touched by a fault (its 40 send
+    # events must all reach the filter); green loses its daemon and is
+    # then partitioned away from everything, filter included.
+    session.command("addprocess j red dgramproducer green 6000 40 64 5")
+    session.command("addprocess j green dgramproducer red 6001 40 64 5")
+    session.command("setflags j send immediate")
+    session.command("startjob j")
+    now = cluster.sim.now
+    plan = (
+        FaultPlan()
+        .kill_daemon(now + 20.0, "green")
+        .partition(now + 60.0, [["red", "blue", "yellow"], ["green"]])
+        .heal(now + 160.0)
+    )
+    injector = FaultInjector(cluster, plan, session=session).arm()
+    session.settle()
+    stop_out = session.command("stopjob j")
+    jobs_out = session.command("jobs j")
+    session.settle()
+    producers = {
+        name: [
+            p
+            for p in cluster.machine(name).procs.values()
+            if p.program_name == "dgramproducer"
+        ]
+        for name in ("red", "green")
+    }
+    __, log_text = session.find_filter_log("f1")
+    return {
+        "session": session,
+        "cluster": cluster,
+        "stop_out": stop_out,
+        "jobs_out": jobs_out,
+        "transcript": session.transcript(),
+        "applied": injector.describe_applied(),
+        "log_text": log_text,
+        "producers": producers,
+    }
+
+
+def test_chaos_controller_reports_degraded_machine_without_hanging():
+    result = _run_chaos()
+    assert result["session"].controller_alive()
+    # The dead daemon degraded the machine; the command still returned.
+    assert "not stopped" in result["stop_out"]
+    assert (
+        "WARNING: meterdaemon on 'green' is not responding" in result["stop_out"]
+    )
+    assert (
+        "degraded machines (meterdaemon not responding): green"
+        in result["jobs_out"]
+    )
+
+
+def test_chaos_surviving_processes_complete():
+    result = _run_chaos()
+    # The unaffected producer terminated normally and was reported.
+    assert (
+        "DONE: process dgramproducer in job 'j' terminated: reason: normal"
+        in result["transcript"]
+    )
+    # Both workloads finished on their own, faults notwithstanding:
+    # losing the daemon and the meter connection never perturbs the
+    # computation itself (Section 2 transparency).
+    for name in ("red", "green"):
+        producer = result["producers"][name][0]
+        assert producer.state == defs.PROC_ZOMBIE
+        assert producer.exit_reason == defs.EXIT_NORMAL
+
+
+def test_chaos_trace_complete_for_unaffected_machines():
+    result = _run_chaos()
+    cluster = result["cluster"]
+    red_id = cluster.machine("red").host.host_id
+    records = result["session"].read_trace("f1")
+    red_sends = [
+        r
+        for r in records
+        if r["event"] == "send" and r["machine"] == red_id
+    ]
+    # Every one of red's 40 metered sends made it into the log.
+    assert len(red_sends) == 40
+
+
+def test_chaos_run_is_deterministic():
+    first = _run_chaos()
+    second = _run_chaos()
+    assert first["applied"] == second["applied"]
+    assert first["transcript"] == second["transcript"]
+    assert first["log_text"] == second["log_text"]

@@ -1,0 +1,107 @@
+"""FaultPlan construction and scheduling semantics."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.faults import FaultInjector, FaultPlan
+
+
+def test_builder_chains_and_counts():
+    plan = (
+        FaultPlan()
+        .crash(100.0, "red")
+        .reboot(200.0, "red")
+        .partition(50.0, [["red"], ["green"]])
+        .heal(75.0)
+        .loss_burst(10.0, duration_ms=20.0, loss=0.5)
+        .latency_spike(10.0, duration_ms=20.0, extra_ms=5.0)
+        .kill_process(30.0, "green", "worker")
+        .kill_daemon(40.0, "green")
+    )
+    assert len(plan) == 8
+
+
+def test_events_fire_in_time_order_not_declaration_order():
+    plan = FaultPlan().crash(300.0, "red").heal(100.0).crash(200.0, "green")
+    kinds = [event.kind for __, event in plan.sorted_events()]
+    assert kinds == ["heal", "crash", "crash"]
+    times = [event.at_ms for __, event in plan.sorted_events()]
+    assert times == [100.0, 200.0, 300.0]
+
+
+def test_simultaneous_events_keep_declaration_order():
+    plan = FaultPlan().heal(50.0).crash(50.0, "red").heal(50.0)
+    kinds = [event.kind for __, event in plan.sorted_events()]
+    assert kinds == ["heal", "crash", "heal"]
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan().crash(-1.0, "red")
+
+
+def test_kill_daemon_is_a_meterdaemon_kill():
+    plan = FaultPlan().kill_daemon(10.0, "blue")
+    event = plan.events[0]
+    assert event.kind == "kill_process"
+    assert event.args == {"machine": "blue", "program": "meterdaemon"}
+
+
+def test_describe_lists_schedule():
+    plan = FaultPlan().crash(120.0, "red").heal(130.0)
+    lines = plan.describe()
+    assert len(lines) == 2
+    assert "crash" in lines[0] and "machine=red" in lines[0]
+    assert "heal" in lines[1]
+
+
+def test_unknown_machine_name_rejected_at_arm_time():
+    cluster = Cluster(seed=1)
+    injector = FaultInjector(cluster, FaultPlan().crash(5.0, "mauve"))
+    with pytest.raises(ValueError, match="unknown machine 'mauve'"):
+        injector.arm()
+    assert not injector.armed  # still re-armable after fixing the plan
+
+
+def test_unknown_machine_in_partition_group_rejected_at_arm_time():
+    cluster = Cluster(seed=1)
+    plan = FaultPlan().partition(5.0, [["red", "mauve"], ["green"]])
+    with pytest.raises(ValueError, match="unknown machine 'mauve'"):
+        FaultInjector(cluster, plan).arm()
+
+
+def test_injector_arm_is_once_only():
+    cluster = Cluster(seed=1)
+    injector = FaultInjector(cluster, FaultPlan().heal(10.0))
+    injector.arm()
+    with pytest.raises(RuntimeError):
+        injector.arm()
+
+
+def test_faults_fire_at_their_scheduled_times():
+    cluster = Cluster(seed=1)
+    plan = FaultPlan().crash(50.0, "red").reboot(120.0, "red")
+    injector = FaultInjector(cluster, plan).arm()
+    cluster.run(until_ms=80.0)
+    assert cluster.machine("red").crashed
+    assert [when for when, __ in injector.log] == [50.0]
+    cluster.run(until_ms=200.0)
+    assert not cluster.machine("red").crashed
+    assert [when for when, __ in injector.log] == [50.0, 120.0]
+
+
+def test_applied_log_is_reproducible():
+    def run():
+        cluster = Cluster(seed=9)
+        plan = (
+            FaultPlan()
+            .loss_burst(10.0, duration_ms=30.0, loss=0.3)
+            .partition(40.0, [["red", "blue"], ["green", "yellow"]])
+            .heal(60.0)
+            .crash(70.0, "green")
+        )
+        injector = FaultInjector(cluster, plan).arm()
+        cluster.run(until_ms=100.0)
+        return injector.describe_applied()
+
+    assert run() == run()

@@ -1,0 +1,91 @@
+"""Metering transparency under failure (Section 2): when the meter
+connection breaks -- filter machine crashed, path severed -- the
+metered process is quietly un-metered and keeps computing."""
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.faults import FaultInjector, FaultPlan
+from repro.kernel import defs
+from repro.programs import install_all
+
+
+def _session(seed=43):
+    cluster = Cluster(seed=seed)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    install_all(session)
+    return session
+
+
+def _producers(cluster, machine_name):
+    return [
+        p
+        for p in cluster.machine(machine_name).procs.values()
+        if p.program_name == "dgramproducer"
+    ]
+
+
+def test_metered_process_survives_filter_machine_crash():
+    session = _session()
+    cluster = session.cluster
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red dgramproducer green 6000 80 64 5")
+    session.command("setflags j send immediate")
+    session.command("startjob j")
+    session.settle(100)
+    FaultInjector(
+        cluster, FaultPlan().crash(cluster.sim.now + 1.0, "blue")
+    ).arm()
+    session.settle()
+    producer = _producers(cluster, "red")[0]
+    assert producer.exit_reason == defs.EXIT_NORMAL
+    # The kernel noticed the broken meter connection and un-metered.
+    assert producer.meter_entry is None
+
+
+def test_metered_process_survives_partition_from_filter():
+    session = _session()
+    cluster = session.cluster
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red dgramproducer green 6000 80 64 5")
+    session.command("setflags j send immediate")
+    session.command("startjob j")
+    session.settle(100)
+    now = cluster.sim.now
+    plan = (
+        FaultPlan()
+        .partition(now + 1.0, [["red", "green", "yellow"], ["blue"]])
+        .heal(now + 150.0)
+    )
+    FaultInjector(cluster, plan).arm()
+    session.settle()
+    producer = _producers(cluster, "red")[0]
+    assert producer.exit_reason == defs.EXIT_NORMAL
+
+
+def test_filter_survives_losing_a_meter_connection():
+    """The filter keeps running and keeps its partial log after the
+    metered machine crashes mid-stream."""
+    session = _session()
+    cluster = session.cluster
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red dgramproducer green 6000 200 64 5")
+    session.command("setflags j send immediate")
+    session.command("startjob j")
+    session.settle(200)
+    FaultInjector(
+        cluster, FaultPlan().crash(cluster.sim.now + 1.0, "red")
+    ).arm()
+    session.settle()
+    blue = cluster.machine("blue")
+    filters = [
+        p
+        for p in blue.procs.values()
+        if p.program_name == "filter" and p.state != defs.PROC_ZOMBIE
+    ]
+    assert filters  # the filter did not die with its client
+    records = session.read_trace("f1")
+    sends = [r for r in records if r["event"] == "send"]
+    assert 0 < len(sends) < 200

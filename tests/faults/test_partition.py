@@ -1,0 +1,209 @@
+"""Network partitions: packets stop crossing the cut, live stream
+connections across it break with ECONNRESET/EPIPE, and healing lets
+new connections through while broken ones stay broken."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.faults import FaultInjector, FaultPlan
+from repro.kernel import defs, errno
+from repro.kernel.errno import SyscallError
+from repro.net.hosts import HostTable
+from repro.net.network import Network, NetworkParams
+from repro.sim.simulator import Simulator
+from tests.conftest import run_guests
+
+
+def _net():
+    sim = Simulator(seed=1)
+    table = HostTable()
+    return sim, Network(sim, NetworkParams(jitter_ms=0.0)), table
+
+
+def test_partition_blocks_datagrams_across_groups():
+    sim, net, table = _net()
+    a, b, c = table.add("a"), table.add("b"), table.add("c")
+    net.set_partition([["a", "b"], ["c"]])
+    delivered = []
+    assert net.send_datagram(a, b, 10, lambda: delivered.append("ab"))
+    assert not net.send_datagram(a, c, 10, lambda: delivered.append("ac"))
+    assert not net.send_datagram(c, b, 10, lambda: delivered.append("cb"))
+    sim.run()
+    assert delivered == ["ab"]
+    assert net.datagrams_dropped == 2
+
+
+def test_unlisted_hosts_share_the_implicit_group():
+    sim, net, table = _net()
+    a, b, c = table.add("a"), table.add("b"), table.add("c")
+    net.set_partition([["a"]])
+    delivered = []
+    assert net.send_datagram(b, c, 10, lambda: delivered.append("bc"))
+    assert not net.send_datagram(a, b, 10, lambda: delivered.append("ab"))
+    sim.run()
+    assert delivered == ["bc"]
+
+
+def test_heal_restores_reachability():
+    sim, net, table = _net()
+    a, b = table.add("a"), table.add("b")
+    net.set_partition([["a"], ["b"]])
+    assert not net.reachable(a, b)
+    net.heal_partition()
+    assert net.reachable(a, b)
+
+
+def test_break_channel_destroys_in_flight_packets():
+    sim, net, table = _net()
+    a, b = table.add("a"), table.add("b")
+    delivered = []
+    net.send_reliable("ch", a, b, 10, lambda: delivered.append(1))
+    net.send_reliable("ch", a, b, 10, lambda: delivered.append(2))
+    assert net.break_channel("ch") == 2
+    sim.run()
+    assert delivered == []
+    assert net.reliable_packets_dropped == 2
+
+
+def test_severed_channels_reports_cross_cut_channels_only():
+    sim, net, table = _net()
+    a, b, c = table.add("a"), table.add("b"), table.add("c")
+    net.send_reliable("ab", a, b, 10, lambda: None)
+    net.send_reliable("ac", a, c, 10, lambda: None)
+    net.set_partition([["a", "b"], ["c"]])
+    assert net.severed_channels() == ["ac"]
+
+
+def _chatty_server(port, outcomes):
+    """Accept one connection, then echo until the peer goes away."""
+
+    def main(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", port))
+        yield sys.listen(fd, 5)
+        conn, __ = yield sys.accept(fd)
+        try:
+            while True:
+                data = yield sys.read(conn, 4096)
+                if not data:
+                    outcomes.append("eof")
+                    break
+                yield sys.write(conn, data)
+        except SyscallError as err:
+            outcomes.append(err.errno)
+        yield sys.exit(0)
+
+    return main
+
+
+def _chatty_client(server, port, outcomes, gap_ms=10.0):
+    """Ping the server forever; record how the connection dies."""
+
+    def main(sys, argv):
+        from repro import guestlib
+
+        fd = yield from guestlib.connect_retry(
+            sys, defs.AF_INET, defs.SOCK_STREAM, (server, port)
+        )
+        try:
+            while True:
+                yield sys.write(fd, b"ping")
+                yield sys.read(fd, 4096)
+                yield sys.sleep(gap_ms)
+        except SyscallError as err:
+            outcomes.append(err.errno)
+        yield sys.exit(0)
+
+    return main
+
+
+def test_partition_resets_live_stream_connections():
+    cluster = Cluster(seed=7)
+    server_outcomes, client_outcomes = [], []
+    plan = FaultPlan().partition(60.0, [["red"], ["green", "blue", "yellow"]])
+    FaultInjector(cluster, plan).arm()
+    run_guests(
+        cluster,
+        ("red", _chatty_server(5000, server_outcomes), ()),
+        ("green", _chatty_client("red", 5000, client_outcomes), ()),
+    )
+    # Both endpoints saw a hard break, not a clean EOF.
+    assert client_outcomes in ([errno.ECONNRESET], [errno.EPIPE])
+    assert server_outcomes in ([errno.ECONNRESET], [errno.EPIPE])
+
+
+def test_connect_across_partition_times_out():
+    cluster = Cluster(seed=7)
+    outcomes = []
+    cluster.network.set_partition([["red"], ["green", "blue", "yellow"]])
+
+    def client(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        try:
+            yield sys.connect(fd, ("red", 5000), 100.0)
+            outcomes.append("connected")
+        except SyscallError as err:
+            outcomes.append(err.errno)
+        yield sys.exit(0)
+
+    run_guests(cluster, ("green", client, ()))
+    assert outcomes == [errno.ETIMEDOUT]
+
+
+def test_new_connections_succeed_after_heal():
+    cluster = Cluster(seed=7)
+    outcomes = []
+    plan = (
+        FaultPlan()
+        .partition(0.0, [["red"], ["green", "blue", "yellow"]])
+        .heal(200.0)
+    )
+    FaultInjector(cluster, plan).arm()
+
+    def server(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(fd, ("", 5000))
+        yield sys.listen(fd, 5)
+        conn, __ = yield sys.accept(fd)
+        data = yield sys.read(conn, 4096)
+        yield sys.write(conn, data)
+        yield sys.exit(0)
+
+    def client(sys, argv):
+        from repro import guestlib
+
+        fd = yield from guestlib.connect_retry(
+            sys,
+            defs.AF_INET,
+            defs.SOCK_STREAM,
+            ("red", 5000),
+            timeout_ms=50.0,
+        )
+        yield sys.write(fd, b"hello")
+        outcomes.append((yield sys.read(fd, 4096)))
+        yield sys.exit(0)
+
+    run_guests(cluster, ("red", server, ()), ("green", client, ()))
+    assert outcomes == [b"hello"]
+
+
+def test_loss_burst_is_bounded_in_time():
+    cluster = Cluster(seed=7)
+    net = cluster.network
+    plan = FaultPlan().loss_burst(10.0, duration_ms=50.0, loss=0.75)
+    FaultInjector(cluster, plan).arm()
+    cluster.run(until_ms=30.0)
+    assert net.extra_loss == pytest.approx(0.75)
+    cluster.run(until_ms=100.0)
+    assert net.extra_loss == 0.0
+
+
+def test_latency_spike_slows_remote_traffic_then_recovers():
+    cluster = Cluster(seed=7)
+    net = cluster.network
+    plan = FaultPlan().latency_spike(10.0, duration_ms=50.0, extra_ms=40.0)
+    FaultInjector(cluster, plan).arm()
+    cluster.run(until_ms=30.0)
+    assert net.extra_latency_ms == pytest.approx(40.0)
+    cluster.run(until_ms=100.0)
+    assert net.extra_latency_ms == 0.0

@@ -71,3 +71,106 @@ def test_perf_ordering_deduction_is_skew_invariant(benchmark):
 
     calm, wild = benchmark.pedantic(compare, rounds=1, iterations=1)
     assert wild["ordered"] == pytest.approx(calm["ordered"], abs=0.05)
+
+
+# -- scaling: the vector-clock engine must stay near-linear ------------
+
+
+def _ring_trace(n_events, n_machines=6):
+    """A synthetic trace of ``n_events`` records: a ring of stream
+    connections (machine m talks to machine m+1) carrying steady
+    traffic, with a datagram exchange mixed in every fourth pair.
+    Built as raw records -- no simulation -- so trace size is exact."""
+    records = []
+    t = [0]
+
+    def rec(event, machine, pid, **fields):
+        t[0] += 1
+        record = {
+            "event": event,
+            "size": 60,
+            "machine": machine,
+            "cpuTime": t[0],
+            "procTime": 0,
+            "pid": pid,
+            "pc": len(records),
+        }
+        record.update(fields)
+        records.append(record)
+
+    for m in range(1, n_machines + 1):
+        peer = m % n_machines + 1
+        rec(
+            "connect", m, 10, sock=400,
+            sockName="inet:h%d:1024" % m, peerName="inet:h%d:5000" % peer,
+            sockNameLen=8, peerNameLen=8,
+        )
+        rec(
+            "accept", peer, 10, sock=500, newSock=510,
+            sockName="inet:h%d:5000" % peer, peerName="inet:h%d:1024" % m,
+            sockNameLen=8, peerNameLen=8,
+        )
+    pair_i = 0
+    while len(records) < n_events - 1:
+        m = pair_i % n_machines + 1
+        peer = m % n_machines + 1
+        if pair_i % 4 == 3:
+            rec(
+                "send", m, 10, sock=401, msgLength=32,
+                destName="inet:h%d:6000" % peer, destNameLen=8,
+            )
+            rec(
+                "receive", peer, 10, sock=600, msgLength=32,
+                sourceName="inet:h%d:1025" % m, sourceNameLen=8,
+            )
+        else:
+            rec("send", m, 10, sock=400, msgLength=64, destName="",
+                destNameLen=0)
+            rec("receive", peer, 10, sock=510, msgLength=64,
+                sourceName="inet:h%d:1024" % m, sourceNameLen=8)
+        pair_i += 1
+    return Trace(records)
+
+
+def test_perf_ordering_scales_near_linearly(benchmark):
+    """Matching + vector clocks + the ordered-fraction study over 1k,
+    5k and 20k events: a 20x bigger trace may not cost anything close
+    to the 400x of the old transitive-closure engine."""
+    import time as _time
+
+    sizes = (1_000, 5_000, 20_000)
+
+    def run():
+        timings = {}
+        for size in sizes:
+            trace = _ring_trace(size)
+            start = _time.perf_counter()
+            hb = HappensBefore(trace)
+            fraction = hb.ordered_fraction()
+            events = trace.events
+            step = max(1, len(events) // 100)
+            probes = events[::step]
+            for a, b in zip(probes, probes[1:]):
+                hb.happens_before(a, b)
+                hb.concurrent(a, b)
+            elapsed = _time.perf_counter() - start
+            timings[size] = elapsed
+            # Sanity: the synthetic trace is fully analyzable.
+            assert fraction > 0.5
+            assert hb.matcher.matched_fraction() == 1.0
+            # Hard wall per size: quadratic work fails here already at
+            # 5k instead of timing out the whole job at 20k.
+            assert elapsed < 30.0, "size %d took %.1fs" % (size, elapsed)
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = timings[sizes[-1]] / max(timings[sizes[0]], 1e-3)
+    print(
+        "\n[P5 scaling] 1k: {0:.3f}s  5k: {1:.3f}s  20k: {2:.3f}s  "
+        "(20x events -> {3:.1f}x time)".format(
+            timings[1_000], timings[5_000], timings[20_000], ratio
+        )
+    )
+    # 20x the events must cost far less than the ~400x a quadratic
+    # engine would; allow generous constant-factor noise.
+    assert ratio < 100.0

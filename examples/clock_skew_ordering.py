@@ -85,6 +85,17 @@ def main():
             )
         )
 
+    print()
+    print("== how the engine sees it: vector clocks ==")
+    print("processes (one clock component each):", trace.processes())
+    final = hb.consistent_global_order()[-1]
+    print(
+        "clock of the final event {0!r}: {1} -- component i counts the "
+        "events of process i known to precede it".format(
+            final, hb.vector_clock(final)
+        )
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -13,8 +13,6 @@ trace when a computation misbehaves:
 - connections accepted but never used.
 """
 
-from repro.analysis.matching import MessageMatcher
-
 
 class Finding:
     """One diagnostic finding."""
@@ -33,7 +31,7 @@ class TraceAudit:
 
     def __init__(self, trace, matcher=None):
         self.trace = trace
-        self.matcher = matcher or MessageMatcher(trace)
+        self.matcher = matcher or trace.matcher()
         self.findings = []
         self._check_lost_messages()
         self._check_stuck_receives()

@@ -10,7 +10,6 @@ skew-corrected times.
 
 import numpy as np
 
-from repro.analysis.matching import MessageMatcher
 from repro.analysis.ordering import estimate_clock_skews
 
 
@@ -19,7 +18,7 @@ class MessageDelays:
 
     def __init__(self, trace, matcher=None, skews=None):
         self.trace = trace
-        self.matcher = matcher or MessageMatcher(trace)
+        self.matcher = matcher or trace.matcher()
         self.skews = (
             skews
             if skews is not None

@@ -15,9 +15,15 @@ Two mechanisms:
 - **Datagrams**: the send's ``destName`` names the receiving socket and
   the receive's ``sourceName`` names the sender's host; whole datagrams
   are matched FIFO with equal lengths.
+
+Both mechanisms are indexed so matching stays near-linear in trace
+size: connections are discovered by a ``(sockName, peerName)`` hash
+join rather than a nested accept x connect scan, and datagram claims
+walk per-``(destination machine, length)`` FIFO queues rather than
+rescanning every receive for every send.
 """
 
-from collections import defaultdict
+from collections import defaultdict, deque
 
 
 def _host_of(display_name):
@@ -65,6 +71,41 @@ class MessagePair:
         )
 
 
+class _RecvQueue:
+    """Datagram receives for one index key, claimed FIFO.
+
+    A plain list with a head cursor: consumed entries (possibly
+    consumed through a *different* key's queue) are skipped and the
+    cursor advanced past any consumed prefix, so repeated claims stay
+    amortized linear.
+    """
+
+    __slots__ = ("items", "head")
+
+    def __init__(self):
+        self.items = []
+        self.head = 0
+
+    def append(self, event):
+        self.items.append(event)
+
+    def claim(self, consumed, send_machine, host_ids):
+        """Earliest unconsumed receive whose source is consistent with
+        ``send_machine`` (unknown sources are consistent with anyone)."""
+        items = self.items
+        while self.head < len(items) and items[self.head].index in consumed:
+            self.head += 1
+        for i in range(self.head, len(items)):
+            recv = items[i]
+            if recv.index in consumed:
+                continue
+            src_host = _host_of(recv.name("sourceName"))
+            src_id = host_ids.get(src_host) if src_host else None
+            if src_id is None or src_id == send_machine:
+                return recv
+        return None
+
+
 class MessageMatcher:
     """Pairs sends with receives across a whole trace."""
 
@@ -84,30 +125,32 @@ class MessageMatcher:
     # -- connection discovery -------------------------------------------
 
     def _find_connections(self):
-        accepts = self.trace.by_type("accept")
-        connects = self.trace.by_type("connect")
+        """Hash join of accepts against connects on the name pair.
+
+        Connect events are bucketed by ``(sockName, peerName)``; each
+        accept pops the earliest unmatched connect whose names mirror
+        its own.  Same pairing as the old nested scan (first matching
+        connect in trace order), in O(accepts + connects).
+        """
+        connects_by_names = defaultdict(deque)
+        for conn in self.trace.by_type("connect"):
+            key = (conn.name("sockName"), conn.name("peerName"))
+            connects_by_names[key].append(conn)
         connections = []
-        used = set()
-        for acc in accepts:
+        for acc in self.trace.by_type("accept"):
             acc_name = acc.name("sockName")
             acc_peer = acc.name("peerName")
-            for conn in connects:
-                if conn.index in used:
-                    continue
-                if (
-                    conn.name("sockName") == acc_peer
-                    and conn.name("peerName") == acc_name
-                ):
-                    used.add(conn.index)
-                    connections.append(
-                        Connection(
-                            initiator=(conn.machine, conn.sock),
-                            acceptor=(acc.machine, acc["newSock"]),
-                            initiator_name=acc_peer,
-                            acceptor_name=acc_name,
-                        )
+            queue = connects_by_names.get((acc_peer, acc_name))
+            if queue:
+                conn = queue.popleft()
+                connections.append(
+                    Connection(
+                        initiator=(conn.machine, conn.sock),
+                        acceptor=(acc.machine, acc["newSock"]),
+                        initiator_name=acc_peer,
+                        acceptor_name=acc_name,
                     )
-                    break
+                )
             else:
                 # One-sided trace (e.g. only the server was metered):
                 # still record the acceptor end so its traffic groups.
@@ -204,14 +247,30 @@ class MessageMatcher:
             for event in self.trace.by_type("receive")
             if (event.machine, event.sock) not in self._endpoint_conn
         ]
+        # Two FIFO indexes over the same receives: by (machine, length)
+        # for sends whose destination host is known, by bare length for
+        # sends naming an unknown host.  Consumption is shared through
+        # the ``consumed`` set, so a receive claimed via one index is
+        # skipped by the other.
+        by_machine_length = defaultdict(_RecvQueue)
+        by_length = defaultdict(_RecvQueue)
+        for recv in dgram_recvs:
+            by_machine_length[(recv.machine, recv.msg_length)].append(recv)
+            by_length[recv.msg_length].append(recv)
         consumed = set()
         for send in self.trace.by_type("send"):
             dest = send.name("destName")
             if not dest:
                 continue  # stream send, handled by _match_streams
-            dest_host = _host_of(dest)
-            recv = self._claim_datagram(
-                dgram_recvs, consumed, send, dest_host, host_ids
+            dest_id = host_ids.get(_host_of(dest))
+            if dest_id is not None:
+                queue = by_machine_length.get((dest_id, send.msg_length))
+            else:
+                queue = by_length.get(send.msg_length)
+            recv = (
+                queue.claim(consumed, send.machine, host_ids)
+                if queue is not None
+                else None
             )
             if recv is None:
                 self.unmatched_sends.append(send)
@@ -227,27 +286,10 @@ class MessageMatcher:
             if recv.index not in consumed:
                 self.unmatched_recvs.append(recv)
 
-    def _claim_datagram(self, dgram_recvs, consumed, send, dest_host, host_ids):
-        """First unconsumed receive consistent with this send (FIFO)."""
-        dest_id = host_ids.get(dest_host)
-        for recv in dgram_recvs:
-            if recv.index in consumed:
-                continue
-            if recv.msg_length != send.msg_length:
-                continue
-            if dest_id is not None and recv.machine != dest_id:
-                continue
-            src_host = _host_of(recv.name("sourceName"))
-            src_id = host_ids.get(src_host) if src_host else None
-            if src_id is not None and src_id != send.machine:
-                continue
-            return recv
-        return None
-
     # ------------------------------------------------------------------
 
     def matched_fraction(self):
-        sends = [e for e in self.trace.by_type("send")]
+        sends = self.trace.by_type("send")
         if not sends:
             return 1.0
         matched = {pair.send.index for pair in self.pairs}

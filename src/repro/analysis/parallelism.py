@@ -8,7 +8,6 @@ the computation -- the number the paper's TSP study ([Lai & Miller 84])
 used to find that the "parallel" solver was mostly serialized.
 """
 
-from repro.analysis.matching import MessageMatcher
 from repro.analysis.ordering import estimate_clock_skews
 
 
@@ -18,7 +17,7 @@ class ParallelismProfile:
     def __init__(self, trace, bucket_ms=10.0, matcher=None):
         self.trace = trace
         self.bucket_ms = float(bucket_ms)
-        self.matcher = matcher or MessageMatcher(trace)
+        self.matcher = matcher or trace.matcher()
         self.skews = estimate_clock_skews(trace, self.matcher)
         #: process -> (first, last) corrected activity times
         self.spans = {}

@@ -10,7 +10,6 @@ by the examples and handy in interactive sessions::
 
 from repro.analysis.debugging import TraceAudit
 from repro.analysis.delays import MessageDelays
-from repro.analysis.matching import MessageMatcher
 from repro.analysis.ordering import HappensBefore, estimate_clock_skews
 from repro.analysis.parallelism import ParallelismProfile
 from repro.analysis.stats import CommunicationStatistics
@@ -24,7 +23,7 @@ def measurement_report(trace, timeline_rows=30, title="Measurement report"):
     """Render the full analysis suite over one trace."""
     if len(trace) == 0:
         return "{0}\n(empty trace)".format(title)
-    matcher = MessageMatcher(trace)
+    matcher = trace.matcher()
     hb = HappensBefore(trace, matcher)
     sections = [title]
 

@@ -2,8 +2,6 @@
 
 from collections import Counter, defaultdict
 
-from repro.analysis.matching import MessageMatcher
-
 
 class ProcessStats:
     """Per-process counters."""
@@ -36,7 +34,7 @@ class CommunicationStatistics:
 
     def __init__(self, trace, matcher=None):
         self.trace = trace
-        self.matcher = matcher or MessageMatcher(trace)
+        self.matcher = matcher or trace.matcher()
         self.per_process = {}
         for event in trace:
             stats = self.per_process.setdefault(

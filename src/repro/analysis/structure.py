@@ -7,15 +7,13 @@ parent "creates" its child).  networkx supplies the graph algorithms.
 
 import networkx as nx
 
-from repro.analysis.matching import MessageMatcher
-
 
 class CommunicationGraph:
     """The process-interaction structure of a computation."""
 
     def __init__(self, trace, matcher=None):
         self.trace = trace
-        self.matcher = matcher or MessageMatcher(trace)
+        self.matcher = matcher or trace.matcher()
         self.graph = nx.DiGraph()
         for process in trace.processes():
             self.graph.add_node(process)

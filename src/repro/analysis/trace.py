@@ -69,15 +69,26 @@ class Event:
 
 
 class Trace:
-    """An ordered collection of events (one filter's log)."""
+    """An ordered collection of events (one filter's log).
+
+    Indexes (per process, per event type) are built once up front and
+    the default :class:`~repro.analysis.matching.MessageMatcher` is
+    cached, so the analysis suite over one trace pairs messages and
+    scans for event types a single time no matter how many analyses
+    run.
+    """
 
     def __init__(self, records):
         self.events = [Event(record, i) for i, record in enumerate(records)]
         self._by_process = {}
+        self._by_type = {}
         for event in self.events:
             seq = self._by_process.setdefault(event.process, [])
             event.proc_seq = len(seq)
             seq.append(event)
+            self._by_type.setdefault(event.event, []).append(event)
+        self._machines = None
+        self._matcher = None
 
     @classmethod
     def from_text(cls, text):
@@ -116,7 +127,21 @@ class Trace:
         return list(self._by_process.get(process, []))
 
     def by_type(self, event_name):
-        return [event for event in self.events if event.event == event_name]
+        return list(self._by_type.get(event_name, []))
 
     def machines(self):
-        return sorted({event.machine for event in self.events})
+        if self._machines is None:
+            self._machines = sorted(
+                {event.machine for event in self.events}
+            )
+        return list(self._machines)
+
+    def matcher(self):
+        """The shared default matcher for this trace, built on first
+        use -- analyses constructed without an explicit matcher all
+        reuse this one pairing."""
+        if self._matcher is None:
+            from repro.analysis.matching import MessageMatcher
+
+            self._matcher = MessageMatcher(self)
+        return self._matcher

@@ -38,6 +38,9 @@ class MeterInbox:
         self.buffers = {}
         self.connections_accepted = 0
         self.messages_received = 0
+        #: Child events from the most recent :meth:`wait`; defined (and
+        #: empty) before the first wait so callers may always read it.
+        self.last_child_events = []
 
     def fds(self):
         return [self.listen_fd] + list(self.buffers)

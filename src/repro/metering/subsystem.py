@@ -38,18 +38,34 @@ _EVENT_FLAG = {
 #: Messages buffered before the kernel ships a batch to the filter.
 DEFAULT_BUFFER_LIMIT = 8
 
+#: Upper bound on messages retained across failed flushes (transient
+#: backpressure, e.g. a meter socket that is not yet connected): past
+#: this the oldest messages are dropped and counted, so a never-ready
+#: socket cannot grow the kernel buffer without bound.
+DEFAULT_REQUEUE_LIMIT = 64
+
 
 class MeterSubsystem:
     """Per-machine metering state and hooks."""
 
-    def __init__(self, machine, buffer_limit=DEFAULT_BUFFER_LIMIT):
+    def __init__(
+        self,
+        machine,
+        buffer_limit=DEFAULT_BUFFER_LIMIT,
+        requeue_limit=DEFAULT_REQUEUE_LIMIT,
+    ):
         self.machine = machine
         self.buffer_limit = buffer_limit
+        self.requeue_limit = requeue_limit
         self.codec = MessageCodec()
         # Statistics for the perturbation / buffering studies.
         self.events_recorded = 0
         self.wire_sends = 0
         self.wire_bytes = 0
+        #: Meter messages lost for any reason (broken or never-ready
+        #: meter connection, re-queue overflow, process termination
+        #: with an unsendable buffer) -- loss is observable, not silent.
+        self.events_dropped = 0
 
     # ------------------------------------------------------------------
     # setmeter(2)
@@ -86,7 +102,11 @@ class MeterSubsystem:
         elif socket_fd != mflags.NO_CHANGE:
             entry = proc.fds.get(socket_fd)
             if entry is None:
-                raise SyscallError(errno.ESRCH, "socket fd %r" % socket_fd)
+                # Appendix C prints ESRCH for "the socket does not
+                # exist", but a descriptor that names no open file is
+                # EBADF in 4.2BSD; ESRCH stays reserved for the process
+                # lookup above.
+                raise SyscallError(errno.EBADF, "socket fd %r" % socket_fd)
             if entry.kind != "socket":
                 raise SyscallError(errno.ENOTSOCK, "fd %r" % socket_fd)
             sock = entry.obj
@@ -148,10 +168,14 @@ class MeterSubsystem:
         """Ship any buffered messages over the meter connection."""
         if not proc.meter_buffer:
             return
-        data = b"".join(proc.meter_buffer)
-        proc.meter_buffer = []
         if proc.meter_entry is None:
-            return  # "Meter messages are lost if ... unconnected."
+            # "Meter messages are lost if ... unconnected."
+            self.events_dropped += len(proc.meter_buffer)
+            proc.meter_buffer = []
+            return
+        pending = proc.meter_buffer
+        proc.meter_buffer = []
+        data = b"".join(pending)
         sock = proc.meter_entry.obj
         if self.machine.kernel_stream_send(sock, data):
             self.wire_sends += 1
@@ -160,7 +184,19 @@ class MeterSubsystem:
             # The meter connection broke (filter died, path severed):
             # transparency under failure (Section 2) -- quietly un-meter
             # the process and let it keep computing, never perturb it.
+            self.events_dropped += len(pending)
             self._drop_meter_socket(proc)
+        else:
+            # Transient refusal while the socket itself is healthy
+            # (e.g. a meter socket set before it finished connecting):
+            # keep the batch for the next flush instead of silently
+            # discarding it, bounded by the re-queue limit.
+            requeued = pending + proc.meter_buffer
+            overflow = len(requeued) - self.requeue_limit
+            if overflow > 0:
+                self.events_dropped += overflow
+                requeued = requeued[overflow:]
+            proc.meter_buffer = requeued
 
     # ------------------------------------------------------------------
     # Hooks called by the syscall layer
@@ -257,4 +293,8 @@ class MeterSubsystem:
                 status=proc.exit_status if proc.exit_status is not None else 0,
             )
         self.flush(proc)
+        if proc.meter_buffer:
+            # The process is gone; whatever could not be shipped is lost.
+            self.events_dropped += len(proc.meter_buffer)
+            proc.meter_buffer = []
         self._drop_meter_socket(proc)

@@ -62,6 +62,65 @@ def test_one_way_traffic_falls_back_to_offset_only():
     assert rate == 1.0  # no drift information available
 
 
+def _chain_trace(offset_b=500.0, offset_c=800.0, delay=2.0, rounds=4, gap=100.0):
+    """Machines 1 <-> 2 <-> 3 with two-way traffic on each link but no
+    direct 1 <-> 3 traffic; clocks of 2 and 3 run constant offsets
+    ahead of 1."""
+    b = TraceBuilder()
+    ab_c, ab_s = "inet:red:1024", "inet:green:5000"
+    bc_c, bc_s = "inet:green:1024", "inet:blue:5000"
+    b.connect(1, 10, 0, sock=400, sock_name=ab_c, peer_name=ab_s)
+    b.accept(2, 20, int(offset_b), sock=500, new_sock=510, sock_name=ab_s, peer_name=ab_c)
+    b.connect(2, 20, int(offset_b), sock=401, sock_name=bc_c, peer_name=bc_s)
+    b.accept(3, 30, int(offset_c), sock=501, new_sock=520, sock_name=bc_s, peer_name=bc_c)
+    t = 10.0
+    for __ in range(rounds):
+        b.send(1, 10, int(t), sock=400, nbytes=8)
+        b.receive(2, 20, int(offset_b + t + delay), sock=510, nbytes=8, source=ab_c)
+        b.send(2, 20, int(offset_b + t + delay), sock=510, nbytes=8)
+        b.receive(1, 10, int(t + 2 * delay), sock=400, nbytes=8, source=ab_s)
+        b.send(2, 20, int(offset_b + t + delay), sock=401, nbytes=8)
+        b.receive(3, 30, int(offset_c + t + 2 * delay), sock=520, nbytes=8, source=bc_c)
+        b.send(3, 30, int(offset_c + t + 2 * delay), sock=520, nbytes=8)
+        b.receive(2, 20, int(offset_b + t + 3 * delay), sock=401, nbytes=8, source=bc_s)
+        t += gap
+    return b.build()
+
+
+def test_fallback_resolves_offset_transitively_without_direct_traffic():
+    """Machine 3 never talks to the reference: no drift fit is
+    possible, but the offset-only fallback still recovers its offset
+    through machine 2."""
+    models = estimate_clock_models(_chain_trace(offset_b=500.0, offset_c=800.0))
+    offset3, rate3 = models[3]
+    assert rate3 == 1.0  # fallback never invents a rate
+    assert offset3 == pytest.approx(800.0, abs=10.0)
+    # The directly-connected machine still gets the full fit.
+    offset2, rate2 = models[2]
+    assert rate2 == pytest.approx(1.0, abs=1e-3)
+    assert offset2 == pytest.approx(500.0, abs=10.0)
+
+
+def test_silent_machine_falls_back_to_identity_model():
+    """A machine with events but no matched messages at all (here just
+    a process termination) cannot be placed: identity model."""
+    b = TraceBuilder()
+    cn, sn = "inet:red:1024", "inet:green:5000"
+    b.connect(1, 10, 0, sock=400, sock_name=cn, peer_name=sn)
+    b.accept(2, 20, 0, sock=500, new_sock=510, sock_name=sn, peer_name=cn)
+    b.send(1, 10, 10, sock=400, nbytes=8)
+    b.receive(2, 20, 12, sock=510, nbytes=8, source=cn)
+    b.send(2, 20, 13, sock=510, nbytes=8)
+    b.receive(1, 10, 15, sock=400, nbytes=8, source=sn)
+    b.termproc(3, 30, 50)
+    models = estimate_clock_models(b.build())
+    assert models[3] == (0.0, 1.0)
+
+
+def test_empty_trace_has_no_models():
+    assert estimate_clock_models(TraceBuilder().build()) == {}
+
+
 def test_live_drifting_cluster_model_recovery():
     """End to end: a cluster whose green clock drifts fast; the model
     recovered from the trace matches the configured drift."""

@@ -115,3 +115,64 @@ def test_one_sided_trace_still_groups_server_traffic():
     matcher = MessageMatcher(b.build())
     assert len(matcher.connections) == 1
     assert matcher.connections[0].initiator is None
+
+
+def test_one_sided_stream_traffic_never_pairs_with_itself():
+    """Server-only trace: the unmetered client's events were never
+    recorded, so the server's stream traffic has no counterpart.  It
+    must not pair with itself; half-connection traffic is *unknowable*
+    rather than *lost*, so it also stays out of the unmatched lists
+    (which report losses within fully-known connections) -- but every
+    send still counts against matched_fraction."""
+    b = TraceBuilder()
+    sn, cn = "inet:green:5000", "inet:red:1024"
+    b.accept(2, 20, 101, sock=500, new_sock=510, sock_name=sn, peer_name=cn)
+    b.receive(2, 20, 105, sock=510, nbytes=10, source=cn)
+    b.send(2, 20, 106, sock=510, nbytes=6)
+    matcher = MessageMatcher(b.build())
+    assert matcher.pairs == []
+    assert matcher.unmatched_sends == []
+    assert matcher.unmatched_recvs == []
+    assert matcher.matched_fraction() == 0.0
+
+
+def test_client_only_trace_has_no_connection_and_unmatched_receives():
+    """Client-only trace: a connect with no matching accept discovers
+    no connection at all, so the receive falls through to the datagram
+    pool and is reported unmatched."""
+    b = TraceBuilder()
+    cn, sn = "inet:red:1024", "inet:green:5000"
+    b.connect(1, 10, 100, sock=400, sock_name=cn, peer_name=sn)
+    b.send(1, 10, 102, sock=400, nbytes=100)
+    b.receive(1, 10, 109, sock=400, nbytes=50, source=sn)
+    matcher = MessageMatcher(b.build())
+    assert matcher.connections == []
+    assert matcher.pairs == []
+    assert [e.index for e in matcher.unmatched_recvs] == [2]
+    assert matcher.matched_fraction() == 0.0
+
+
+def test_repeated_connections_with_same_names_pair_fifo():
+    """Two successive connections reusing the same (name, peer) pair
+    (a client reconnect from the same port) pair up first-to-first."""
+    b = TraceBuilder()
+    cn, sn = "inet:red:1024", "inet:green:5000"
+    b.connect(1, 10, 100, sock=400, sock_name=cn, peer_name=sn)
+    b.connect(1, 10, 110, sock=401, sock_name=cn, peer_name=sn)
+    b.accept(2, 20, 101, sock=500, new_sock=510, sock_name=sn, peer_name=cn)
+    b.accept(2, 20, 111, sock=500, new_sock=511, sock_name=sn, peer_name=cn)
+    matcher = MessageMatcher(b.build())
+    assert [c.initiator for c in matcher.connections] == [(1, 400), (1, 401)]
+    assert [c.acceptor for c in matcher.connections] == [(2, 510), (2, 511)]
+
+
+def test_datagram_with_unknown_dest_host_still_matches_fifo():
+    """A datagram whose destination host never appears in any socket
+    name cannot be narrowed to a machine; it still pairs with the
+    earliest same-length receive anywhere."""
+    b = TraceBuilder()
+    b.send(1, 10, 100, sock=301, nbytes=64, dest="inet:unknown:6000")
+    b.receive(2, 20, 105, sock=600, nbytes=64)
+    matcher = MessageMatcher(b.build())
+    assert len(matcher.pairs) == 1
+    assert matcher.pairs[0].recv.index == 1

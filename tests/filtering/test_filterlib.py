@@ -1,0 +1,18 @@
+"""The filter-side library: MeterInbox state handling."""
+
+from repro.filtering.filterlib import MeterInbox
+
+
+def test_last_child_events_defined_before_first_wait():
+    """A filter may consult last_child_events before its first wait()
+    (e.g. a startup path that polls for children): it must exist and
+    be empty, not raise AttributeError."""
+    inbox = MeterInbox()
+    assert inbox.last_child_events == []
+
+
+def test_fds_lists_listener_then_connections():
+    inbox = MeterInbox(listen_fd=3)
+    inbox.buffers[7] = b""
+    inbox.buffers[9] = b""
+    assert inbox.fds() == [3, 7, 9]

@@ -298,6 +298,58 @@ def test_unmetered_process_records_nothing(cluster):
     assert cluster.machine("red").meter.events_recorded == 0
 
 
+def test_backpressure_requeues_batch_until_meter_socket_connects(cluster):
+    """A healthy-but-not-yet-connected meter socket refuses the flush
+    transiently; the batch must be kept, not silently discarded, and
+    shipped once the socket connects."""
+    records, __ = start_collector(cluster)
+    machine = cluster.machine("red")
+
+    def guest(sys, argv):
+        meter_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        # Appendix C: the meter socket "must be connected to be used,
+        # though this is not checked" -- set it before connecting.
+        yield sys.setmeter(mf.SELF, mf.METERSEND | mf.M_IMMEDIATE, meter_fd)
+        data_fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        for __i in range(3):
+            yield sys.sendto(data_fd, b"x", ("red", 6000))
+        yield sys.connect(meter_fd, ("blue", 4400))
+        yield sys.sendto(data_fd, b"x", ("red", 6000))
+        yield sys.exit(0)
+
+    proc = cluster.spawn("red", guest, uid=100)
+    cluster.run_until_exit([proc])
+    cluster.run(until_ms=cluster.sim.now + 20)
+    assert _events(records) == ["send", "send", "send", "send"]
+    assert machine.meter.events_dropped == 0
+    # All four events left in one wire message, after the connect.
+    assert machine.meter.wire_sends == 1
+
+
+def test_backpressure_requeue_is_bounded_and_counted(cluster):
+    """A meter socket that never becomes ready cannot grow the kernel
+    buffer forever: past the re-queue limit the oldest messages are
+    dropped, and every loss shows up in events_dropped."""
+    machine = cluster.machine("red")
+
+    def guest(sys, argv):
+        meter_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.setmeter(mf.SELF, mf.METERSEND | mf.M_IMMEDIATE, meter_fd)
+        data_fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        for __i in range(100):
+            yield sys.sendto(data_fd, b"x", ("red", 6000))
+        yield sys.exit(0)
+
+    proc = cluster.spawn("red", guest, uid=100)
+    cluster.run_until_exit([proc])
+    assert machine.meter.events_recorded == 100
+    assert machine.meter.wire_sends == 0
+    # 36 overflowed the 64-message re-queue bound; the surviving 64
+    # were unshippable at termination.  Nothing lost silently.
+    assert machine.meter.events_dropped == 100
+    assert proc.meter_buffer == []
+
+
 def test_metering_cost_is_charged_to_the_process(cluster):
     """Metering perturbs the metered process a little (Section 2.2
     accepts small degradation); the charge is visible in cpu_ms."""

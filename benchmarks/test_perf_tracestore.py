@@ -1,0 +1,185 @@
+"""Storecheck -- the trace store against the text log, at 20k events.
+
+Blocking CI gate for the binary trace store:
+
+1. pack a generated 20k-event trace into a segmented store;
+2. verify the reader (full scan *and* every pushdown axis) reproduces
+   exactly what ``Trace.from_text`` reads from the same records;
+3. assert a segment-pushdown scan reads strictly fewer bytes than a
+   full scan;
+4. record pack/scan throughput.
+
+A second check packs a real measurement session's text log and runs
+the analysis suite both ways.
+"""
+
+import time
+
+from benchmarks.conftest import HOSTS, fresh_session
+from repro.analysis import CommunicationStatistics, HappensBefore, Trace
+from repro.filtering.records import format_record, parse_trace
+from repro.metering.messages import MessageCodec, record_fields
+from repro.net.addresses import InternetName
+from repro.tracestore import StoreReader, pack_text
+from repro.tracestore.convert import pack_records
+
+N_EVENTS = 20_000
+SEGMENT_BYTES = 64 * 1024
+
+
+def _generate_records(n=N_EVENTS):
+    """n decoded send/receive records across 4 machines, time-ordered
+    the way one filter's log would be."""
+    codec = MessageCodec(HOSTS)
+    records = []
+    for i in range(n):
+        machine = (i % 4) + 1
+        peer = ((i + 1) % 4) + 1
+        name = InternetName(HOSTS[peer], 6000 + i % 16, peer)
+        event = "send" if i % 2 == 0 else "receive"
+        name_field = "destName" if event == "send" else "sourceName"
+        body = {
+            "pid": 2000 + (i % 8),
+            "pc": i,
+            "sock": 0x100 + (i % 5),
+            "msgLength": 32 * (1 + i % 64),
+            name_field: name,
+        }
+        body.update(codec.name_lengths(**{name_field: name}))
+        records.append(
+            codec.decode(
+                codec.encode(
+                    event,
+                    machine=machine,
+                    cpu_time=i,  # ms-granular local clocks, interleaved
+                    proc_time=(i // 100) * 10,
+                    **body
+                )
+            )
+        )
+    return records
+
+
+def _as_text(records):
+    return "\n".join(
+        format_record(r, ["event"] + record_fields(r["event"])) for r in records
+    ) + "\n"
+
+
+def test_storecheck_20k_equivalence_and_pushdown(benchmark):
+    records = _generate_records()
+    text = _as_text(records)
+
+    t0 = time.perf_counter()
+    store, writer = pack_records(
+        records, "/bench/f1.store", segment_bytes=SEGMENT_BYTES, host_names=HOSTS
+    )
+    pack_s = time.perf_counter() - t0
+    assert writer.records_appended == N_EVENTS
+    assert len(store) > 4  # genuinely segmented
+
+    reader = StoreReader.from_bytes(store)
+
+    def full_scan():
+        return reader.records()
+
+    scanned = benchmark.pedantic(full_scan, rounds=1, iterations=1)
+
+    # -- equivalence: the store is the text log, record for record ----
+    from_text = parse_trace(text)
+    assert scanned == from_text
+    trace_text = Trace.from_text(text)
+    trace_store = Trace.from_store(reader)
+    assert [e.record for e in trace_text] == [e.record for e in trace_store]
+
+    full_bytes = reader.last_stats.bytes_scanned
+    store_bytes = sum(len(data) for data in store.values())
+
+    # -- pushdown: every axis matches the brute-force answer ----------
+    t_lo, t_hi = N_EVENTS // 2, N_EVENTS // 2 + N_EVENTS // 50
+    window = reader.records(t_min=t_lo, t_max=t_hi)
+    window_bytes = reader.last_stats.bytes_scanned
+    window_skipped = reader.last_stats.segments_skipped
+    assert window == [r for r in from_text if t_lo <= r["cpuTime"] <= t_hi]
+
+    by_machine = reader.records(machines=[2])
+    assert by_machine == [r for r in from_text if r["machine"] == 2]
+    by_event = reader.records(events=["receive"])
+    assert by_event == [r for r in from_text if r["event"] == "receive"]
+    by_pid = reader.records(pids=[(3, 2002)])
+    assert by_pid == [
+        r for r in from_text if (r["machine"], r["pid"]) == (3, 2002)
+    ]
+
+    # -- the acceptance assertion: pushdown reads strictly fewer bytes
+    assert window_skipped > 0
+    assert window_bytes < full_bytes
+
+    t0 = time.perf_counter()
+    reader.records()
+    scan_s = time.perf_counter() - t0
+    print(
+        "\n[storecheck] {0} events, {1} segments, {2:.1f} KiB store "
+        "({3:.2f} B/event)".format(
+            N_EVENTS, len(store), store_bytes / 1024.0, store_bytes / N_EVENTS
+        )
+    )
+    print(
+        "[storecheck] pack {0:.0f} ev/s ({1:.1f} MiB/s); full scan "
+        "{2:.0f} ev/s ({3:.1f} MiB/s)".format(
+            N_EVENTS / pack_s,
+            store_bytes / pack_s / 2**20,
+            N_EVENTS / scan_s,
+            full_bytes / scan_s / 2**20,
+        )
+    )
+    print(
+        "[storecheck] pushdown window [{0}, {1}]: {2}/{3} segments "
+        "skipped, {4} vs {5} bytes scanned ({6:.1%})".format(
+            t_lo,
+            t_hi,
+            window_skipped,
+            len(store),
+            window_bytes,
+            full_bytes,
+            window_bytes / full_bytes,
+        )
+    )
+
+
+def test_storecheck_session_analyses_match(benchmark):
+    """Pack a real session's text log; the analysis results off the
+    store must be identical to the text-log results."""
+    session = fresh_session(seed=11)
+    session.command("filter f1 blue")
+    session.command("newjob pp")
+    session.command("addprocess pp red pingpongserver 5100 12")
+    session.command("addprocess pp green pingpongclient red 5100 12")
+    session.command("setflags pp send receive accept connect socket termproc")
+    session.command("startjob pp")
+    session.settle()
+    __, text = session.find_filter_log("f1")
+
+    store, __w = pack_text(text, "/bench/session.store", segment_bytes=2048)
+    reader = StoreReader.from_bytes(store)
+
+    def build():
+        return Trace.from_store(reader)
+
+    trace_store = benchmark.pedantic(build, rounds=1, iterations=1)
+    trace_text = Trace.from_text(text)
+
+    assert [e.record for e in trace_text] == [e.record for e in trace_store]
+    hb_text, hb_store = HappensBefore(trace_text), HappensBefore(trace_store)
+    assert hb_text.ordered_fraction() == hb_store.ordered_fraction()
+    assert len(hb_text.matcher.pairs) == len(hb_store.matcher.pairs)
+    stats_text = CommunicationStatistics(trace_text)
+    stats_store = CommunicationStatistics(trace_store)
+    assert stats_text.totals() == stats_store.totals()
+    assert stats_text.report() == stats_store.report()
+    print(
+        "\n[storecheck] session: {0} records, {1} pairs matched, "
+        "analyses identical text vs store".format(
+            len(trace_text), len(hb_text.matcher.pairs)
+        )
+    )

@@ -1,19 +1,38 @@
-"""``python -m repro`` -- run the bundled demonstrations.
+"""``python -m repro`` -- demonstrations and trace-store tools.
 
 Without arguments, replays the paper's Appendix B session.  With an
-example name, runs that example:
+example name, runs that example; the ``trace`` subcommands work on
+trace files on the real filesystem:
 
     python -m repro                 # quickstart (Appendix B)
     python -m repro tsp_study       # the TSP debugging study
-    python -m repro debug_hang      # diagnosing a hung computation
     python -m repro --list
+    python -m repro trace pack f1.log f1.store    # text log -> store
+    python -m repro trace inspect f1.store        # segment footers
+    python -m repro trace cat f1.store --event send --machine 2
 """
 
 import importlib.util
 import pathlib
 import sys
 
+from repro.filtering.records import format_record
+from repro.metering.messages import record_fields
+from repro.tracestore import StoreReader, pack_text
+from repro.tracestore.format import DEFAULT_SEGMENT_BYTES
+from repro.tracestore.writer import flush_to_files
+
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent.parent / "examples"
+
+TRACE_USAGE = """\
+usage: python -m repro trace <subcommand>
+  pack <logfile> <storebase> [--segment-bytes N]
+                     convert a text trace log into a segmented store
+  inspect <storebase>
+                     show per-segment index footers
+  cat <storebase> [--machine N] [--pid N] [--event NAME]
+                  [--since T] [--until T]
+                     stream selected records as log lines"""
 
 
 def _available():
@@ -22,8 +41,128 @@ def _available():
     return sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
 
 
+# ----------------------------------------------------------------------
+# trace subcommands
+# ----------------------------------------------------------------------
+
+
+def _parse_flags(args, spec):
+    """Tiny ``--flag value`` parser; spec maps flag -> coercion."""
+    positional, flags = [], {}
+    i = 0
+    while i < len(args):
+        token = args[i]
+        if token.startswith("--"):
+            name = token[2:]
+            if name not in spec:
+                raise ValueError("unknown option --{0}".format(name))
+            if i + 1 >= len(args):
+                raise ValueError("option --{0} needs a value".format(name))
+            flags[name] = spec[name](args[i + 1])
+            i += 2
+        else:
+            positional.append(token)
+            i += 1
+    return positional, flags
+
+
+def _trace_pack(args):
+    positional, flags = _parse_flags(args, {"segment-bytes": int})
+    if len(positional) != 2:
+        print(TRACE_USAGE)
+        return 1
+    logfile, base = positional
+    text = pathlib.Path(logfile).read_text(encoding="ascii")
+    __, writer = pack_text(
+        text,
+        base,
+        segment_bytes=flags.get("segment-bytes", DEFAULT_SEGMENT_BYTES),
+        writer_driver=flush_to_files,
+    )
+    print(
+        "packed {0} records into {1} segment(s) at {2}.seg*".format(
+            writer.records_appended, writer.segments_sealed, base
+        )
+    )
+    return 0
+
+
+def _trace_inspect(args):
+    if len(args) != 1:
+        print(TRACE_USAGE)
+        return 1
+    reader = StoreReader.from_files(args[0])
+    for path, footer in reader.footers():
+        if footer is None:
+            print("{0}: open segment (no footer; recovered by scan)".format(path))
+            continue
+        events = " ".join(
+            "{0}={1}".format(name, count)
+            for name, count in sorted(footer["events"].items())
+        )
+        machines = " ".join(
+            "m{0}={1}".format(m, count)
+            for m, count in sorted(footer["machines"].items(), key=lambda kv: int(kv[0]))
+        )
+        print(
+            "{0}: {1} records, t=[{2}, {3}], {4}; {5}".format(
+                path, footer["records"], footer["t_min"], footer["t_max"],
+                machines, events,
+            )
+        )
+    print("total records: {0}".format(reader.record_count()))
+    return 0
+
+
+def _trace_cat(args):
+    spec = {
+        "machine": int,
+        "pid": int,
+        "event": str,
+        "since": int,
+        "until": int,
+    }
+    positional, flags = _parse_flags(args, spec)
+    if len(positional) != 1:
+        print(TRACE_USAGE)
+        return 1
+    reader = StoreReader.from_files(positional[0])
+    predicates = {
+        "machines": [flags["machine"]] if "machine" in flags else None,
+        "events": [flags["event"]] if "event" in flags else None,
+        "t_min": flags.get("since"),
+        "t_max": flags.get("until"),
+    }
+    if "pid" in flags:
+        if "machine" not in flags:
+            print("--pid needs --machine (pids are per-machine)")
+            return 1
+        predicates["pids"] = [(flags["machine"], flags["pid"])]
+    for record in reader.scan(**predicates):
+        order = ["event"] + record_fields(record["event"])
+        print(format_record(record, order))
+    return 0
+
+
+def trace_main(args):
+    handlers = {"pack": _trace_pack, "inspect": _trace_inspect, "cat": _trace_cat}
+    if not args or args[0] not in handlers:
+        print(TRACE_USAGE)
+        return 1
+    try:
+        return handlers[args[0]](args[1:])
+    except (FileNotFoundError, ValueError) as err:
+        print("trace {0}: {1}".format(args[0], err))
+        return 1
+
+
+# ----------------------------------------------------------------------
+
+
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     names = _available()
     if argv and argv[0] in ("--list", "-l"):
         print("available examples:")

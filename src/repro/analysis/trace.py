@@ -99,6 +99,38 @@ class Trace:
         return cls(session.read_trace(filtername))
 
     @classmethod
+    def from_store(cls, reader, machines=None, pids=None, events=None,
+                   t_min=None, t_max=None):
+        """Build a trace by streaming a :class:`~repro.tracestore.
+        StoreReader` scan.
+
+        Records flow straight from the store's segments through the
+        pushdown predicate into the trace: segments the footers rule
+        out are never read, and records the predicate rejects are
+        never materialized -- only the selection becomes Events.  With
+        no predicate this is record-for-record identical to
+        :meth:`from_text` on the equivalent text log.
+        """
+        return cls(
+            reader.scan(
+                machines=machines,
+                pids=pids,
+                events=events,
+                t_min=t_min,
+                t_max=t_max,
+            )
+        )
+
+    @classmethod
+    def from_stores(cls, *readers, **predicates):
+        """One trace from several filters' stores, interleaved by the
+        k-way (cpuTime, machine) merge of :func:`~repro.tracestore.
+        merge_scan` (the streaming analogue of :meth:`merge`)."""
+        from repro.tracestore import merge_scan
+
+        return cls(merge_scan(readers, **predicates))
+
+    @classmethod
     def merge(cls, *traces):
         """Merge several filters' traces into one.
 

@@ -68,6 +68,10 @@ class ControllerState:
     def __init__(self):
         self.uid = None
         self.hostname = None
+        #: Per-session log placement (argv; None means the daemon's
+        #: default /usr/tmp) and format ("text" or "store").
+        self.log_directory = None
+        self.log_format = "text"
         self.notify_listen = None
         self.notify_port = None
         #: notify conn fd -> reassembly buffer
@@ -106,6 +110,10 @@ def controller(sys, argv):
     state = ControllerState()
     state.uid = yield sys.getuid()
     state.hostname = yield sys.hostname()
+    if len(argv) > 1 and argv[1]:
+        state.log_directory = argv[1]
+    if len(argv) > 2 and argv[2]:
+        state.log_format = argv[2]
 
     # The notification socket: daemons connect here to report process
     # state changes (Section 3.5.1).
@@ -385,15 +393,17 @@ def cmd_filter(sys, state, args):
     filterfile = args[2] if len(args) > 2 else DEFAULT_FILTER_FILE
     descriptions = args[3] if len(args) > 3 else DEFAULT_DESCRIPTIONS
     templates = args[4] if len(args) > 4 else DEFAULT_TEMPLATES
-    reply_type, body = yield from _rpc(
-        sys,
-        state,
-        machine,
-        protocol.CREATE_FILTER_REQ,
+    request = dict(
         filtername=filtername,
         filterfile=filterfile,
         descriptions=descriptions,
         templates=templates,
+        log_format=state.log_format,
+    )
+    if state.log_directory:
+        request["log_directory"] = state.log_directory
+    reply_type, body = yield from _rpc(
+        sys, state, machine, protocol.CREATE_FILTER_REQ, **request
     )
     if reply_type != protocol.CREATE_FILTER_REPLY or not protocol.is_ok(body):
         yield from _emit(

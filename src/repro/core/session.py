@@ -18,9 +18,17 @@ from repro.daemon.meterdaemon import meterdaemon
 from repro.filtering.descriptions import default_descriptions_text
 from repro.filtering.records import parse_trace
 from repro.filtering.rules import DEFAULT_TEMPLATES_TEXT
-from repro.filtering.standard import log_path_for, standard_filter
+from repro.filtering.standard import (
+    DEFAULT_LOG_DIRECTORY,
+    LOG_FORMAT_STORE,
+    LOG_FORMAT_TEXT,
+    log_path_for,
+    standard_filter,
+)
 from repro.kernel import defs
 from repro.kernel.tty import Terminal
+from repro.tracestore import StoreReader
+from repro.tracestore.writer import segment_path
 
 DEFAULT_UID = 100
 
@@ -35,9 +43,18 @@ class MeasurementSession:
         uid=DEFAULT_UID,
         install=True,
         start=True,
+        log_directory=None,
+        log_format=LOG_FORMAT_TEXT,
     ):
         self.cluster = cluster
         self.uid = uid
+        #: Where this session's filters log, and in which format.  A
+        #: directory per session keeps concurrent sessions on the same
+        #: machines from colliding on /usr/tmp/<filter>.log.
+        self.log_directory = log_directory or DEFAULT_LOG_DIRECTORY
+        if log_format not in (LOG_FORMAT_TEXT, LOG_FORMAT_STORE):
+            raise ValueError("unknown log format %r" % (log_format,))
+        self.log_format = log_format
         names = cluster.machine_names()
         self.control_machine = control_machine or names[-1]
         self.daemons = {}
@@ -81,7 +98,11 @@ class MeasurementSession:
             )
         machine = self.cluster.machine(self.control_machine)
         self.controller_proc = machine.create_process(
-            main=controller, uid=self.uid, program_name="control", start=False
+            main=controller,
+            argv=["control", self.log_directory, self.log_format],
+            uid=self.uid,
+            program_name="control",
+            start=False,
         )
         machine.attach_terminal(self.controller_proc, self.tty)
         machine.continue_proc(self.controller_proc)
@@ -150,17 +171,34 @@ class MeasurementSession:
     # Trace access
     # ------------------------------------------------------------------
 
+    def filter_log_path(self, filtername):
+        """This session's log path for a filter (text or store base)."""
+        return log_path_for(filtername, self.log_directory, self.log_format)
+
     def find_filter_log(self, filtername):
-        """Locate a filter's log file; returns (machine name, text)."""
-        path = log_path_for(filtername)
+        """Locate a filter's text log file; returns (machine, text)."""
+        path = log_path_for(filtername, self.log_directory)
         for name, machine in self.cluster.machines.items():
             if machine.fs.exists(path):
                 return name, bytes(machine.fs.node(path).data).decode("ascii")
         raise FileNotFoundError(path)
 
+    def store_reader(self, filtername):
+        """A :class:`StoreReader` over a filter's store segments
+        (host-side shortcut, the store analogue of find_filter_log)."""
+        base = log_path_for(filtername, self.log_directory, LOG_FORMAT_STORE)
+        first = segment_path(base, 0)
+        host_names = self.cluster.host_table.names_by_id()
+        for machine in self.cluster.machines.values():
+            if machine.fs.exists(first):
+                return StoreReader.from_fs(machine.fs, base, host_names=host_names)
+        raise FileNotFoundError(first)
+
     def read_trace(self, filtername):
-        """Parse a filter's log into record dicts (host-side shortcut;
-        the in-world route is the getlog command)."""
+        """A filter's accepted records as dicts, whatever the log
+        format (host-side shortcut; the in-world route is getlog)."""
+        if self.log_format == LOG_FORMAT_STORE:
+            return self.store_reader(filtername).records()
         __, text = self.find_filter_log(filtername)
         return parse_trace(text)
 

@@ -235,9 +235,14 @@ def _handle_create_filter(sys, state, body):
     name = yield sys.getsockname(meter_fd)
 
     filtername = body["filtername"]
+    log_path = log_path_for(
+        filtername,
+        directory=body.get("log_directory"),
+        log_format=body.get("log_format", "text"),
+    )
     argv = [
         filtername,
-        log_path_for(filtername),
+        log_path,
         body.get("descriptions", "descriptions"),
         body.get("templates", "templates"),
     ]
@@ -261,7 +266,7 @@ def _handle_create_filter(sys, state, body):
         status=protocol.OK,
         meter_host=hostname,
         meter_port=name.port,
-        log_path=log_path_for(filtername),
+        log_path=log_path,
     )
 
 

@@ -9,9 +9,22 @@ Guest program arguments::
 
     argv = [filtername, log_path, descriptions_path, templates_path]
 
-Accepted records are appended, one text line each, to the log file
-("A filter sends its output to a log file located in the /usr/tmp
-directory.  Each filter has its own log file.").
+Accepted records go to the filter's log file ("A filter sends its
+output to a log file located in the /usr/tmp directory.  Each filter
+has its own log file.").  Two output modes, chosen by the log path's
+suffix:
+
+- ``<name>.log`` -- the paper's text mode: one line per record,
+  opened in *append* mode so a filter relaunched after a daemon
+  restart extends the log instead of erasing it;
+- ``<name>.store`` -- the binary trace store: accepted records are
+  appended in their Appendix-A wire encoding to segmented, indexed
+  files (see :mod:`repro.tracestore`), which is what the streaming
+  analyses and large computations want.
+
+The log directory defaults to the paper's ``/usr/tmp`` but is a per-
+session setting (carried here through the log path argument), so
+concurrent sessions on one machine keep separate logs.
 """
 
 from repro import guestlib
@@ -19,13 +32,30 @@ from repro.filtering.descriptions import parse_descriptions
 from repro.filtering.filterlib import MeterInbox
 from repro.filtering.records import format_record
 from repro.filtering.rules import RuleSet, parse_rules
+from repro.metering.messages import record_fields
+from repro.tracestore import (
+    StoreWriter,
+    discard_mask,
+    flush_to_guest,
+    next_segment_index,
+    zero_masked_bytes,
+)
 
 PROGRAM_NAME = "filter"
-LOG_DIRECTORY = "/usr/tmp"
+DEFAULT_LOG_DIRECTORY = "/usr/tmp"
+#: Backward-compatible module alias (prefer the per-session setting).
+LOG_DIRECTORY = DEFAULT_LOG_DIRECTORY
+
+TEXT_SUFFIX = ".log"
+STORE_SUFFIX = ".store"
+
+LOG_FORMAT_TEXT = "text"
+LOG_FORMAT_STORE = "store"
 
 
-def log_path_for(filtername):
-    return "{0}/{1}.log".format(LOG_DIRECTORY, filtername)
+def log_path_for(filtername, directory=None, log_format=LOG_FORMAT_TEXT):
+    suffix = STORE_SUFFIX if log_format == LOG_FORMAT_STORE else TEXT_SUFFIX
+    return "{0}/{1}{2}".format(directory or LOG_DIRECTORY, filtername, suffix)
 
 
 def standard_filter(sys, argv):
@@ -41,7 +71,17 @@ def standard_filter(sys, argv):
     rules = parse_rules(templates_text) if templates_text is not None else RuleSet([])
     host_names = yield sys.hosttable()
 
-    log_fd = yield sys.open(log_path, "w")
+    store_mode = log_path.endswith(STORE_SUFFIX)
+    if store_mode:
+        # A relaunched filter continues after the segments an earlier
+        # incarnation flushed; it never rewrites them.
+        start = yield from next_segment_index(sys, log_path)
+        writer = StoreWriter(log_path, start_index=start, host_names=host_names)
+        log_fd = None
+    else:
+        writer = None
+        log_fd = yield sys.open(log_path, "a")
+
     inbox = MeterInbox()
     while True:
         raw_messages = yield from inbox.wait(sys)
@@ -56,8 +96,21 @@ def standard_filter(sys, argv):
             saved = rules.apply(record)
             if saved is None:
                 continue
-            order = descriptions.field_order(record["event"])
-            lines.append(format_record(saved, order))
-        if lines:
+            if store_mode:
+                event = record["event"]
+                mask = discard_mask(
+                    event,
+                    {name for name in record_fields(event) if name not in saved},
+                )
+                writer.append(zero_masked_bytes(raw, event, mask), mask)
+            else:
+                order = descriptions.field_order(record["event"])
+                lines.append(format_record(saved, order))
+        if store_mode:
+            # Bounded buffering: whatever this batch left in the
+            # writer's buffer goes to disk before we block again.
+            writer.sync()
+            yield from flush_to_guest(sys, writer)
+        elif lines:
             yield sys.write(log_fd, ("\n".join(lines) + "\n").encode("ascii"))
         # The filter runs until the controller removes it (die).

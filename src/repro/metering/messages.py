@@ -21,7 +21,7 @@ three can never drift apart.
 
 import struct
 
-from repro.net.addresses import NO_NAME, decode_name
+from repro.net.addresses import NO_NAME, InternetName, SocketName, decode_name, parse_name
 
 HEADER_BYTES = 24
 _HEADER_STRUCT = struct.Struct(">ih2xiiii")
@@ -134,6 +134,13 @@ def message_length(event):
     return HEADER_BYTES + body_length(event)
 
 
+def record_fields(event):
+    """The canonical field list of a decoded record: header fields
+    first, then the body fields in Appendix-A declaration order.  The
+    trace store's per-record discard mask is a bitmap over this list."""
+    return list(HEADER_FIELDS) + [name for name, __ in BODY_FIELDS[event]]
+
+
 def field_layout(event):
     """(name, offset-from-body-start, length, display base) per field,
     the tuple format of the Figure 3.2 description file."""
@@ -156,6 +163,7 @@ class MessageCodec:
 
     def __init__(self, host_names=None):
         self.host_names = dict(host_names or {})
+        self._host_ids = None  # reverse map, built on first encode_record
 
     # -- encoding -------------------------------------------------------
 
@@ -188,6 +196,57 @@ class MessageCodec:
             key + "Len": (value.wire_len() if value is not None else 0)
             for key, value in names.items()
         }
+
+    def encode_record(self, record):
+        """Re-encode a decoded record dict back to its wire message.
+
+        The inverse of :meth:`decode`: NAME fields may be SocketName
+        objects or display strings ("inet:red:5100"); missing fields
+        encode as zero (the trace store marks them in its discard
+        mask).  ``encode(decode(raw)) == raw`` holds for every
+        Appendix-A message, which is what lets the trace store keep
+        records in the wire encoding without loss.
+        """
+        event = record.get("event") or EVENT_NAMES[record["traceType"]]
+        parts = [
+            _HEADER_STRUCT.pack(
+                message_length(event),
+                int(record.get("machine") or 0),
+                int(record.get("cpuTime") or 0),
+                0,  # Dummy
+                int(record.get("procTime") or 0),
+                EVENT_TYPES[event],
+            )
+        ]
+        for name, kind in BODY_FIELDS[event]:
+            if kind == "long":
+                parts.append(struct.pack(">i", int(record.get(name) or 0)))
+            else:
+                parts.append(self._name_wire_bytes(record.get(name)))
+        return b"".join(parts)
+
+    def _name_wire_bytes(self, value):
+        """Wire form of a NAME field value that may be a SocketName, a
+        display string, or missing.  Display strings drop the wire host
+        id, so Internet names recover it from the host-name map (or the
+        literal digits when the decoder had no map either)."""
+        if value is None or value == "":
+            return NO_NAME
+        if isinstance(value, SocketName):
+            return value.wire_bytes()
+        name = parse_name(str(value))
+        if name is None:
+            return NO_NAME
+        if isinstance(name, InternetName) and name.host_id == 0:
+            if self._host_ids is None:
+                self._host_ids = {
+                    host: host_id for host_id, host in self.host_names.items()
+                }
+            host_id = self._host_ids.get(name.host)
+            if host_id is None and name.host.isdigit():
+                host_id = int(name.host)
+            name.host_id = host_id or 0
+        return name.wire_bytes()
 
     # -- decoding -------------------------------------------------------
 

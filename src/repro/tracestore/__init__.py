@@ -1,0 +1,54 @@
+"""The binary trace store: segmented, indexed meter logs.
+
+The paper's filters log accepted records as text lines (Section 3.4);
+at Appendix-B scale that is fine, but the ROADMAP's large computations
+emit millions of meter messages, and slurping whole text logs defeats
+analysis.  This package keeps accepted records in their Appendix-A
+wire encoding inside fixed-capacity segment files, each sealed with an
+index footer, so analyses can stream exactly the records they need:
+
+- :mod:`repro.tracestore.format` -- segments, frames, footers;
+- :mod:`repro.tracestore.writer` -- :class:`StoreWriter` (batched,
+  crash-safe appends; usable from filter guests);
+- :mod:`repro.tracestore.reader` -- :class:`StoreReader` (streaming
+  scans with segment pushdown) and :func:`merge_scan`;
+- :mod:`repro.tracestore.convert` -- text log <-> store packing.
+"""
+
+from repro.tracestore.format import (
+    DEFAULT_SEGMENT_BYTES,
+    discard_mask,
+    masked_fields,
+    zero_masked_bytes,
+)
+from repro.tracestore.convert import pack_records, pack_text
+from repro.tracestore.reader import ScanStats, Segment, StoreReader, merge_scan
+from repro.tracestore.writer import (
+    StoreWriter,
+    collect_ops,
+    flush_to_files,
+    flush_to_fs,
+    flush_to_guest,
+    next_segment_index,
+    segment_path,
+)
+
+__all__ = [
+    "DEFAULT_SEGMENT_BYTES",
+    "discard_mask",
+    "masked_fields",
+    "zero_masked_bytes",
+    "pack_records",
+    "pack_text",
+    "ScanStats",
+    "Segment",
+    "StoreReader",
+    "merge_scan",
+    "StoreWriter",
+    "collect_ops",
+    "flush_to_files",
+    "flush_to_fs",
+    "flush_to_guest",
+    "next_segment_index",
+    "segment_path",
+]

@@ -1,0 +1,100 @@
+"""Converting between legacy text logs and binary stores.
+
+A text log line is a decoded record; packing re-encodes each record to
+its Appendix-A wire message (via :meth:`MessageCodec.encode_record`)
+and marks reduced-away fields in the frame's discard mask, so
+``pack -> scan`` yields exactly the records ``parse_trace`` would.
+
+Text logs carry host names only in display form ("inet:red:6101"), so
+packing builds a host table from the names it sees; the assigned ids
+travel in each sealed segment's footer and the reader's codec maps
+them back to the same display strings.
+"""
+
+from repro.filtering.records import parse_trace
+from repro.metering.messages import (
+    BODY_FIELDS,
+    EVENT_NAMES,
+    MessageCodec,
+    record_fields,
+)
+from repro.tracestore import format as sformat
+from repro.tracestore.writer import StoreWriter, collect_ops
+
+#: Record-dict keys that are not wire fields (derived on decode).
+_DERIVED_KEYS = frozenset({"event", "size"})
+
+
+def host_names_from_records(records):
+    """Assign stable host ids to every Internet host name that appears
+    in a record's NAME-field display strings."""
+    hosts = set()
+    for record in records:
+        event = record.get("event")
+        if event not in BODY_FIELDS:
+            continue
+        for name, kind in BODY_FIELDS[event]:
+            value = record.get(name)
+            if kind == "name" and isinstance(value, str) and value.startswith("inet:"):
+                host = value.split(":")[1]
+                if host and not host.isdigit():
+                    hosts.add(host)
+    return {i + 1: host for i, host in enumerate(sorted(hosts))}
+
+
+def wire_pairs(records, codec):
+    """(payload, mask) per record; fields missing from the record are
+    encoded as zero and flagged in the mask."""
+    pairs = []
+    for record in records:
+        event = record.get("event") or EVENT_NAMES.get(record.get("traceType"))
+        if event not in BODY_FIELDS:
+            continue  # not an Appendix-A record; text logs may hold anything
+        missing = [
+            name
+            for name in record_fields(event)
+            if name not in record and name not in _DERIVED_KEYS
+        ]
+        # "size" is derived, always recomputed by encode_record.
+        mask = sformat.discard_mask(event, set(missing) - {"size"})
+        pairs.append((codec.encode_record(dict(record, event=event)), mask))
+    return pairs
+
+
+def pack_records(records, base, segment_bytes=sformat.DEFAULT_SEGMENT_BYTES,
+                 host_names=None, writer_driver=None):
+    """Pack decoded records into a store.
+
+    ``writer_driver(writer)`` applies the writer's ops to a medium
+    (e.g. :func:`~repro.tracestore.writer.flush_to_files`); without
+    one, returns a dict path -> bytes.  Returns (result, writer).
+    """
+    if host_names is None:
+        host_names = host_names_from_records(records)
+    codec = MessageCodec(host_names)
+    writer = StoreWriter(base, segment_bytes=segment_bytes, host_names=host_names)
+    sink = {} if writer_driver is None else None
+    for payload, mask in wire_pairs(records, codec):
+        writer.append(payload, mask)
+        if writer_driver is None:
+            collect_ops(sink, writer)
+        else:
+            writer_driver(writer)
+    writer.close()
+    if writer_driver is None:
+        collect_ops(sink, writer)
+        return {path: bytes(data) for path, data in sink.items()}, writer
+    writer_driver(writer)
+    return None, writer
+
+
+def pack_text(text, base, segment_bytes=sformat.DEFAULT_SEGMENT_BYTES,
+              host_names=None, writer_driver=None):
+    """Pack a legacy text log (the ``trace pack`` CLI)."""
+    return pack_records(
+        parse_trace(text),
+        base,
+        segment_bytes=segment_bytes,
+        host_names=host_names,
+        writer_driver=writer_driver,
+    )

@@ -1,0 +1,258 @@
+"""The on-disk trace-store format: segments, frames, index footers.
+
+A *store* is a family of fixed-capacity segment files sharing a base
+path::
+
+    /usr/tmp/f1.store.seg00000      (sealed: footer + trailer present)
+    /usr/tmp/f1.store.seg00001      (sealed)
+    /usr/tmp/f1.store.seg00002      (open tail: recovered by scanning)
+
+Each segment is::
+
+    +--------+----------------------------+--------+---------+
+    | header |  record frames (appended)  | footer | trailer |
+    +--------+----------------------------+--------+---------+
+
+- header (8 bytes): magic "RTS1", version u16, flags u16;
+- frame: payload length u32, discard mask u32, payload -- the payload
+  is the record's Appendix-A wire message, byte for byte;
+- footer: a JSON index of the segment (record count, min/max header
+  cpuTime, per-machine / per-(machine,pid) / per-event-type record
+  counts, per-event first/last byte offsets, the host-name map used to
+  display NAME fields);
+- trailer (12 bytes): footer length u32, footer crc32 u32, magic
+  "RTSX".
+
+Only sealed segments carry a footer; a segment interrupted by a crash
+simply ends mid-frame and is recovered by scanning frames until the
+bytes run out (record framing is self-delimiting, so everything the
+writer flushed survives).  The footer lets a reader skip a whole
+segment when a predicate cannot match any record in it -- that is the
+predicate pushdown the streaming analyses rely on.
+
+The discard mask is a bitmap over :func:`repro.metering.messages.
+record_fields`: bit *i* set means field *i* was discarded by a
+reduction rule (Figure 3.4's ``#`` prefix).  Masked field bytes are
+zeroed in the stored payload and the field is dropped again on decode,
+so a store round-trips exactly what the text log would have kept.
+"""
+
+import json
+import struct
+import zlib
+
+from repro.metering.messages import HEADER_BYTES, field_layout, record_fields
+
+SEGMENT_MAGIC = b"RTS1"
+TRAILER_MAGIC = b"RTSX"
+FORMAT_VERSION = 1
+
+_HEADER_STRUCT = struct.Struct(">4sHH")
+SEGMENT_HEADER_BYTES = _HEADER_STRUCT.size  # 8
+_FRAME_STRUCT = struct.Struct(">II")
+FRAME_OVERHEAD_BYTES = _FRAME_STRUCT.size  # 8
+_TRAILER_STRUCT = struct.Struct(">II4s")
+TRAILER_BYTES = _TRAILER_STRUCT.size  # 12
+
+#: Default segment capacity (data bytes before the segment is sealed).
+DEFAULT_SEGMENT_BYTES = 64 * 1024
+
+#: Wire offsets of the maskable header fields (size and traceType are
+#: never zeroed: they carry the framing and the record's identity).
+_MASKABLE_HEADER_OFFSETS = {
+    "machine": (4, 2),
+    "cpuTime": (8, 4),
+    "procTime": (16, 4),
+}
+
+
+def segment_header():
+    return _HEADER_STRUCT.pack(SEGMENT_MAGIC, FORMAT_VERSION, 0)
+
+
+def parse_segment_header(data):
+    """Validate a segment's first bytes; raises ValueError."""
+    if len(data) < SEGMENT_HEADER_BYTES:
+        raise ValueError("short segment: %d bytes" % len(data))
+    magic, version, __ = _HEADER_STRUCT.unpack_from(data, 0)
+    if magic != SEGMENT_MAGIC:
+        raise ValueError("not a trace-store segment (magic %r)" % magic)
+    if version != FORMAT_VERSION:
+        raise ValueError("unsupported segment version %d" % version)
+    return version
+
+
+# ----------------------------------------------------------------------
+# Record frames
+# ----------------------------------------------------------------------
+
+
+def encode_frame(payload, mask=0):
+    return _FRAME_STRUCT.pack(len(payload), mask) + payload
+
+
+def iter_frames(data, start, end):
+    """Yield (offset, mask, payload) for each complete frame in
+    ``data[start:end]``; a truncated trailing frame (crash mid-write)
+    ends the iteration instead of raising."""
+    offset = start
+    while offset + FRAME_OVERHEAD_BYTES <= end:
+        length, mask = _FRAME_STRUCT.unpack_from(data, offset)
+        body_start = offset + FRAME_OVERHEAD_BYTES
+        if body_start + length > end:
+            break  # torn tail frame: the writer died mid-append
+        yield offset, mask, bytes(data[body_start : body_start + length])
+        offset = body_start + length
+
+
+# ----------------------------------------------------------------------
+# Discard masks
+# ----------------------------------------------------------------------
+
+
+def discard_mask(event, missing_fields):
+    """Bitmap over record_fields(event) marking the discarded ones."""
+    mask = 0
+    for i, name in enumerate(record_fields(event)):
+        if name in missing_fields:
+            mask |= 1 << i
+    return mask
+
+
+def masked_fields(event, mask):
+    """The field names a mask discards."""
+    if not mask:
+        return []
+    return [
+        name
+        for i, name in enumerate(record_fields(event))
+        if mask & (1 << i)
+    ]
+
+
+def zero_masked_bytes(raw, event, mask):
+    """Zero the wire bytes of every masked field (reduction really does
+    remove the data, not just the key).  size and traceType survive so
+    the payload stays a decodable meter message."""
+    if not mask:
+        return raw
+    buf = bytearray(raw)
+    for i, name in enumerate(record_fields(event)):
+        if not mask & (1 << i):
+            continue
+        span = _MASKABLE_HEADER_OFFSETS.get(name)
+        if span is not None:
+            offset, length = span
+            buf[offset : offset + length] = b"\x00" * length
+            continue
+        for field_name, body_offset, length, __ in field_layout(event):
+            if field_name == name:
+                offset = HEADER_BYTES + body_offset
+                buf[offset : offset + length] = b"\x00" * length
+                break
+    return bytes(buf)
+
+
+# ----------------------------------------------------------------------
+# Footers
+# ----------------------------------------------------------------------
+
+
+class SegmentStats:
+    """Accumulates the footer index while a segment is written."""
+
+    def __init__(self, host_names=None):
+        self.records = 0
+        self.t_min = None
+        self.t_max = None
+        self.machines = {}
+        self.pids = {}
+        self.events = {}
+        self.event_offsets = {}
+        self.host_names = dict(host_names or {})
+
+    def add(self, event, machine, pid, cpu_time, offset):
+        self.records += 1
+        if self.t_min is None or cpu_time < self.t_min:
+            self.t_min = cpu_time
+        if self.t_max is None or cpu_time > self.t_max:
+            self.t_max = cpu_time
+        self.machines[machine] = self.machines.get(machine, 0) + 1
+        key = "{0}:{1}".format(machine, pid)
+        self.pids[key] = self.pids.get(key, 0) + 1
+        self.events[event] = self.events.get(event, 0) + 1
+        span = self.event_offsets.get(event)
+        if span is None:
+            self.event_offsets[event] = [offset, offset]
+        else:
+            span[1] = offset
+
+    def footer(self, data_start, data_end):
+        return {
+            "version": FORMAT_VERSION,
+            "records": self.records,
+            "data_start": data_start,
+            "data_end": data_end,
+            "t_min": self.t_min,
+            "t_max": self.t_max,
+            "machines": {str(m): n for m, n in self.machines.items()},
+            "pids": self.pids,
+            "events": self.events,
+            "event_offsets": self.event_offsets,
+            "hosts": {str(i): name for i, name in self.host_names.items()},
+        }
+
+
+def encode_footer(footer):
+    """Footer JSON plus the fixed trailer that locates it from EOF."""
+    blob = json.dumps(footer, sort_keys=True).encode("ascii")
+    trailer = _TRAILER_STRUCT.pack(
+        len(blob), zlib.crc32(blob) & 0xFFFFFFFF, TRAILER_MAGIC
+    )
+    return blob + trailer
+
+
+def parse_footer(data):
+    """Extract the footer of a sealed segment; None when the segment is
+    unsealed (no trailer) or the trailer/footer bytes are damaged."""
+    if len(data) < SEGMENT_HEADER_BYTES + TRAILER_BYTES:
+        return None
+    length, crc, magic = _TRAILER_STRUCT.unpack_from(data, len(data) - TRAILER_BYTES)
+    if magic != TRAILER_MAGIC:
+        return None
+    start = len(data) - TRAILER_BYTES - length
+    if start < SEGMENT_HEADER_BYTES:
+        return None
+    blob = bytes(data[start : start + length])
+    if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        footer = json.loads(blob.decode("ascii"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if footer.get("version") != FORMAT_VERSION:
+        return None
+    return footer
+
+
+def footer_matches(footer, machines=None, pids=None, events=None,
+                   t_min=None, t_max=None):
+    """Can any record in this sealed segment satisfy the predicate?
+    False means the whole segment is safely skippable (pushdown)."""
+    if footer["records"] == 0:
+        return False
+    if t_min is not None and footer["t_max"] is not None and footer["t_max"] < t_min:
+        return False
+    if t_max is not None and footer["t_min"] is not None and footer["t_min"] > t_max:
+        return False
+    if machines is not None:
+        if not any(str(m) in footer["machines"] for m in machines):
+            return False
+    if pids is not None:
+        keys = {"{0}:{1}".format(m, p) for m, p in pids}
+        if not keys & set(footer["pids"]):
+            return False
+    if events is not None:
+        if not any(e in footer["events"] for e in events):
+            return False
+    return True

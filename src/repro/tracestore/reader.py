@@ -1,0 +1,219 @@
+"""StoreReader: streaming, predicate-pushdown access to a trace store.
+
+Reading never materializes a whole store: :meth:`StoreReader.scan` is
+a generator that walks segments in order, consults each sealed
+segment's footer first, and decodes only the segments that can contain
+a matching record.  Unsealed tail segments (the writer crashed, or the
+filter is still running) are recovered by scanning their
+self-delimiting frames.
+
+:func:`merge_scan` merges several filters' stores into one stream
+ordered by (header cpuTime, machine) -- the same heuristic interleaving
+as :meth:`Trace.merge`, but computed with a k-way heap merge over lazy
+streams instead of sorting a materialized list.
+"""
+
+import heapq
+
+from repro.metering.messages import MessageCodec
+from repro.tracestore import format as sformat
+from repro.tracestore.writer import SEGMENT_SUFFIX
+
+
+class Segment:
+    """One segment file, parsed lazily."""
+
+    def __init__(self, path, data):
+        self.path = path
+        self.data = bytes(data)
+        sformat.parse_segment_header(self.data)
+        self.footer = sformat.parse_footer(self.data)
+        self.sealed = self.footer is not None
+
+    def data_bounds(self):
+        if self.sealed:
+            return self.footer["data_start"], self.footer["data_end"]
+        return sformat.SEGMENT_HEADER_BYTES, len(self.data)
+
+    def data_bytes(self):
+        start, end = self.data_bounds()
+        return end - start
+
+    def iter_frames(self):
+        start, end = self.data_bounds()
+        return sformat.iter_frames(self.data, start, end)
+
+    def host_names(self):
+        if not self.sealed:
+            return {}
+        return {
+            int(host_id): name
+            for host_id, name in self.footer.get("hosts", {}).items()
+        }
+
+
+class ScanStats:
+    """What one scan actually touched (the pushdown evidence)."""
+
+    def __init__(self):
+        self.segments_total = 0
+        self.segments_scanned = 0
+        self.segments_skipped = 0
+        self.segments_recovered = 0
+        self.bytes_scanned = 0
+        self.records_decoded = 0
+        self.records_yielded = 0
+
+    def __repr__(self):
+        return (
+            "ScanStats(scanned={0}/{1}, skipped={2}, recovered={3}, "
+            "bytes={4}, decoded={5}, yielded={6})".format(
+                self.segments_scanned,
+                self.segments_total,
+                self.segments_skipped,
+                self.segments_recovered,
+                self.bytes_scanned,
+                self.records_decoded,
+                self.records_yielded,
+            )
+        )
+
+
+class StoreReader:
+    """Read one store (one filter's segment family)."""
+
+    def __init__(self, segments, host_names=None):
+        self.segments = sorted(segments, key=lambda seg: seg.path)
+        names = {}
+        for segment in self.segments:
+            names.update(segment.host_names())
+        names.update(host_names or {})
+        self.codec = MessageCodec(names)
+        #: Stats of the most recent scan (updated as the scan advances).
+        self.last_stats = ScanStats()
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, mapping, host_names=None):
+        """From a dict path -> segment bytes."""
+        return cls(
+            [Segment(path, data) for path, data in mapping.items()],
+            host_names=host_names,
+        )
+
+    @classmethod
+    def from_fs(cls, fs, base, host_names=None):
+        """From a simulated machine filesystem, host-side."""
+        prefix = base + SEGMENT_SUFFIX
+        segments = [
+            Segment(path, fs.node(path).data)
+            for path in fs.paths()
+            if path.startswith(prefix)
+        ]
+        if not segments:
+            raise FileNotFoundError(prefix + "*")
+        return cls(segments, host_names=host_names)
+
+    @classmethod
+    def from_files(cls, base, host_names=None):
+        """From real files (the CLI): ``<base>.seg*`` siblings."""
+        import glob
+
+        paths = sorted(glob.glob(base + SEGMENT_SUFFIX + "*"))
+        if not paths:
+            raise FileNotFoundError(base + SEGMENT_SUFFIX + "*")
+        segments = []
+        for path in paths:
+            with open(path, "rb") as handle:
+                segments.append(Segment(path, handle.read()))
+        return cls(segments, host_names=host_names)
+
+    # -- scanning -------------------------------------------------------
+
+    def footers(self):
+        """(path, footer-or-None) per segment, for inspect."""
+        return [(segment.path, segment.footer) for segment in self.segments]
+
+    def record_count(self):
+        """Total records, from footers where sealed, scans otherwise."""
+        total = 0
+        for segment in self.segments:
+            if segment.sealed:
+                total += segment.footer["records"]
+            else:
+                total += sum(1 for __ in segment.iter_frames())
+        return total
+
+    def scan(self, machines=None, pids=None, events=None, t_min=None,
+             t_max=None):
+        """Stream matching records as decoded dicts (the exact shape
+        ``parse_trace`` yields from a text log).
+
+        Pushdown: a sealed segment whose footer proves no record can
+        match is skipped without touching its data region; only its
+        footer/trailer bytes are read.  The residual predicate is then
+        applied per record, and masked (discarded) fields are dropped.
+        """
+        stats = self.last_stats = ScanStats()
+        stats.segments_total = len(self.segments)
+        machine_set = set(machines) if machines is not None else None
+        pid_set = set(pids) if pids is not None else None
+        event_set = set(events) if events is not None else None
+        for segment in self.segments:
+            if segment.sealed:
+                if not sformat.footer_matches(
+                    segment.footer,
+                    machines=machine_set,
+                    pids=pid_set,
+                    events=event_set,
+                    t_min=t_min,
+                    t_max=t_max,
+                ):
+                    stats.segments_skipped += 1
+                    continue
+            else:
+                stats.segments_recovered += 1
+            stats.segments_scanned += 1
+            stats.bytes_scanned += segment.data_bytes()
+            for __, mask, payload in segment.iter_frames():
+                try:
+                    record = self.codec.decode(payload)
+                except ValueError:
+                    continue  # damaged frame body: skip, keep scanning
+                stats.records_decoded += 1
+                if event_set is not None and record["event"] not in event_set:
+                    continue
+                if machine_set is not None and record["machine"] not in machine_set:
+                    continue
+                if pid_set is not None:
+                    if (record["machine"], record.get("pid")) not in pid_set:
+                        continue
+                time = record["cpuTime"]
+                if t_min is not None and time < t_min:
+                    continue
+                if t_max is not None and time > t_max:
+                    continue
+                if mask:
+                    for name in sformat.masked_fields(record["event"], mask):
+                        record.pop(name, None)
+                stats.records_yielded += 1
+                yield record
+
+    def records(self, **predicates):
+        """Materialize a scan (convenience for small selections)."""
+        return list(self.scan(**predicates))
+
+
+def merge_scan(readers, **predicates):
+    """K-way merge of several stores' scans by (cpuTime, machine).
+
+    Each store's stream is consumed lazily; ordering across machines is
+    the same local-clock heuristic as :meth:`Trace.merge` (Section 4.1:
+    causal questions belong to happens-before, not to this order).
+    """
+    streams = [reader.scan(**predicates) for reader in readers]
+    return heapq.merge(
+        *streams,
+        key=lambda record: (record.get("cpuTime", 0), record.get("machine", 0))
+    )

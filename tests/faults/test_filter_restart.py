@@ -1,0 +1,51 @@
+"""Filter relaunch must extend, not erase, the existing log.
+
+The filter used to open its log with mode "w"; a filter recreated
+after a crash or daemon restart therefore truncated every record the
+first incarnation had saved.  Append mode keeps them.
+"""
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.faults import FaultInjector, FaultPlan
+from repro.kernel import defs
+
+
+def _talker(sys, argv):
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    yield sys.bind(fd, ("", 6100))
+    for i in range(4):
+        yield sys.sendto(fd, b"x" * 64, ("green", 6101))
+    yield sys.exit(0)
+
+
+def _run_job(session, jobname):
+    session.command("newjob {0}".format(jobname))
+    session.command("addprocess {0} red talker".format(jobname))
+    session.command("setflags {0} send socket termproc".format(jobname))
+    session.command("startjob {0}".format(jobname))
+    session.settle()
+
+
+def test_filter_relaunch_appends_to_existing_log():
+    cluster = Cluster(seed=33)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    session.install_program("talker", _talker)
+    session.command("filter f1 blue")
+    _run_job(session, "j1")
+    first = session.read_trace("f1")
+    assert first
+
+    # The filter dies (a fault plan kills it, as a daemon restart
+    # would); the controller hears about it and lets us recreate it
+    # under the same name -- and the same log path.
+    plan = FaultPlan().kill_process(cluster.sim.now + 5.0, "blue", "filter")
+    FaultInjector(cluster, plan).arm()
+    session.settle(ms=200.0)
+    assert "f1" not in session.command("filter")  # gone from the controller
+
+    session.command("filter f1 blue")
+    _run_job(session, "j2")
+    combined = session.read_trace("f1")
+    assert combined[: len(first)] == first  # nothing truncated
+    assert len(combined) == 2 * len(first)

@@ -1,0 +1,141 @@
+"""Property tests: the wire encoding round-trips through the store.
+
+encode -> decode -> encode must be byte-identical for every
+Appendix-A meter-message format -- that is the invariant that lets the
+trace store keep records in the wire encoding and still reproduce
+exactly the records a text log would hold.  Edges pinned explicitly:
+zero-length NAME payloads (all-zero NAME, *NameLen 0) and the maximum
+wire sizes (full 14-byte UNIX paths; accept, the largest format).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metering import messages
+from repro.metering.messages import (
+    EVENT_TYPES,
+    MessageCodec,
+    message_length,
+    record_fields,
+)
+from repro.net.addresses import InternetName, PairName, UnixName
+from repro.tracestore import StoreReader, pack_records
+from repro.tracestore.format import discard_mask, masked_fields
+
+HOSTS = {1: "red", 2: "green", 3: "blue", 4: "yellow"}
+
+_names = st.one_of(
+    st.none(),
+    st.builds(
+        lambda host_id, port: InternetName(HOSTS[host_id], port, host_id),
+        host_id=st.sampled_from(sorted(HOSTS)),
+        port=st.integers(min_value=1, max_value=65535),
+    ),
+    st.builds(
+        UnixName,
+        path=st.text(alphabet="abcdefghij/._", min_size=1, max_size=14),
+    ),
+    st.builds(PairName, unique_id=st.integers(min_value=1, max_value=2**31 - 1)),
+)
+
+
+@st.composite
+def _wire_messages(draw):
+    event = draw(st.sampled_from(sorted(EVENT_TYPES)))
+    longs = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+    body, names = {}, {}
+    for field, kind in messages.BODY_FIELDS[event]:
+        if kind == "long":
+            if not field.endswith("NameLen"):
+                body[field] = draw(longs)
+        else:
+            names[field] = draw(_names)
+    codec = MessageCodec(HOSTS)
+    body.update(names)
+    body.update(codec.name_lengths(**names))
+    return codec.encode(
+        event,
+        machine=draw(st.sampled_from(sorted(HOSTS))),
+        cpu_time=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        proc_time=draw(st.integers(min_value=0, max_value=10**6)),
+        **body
+    )
+
+
+@given(_wire_messages())
+@settings(max_examples=300)
+def test_encode_decode_encode_is_byte_identical(raw):
+    codec = MessageCodec(HOSTS)
+    assert codec.encode_record(codec.decode(raw)) == raw
+
+
+@given(st.lists(_wire_messages(), min_size=1, max_size=40))
+@settings(max_examples=50)
+def test_store_pack_scan_preserves_decoded_records(raws):
+    codec = MessageCodec(HOSTS)
+    records = [codec.decode(raw) for raw in raws]
+    store, __ = pack_records(
+        records, "/p/s.store", segment_bytes=512, host_names=HOSTS
+    )
+    assert StoreReader.from_bytes(store).records() == records
+
+
+@given(
+    _wire_messages(),
+    st.sets(st.sampled_from(["pc", "sock", "procTime", "machine", "pid"])),
+)
+@settings(max_examples=100)
+def test_discard_mask_is_exactly_invertible(raw, discards):
+    codec = MessageCodec(HOSTS)
+    event = codec.decode(raw)["event"]
+    fields = set(record_fields(event))
+    mask = discard_mask(event, discards & fields)
+    assert set(masked_fields(event, mask)) == (discards & fields)
+
+
+def test_zero_length_name_payload_edge():
+    """All NAME fields absent: NameLens are 0 and NAMEs all-zero."""
+    codec = MessageCodec(HOSTS)
+    raw = codec.encode(
+        "accept",
+        machine=1,
+        cpu_time=0,
+        proc_time=0,
+        pid=1,
+        pc=0,
+        sock=0,
+        newSock=0,
+        sockNameLen=0,
+        peerNameLen=0,
+        sockName=None,
+        peerName=None,
+    )
+    record = codec.decode(raw)
+    assert record["sockName"] == "" and record["peerName"] == ""
+    assert record["sockNameLen"] == 0
+    assert codec.encode_record(record) == raw
+
+
+def test_max_size_message_edge():
+    """accept is the largest format; fill both NAMEs to the 14-byte
+    sun_path maximum and round-trip."""
+    codec = MessageCodec(HOSTS)
+    long_path = UnixName("abcdefghijklmn")  # exactly 14 bytes
+    assert long_path.wire_len() == 16
+    raw = codec.encode(
+        "accept",
+        machine=4,
+        cpu_time=2**31 - 1,
+        proc_time=2**31 - 1,
+        pid=2**31 - 1,
+        pc=-(2**31),
+        sock=2**31 - 1,
+        newSock=2**31 - 1,
+        sockName=long_path,
+        peerName=long_path,
+        **codec.name_lengths(sockName=long_path, peerName=long_path)
+    )
+    assert len(raw) == message_length("accept") == max(
+        message_length(event) for event in EVENT_TYPES
+    )
+    assert codec.encode_record(codec.decode(raw)) == raw

@@ -1,0 +1,109 @@
+"""Packing legacy text logs into stores, and the trace CLI."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.filtering.records import format_record, parse_trace
+from repro.kernel import defs
+from repro.tracestore import StoreReader, pack_text
+from repro.tracestore.convert import host_names_from_records
+
+
+def _talker(sys, argv):
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+    yield sys.bind(fd, ("", 6100))
+    for i in range(6):
+        yield sys.sendto(fd, b"x" * (100 * (i + 1)), ("green", 6101))
+    yield sys.exit(0)
+
+
+@pytest.fixture(scope="module")
+def log_text():
+    cluster = Cluster(seed=21)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    session.install_program("talker", _talker)
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red talker")
+    session.command("setflags j send socket termproc fork")
+    session.command("startjob j")
+    session.settle()
+    __, text = session.find_filter_log("f1")
+    return text
+
+
+def test_pack_text_round_trips_every_record(log_text):
+    records = parse_trace(log_text)
+    store, writer = pack_text(log_text, "/t/f1.store")
+    assert writer.records_appended == len(records)
+    assert StoreReader.from_bytes(store).records() == records
+
+
+def test_pack_preserves_reduced_records():
+    text = (
+        "event=send size=60 machine=1 cpuTime=30 procTime=10 traceType=1 "
+        "pid=77 sock=3 msgLength=512 destNameLen=0 destName=\n"  # pc discarded
+        "event=fork size=36 machine=2 cpuTime=31 procTime=0 traceType=7 "
+        "pid=80 pc=9 newPid=81\n"
+    )
+    store, __ = pack_text(text, "/t/red.store")
+    out = StoreReader.from_bytes(store).records()
+    assert out == parse_trace(text)
+    assert "pc" not in out[0]
+
+
+def test_host_names_recovered_from_display_strings(log_text):
+    records = parse_trace(log_text)
+    hosts = host_names_from_records(records)
+    assert "green" in hosts.values()
+    assert all(not name.isdigit() for name in hosts.values())
+
+
+def test_cli_pack_inspect_cat(tmp_path, capsys, log_text):
+    logfile = tmp_path / "f1.log"
+    logfile.write_text(log_text, encoding="ascii")
+    base = str(tmp_path / "f1.store")
+
+    assert main(["trace", "pack", str(logfile), base,
+                 "--segment-bytes", "256"]) == 0
+    packed = capsys.readouterr().out
+    assert "packed" in packed and "segment(s)" in packed
+
+    assert main(["trace", "inspect", base]) == 0
+    inspected = capsys.readouterr().out
+    assert "records" in inspected
+    assert "total records: {0}".format(len(parse_trace(log_text))) in inspected
+
+    assert main(["trace", "cat", base]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert [dict_ for dict_ in parse_trace("\n".join(lines))] == parse_trace(log_text)
+
+    assert main(["trace", "cat", base, "--event", "send"]) == 0
+    sends = parse_trace(capsys.readouterr().out)
+    assert sends == [r for r in parse_trace(log_text) if r["event"] == "send"]
+
+    assert main(["trace", "cat", base, "--machine", "999"]) == 0
+    assert capsys.readouterr().out.strip() == ""
+
+
+def test_cli_cat_text_lines_match_original(tmp_path, capsys, log_text):
+    """cat reproduces the original text log lines byte for byte."""
+    logfile = tmp_path / "f1.log"
+    logfile.write_text(log_text, encoding="ascii")
+    base = str(tmp_path / "f1.store")
+    main(["trace", "pack", str(logfile), base])
+    capsys.readouterr()
+    main(["trace", "cat", base])
+    assert capsys.readouterr().out.strip("\n") == log_text.strip("\n")
+
+
+def test_cli_trace_usage_and_errors(tmp_path, capsys):
+    assert main(["trace"]) == 1
+    assert "usage" in capsys.readouterr().out
+    assert main(["trace", "nope"]) == 1
+    capsys.readouterr()
+    assert main(["trace", "inspect", str(tmp_path / "missing.store")]) == 1
+    assert "inspect" in capsys.readouterr().out
+    assert main(["trace", "cat", str(tmp_path / "x"), "--bogus", "1"]) == 1

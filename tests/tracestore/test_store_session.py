@@ -1,0 +1,141 @@
+"""Store-backed filtering, end to end through the measurement system."""
+
+import pytest
+
+from repro.analysis import HappensBefore, Trace
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.faults import FaultInjector, FaultPlan
+from repro.filtering.records import format_record
+from repro.kernel import defs
+
+
+def _talker(port_base, count=6):
+    def main(sys, argv):
+        fd = yield sys.socket(defs.AF_INET, defs.SOCK_DGRAM)
+        yield sys.bind(fd, ("", port_base))
+        for i in range(count):
+            yield sys.sendto(fd, b"x" * (100 * (i + 1)), ("green", port_base + 1))
+        yield sys.exit(0)
+
+    return main
+
+
+def _session(log_format, seed=21, log_directory=None):
+    cluster = Cluster(seed=seed)
+    session = MeasurementSession(
+        cluster,
+        control_machine="yellow",
+        log_format=log_format,
+        log_directory=log_directory,
+    )
+    session.install_program("talker", _talker(6100))
+    return session
+
+
+def _run_job(session, templates="templates"):
+    session.command("filter f1 blue filter descriptions {0}".format(templates))
+    session.command("newjob j")
+    session.command("addprocess j red talker")
+    session.command("setflags j send socket termproc")
+    session.command("startjob j")
+    session.settle()
+
+
+def test_store_mode_produces_identical_records():
+    text_session = _session("text")
+    store_session = _session("store")
+    _run_job(text_session)
+    _run_job(store_session)
+    assert store_session.read_trace("f1") == text_session.read_trace("f1")
+    blue = store_session.cluster.machine("blue")
+    assert blue.fs.exists("/usr/tmp/f1.store.seg00000")
+    assert not blue.fs.exists("/usr/tmp/f1.log")
+
+
+def test_store_mode_applies_selection_and_reduction():
+    session = _session("store")
+    session.cluster.machine("blue").fs.install(
+        "reduced", "type=send, msgLength>=400, pc=#*, destName=#*\n", mode=0o644
+    )
+    _run_job(session, templates="reduced")
+    records = session.read_trace("f1")
+    assert len(records) == 3  # the 400/500/600 byte sends
+    for record in records:
+        assert record["event"] == "send"
+        assert "pc" not in record and "destName" not in record
+        assert record["msgLength"] >= 400
+
+
+def test_trace_from_store_matches_from_text_analyses():
+    text_session = _session("text")
+    store_session = _session("store")
+    _run_job(text_session)
+    _run_job(store_session)
+    __, text = text_session.find_filter_log("f1")
+    trace_text = Trace.from_text(text)
+    trace_store = Trace.from_store(store_session.store_reader("f1"))
+    assert [e.record for e in trace_text] == [e.record for e in trace_store]
+    hb_text = HappensBefore(trace_text)
+    hb_store = HappensBefore(trace_store)
+    assert hb_text.ordered_fraction() == hb_store.ordered_fraction()
+    assert len(trace_text.matcher().pairs) == len(trace_store.matcher().pairs)
+
+
+def test_from_store_pushdown_selects_without_full_scan():
+    session = _session("store")
+    _run_job(session)
+    reader = session.store_reader("f1")
+    full = reader.records()
+    sends = Trace.from_store(reader, events=["send"])
+    assert len(sends) == sum(1 for r in full if r["event"] == "send")
+    assert all(event.event == "send" for event in sends)
+
+
+def test_store_filter_restart_appends_new_segments():
+    """A relaunched store filter continues into fresh segments; the
+    records an earlier incarnation flushed stay readable."""
+    session = _session("store")
+    _run_job(session)
+    first = session.read_trace("f1")
+    assert first
+    now = session.cluster.sim.now
+    plan = FaultPlan().kill_process(now + 5.0, "blue", "filter")
+    FaultInjector(session.cluster, plan).arm()
+    session.settle(ms=200.0)  # the kill lands, the DONE report arrives
+    session.command("filter f1 blue")  # same name, same store base
+    session.command("newjob j2")
+    session.command("addprocess j2 red talker")
+    session.command("setflags j2 send socket termproc")
+    session.command("startjob j2")
+    session.settle()
+    combined = session.read_trace("f1")
+    assert combined[: len(first)] == first
+    assert len(combined) == 2 * len(first)
+    reader = session.store_reader("f1")
+    assert len(reader.segments) >= 2
+
+
+def test_concurrent_sessions_use_separate_log_directories():
+    cluster = Cluster(seed=21)
+    one = MeasurementSession(
+        cluster, control_machine="yellow", log_directory="/usr/tmp/s1"
+    )
+    two = MeasurementSession(
+        cluster, control_machine="green", uid=101, log_directory="/usr/tmp/s2"
+    )
+    one.install_program("talker", _talker(6100))
+    two.install_program("talker2", _talker(6300))
+    _run_job(one)
+    two.command("filter f1 blue")
+    two.command("newjob j")
+    two.command("addprocess j red talker2")
+    two.command("setflags j send socket termproc")
+    two.command("startjob j")
+    two.settle()
+    blue = cluster.machine("blue")
+    assert blue.fs.exists("/usr/tmp/s1/f1.log")
+    assert blue.fs.exists("/usr/tmp/s2/f1.log")
+    # Both sessions named their filter f1, yet neither sees the other's.
+    ports = {r.get("destName") for r in one.read_trace("f1") if r["event"] == "send"}
+    assert all("6101" in (p or "") for p in ports)

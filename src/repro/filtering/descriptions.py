@@ -21,6 +21,8 @@ directly.  A mismatch is therefore a real protocol failure, exactly as
 it would have been in 1984.
 """
 
+import struct
+
 from repro.metering import messages
 from repro.net.addresses import decode_name
 
@@ -34,6 +36,17 @@ _HEADER_LAYOUT = {
     "procTime": (16, 4),
     "traceType": (20, 4),
 }
+
+# One-shot unpack of the standard header (Dummy is the 4x gap).
+_HEADER_STRUCT = struct.Struct(">ih2xi4xii")
+
+# traceType alone (header offset 20), to pick the event description
+# before the fused header+body unpack.
+_TRACE_TYPE_STRUCT = struct.Struct(">i")
+
+# struct codes for base-10 integer fields by byte length (big-endian,
+# signed -- identical to the int.from_bytes(..., signed=True) fallback).
+_INT_CODES = {1: "b", 2: "h", 4: "i", 8: "q"}
 
 
 class FieldDescription:
@@ -59,46 +72,140 @@ class FieldDescription:
 
 
 class EventDescription:
-    """All fields of one event type."""
+    """All fields of one event type.
 
-    def __init__(self, event, type_code, fields):
+    At parse time the field specs are compiled into one
+    ``struct.Struct`` (gaps between fields become pad bytes) so a body
+    decodes with a single unpack.  Descriptions the struct module can't
+    express -- overlapping fields, odd lengths or bases -- fall back to
+    the per-field decode, as does any body shorter than the compiled
+    layout.
+    """
+
+    def __init__(self, event, type_code, fields, compiled=True):
         self.event = event
         self.type_code = int(type_code)
         self.fields = list(fields)
+        self._compiled = self._compile() if compiled else None
+
+    def _compile(self):
+        fmt = [">"]
+        names = []
+        name_fields = []
+        position = 0
+        for field in sorted(self.fields, key=lambda f: f.offset):
+            if field.offset < position:
+                return None  # overlapping fields: interpret per-field
+            gap = field.offset - position
+            if gap:
+                fmt.append("%dx" % gap)
+            if field.base == 16 and field.length == 16:
+                fmt.append("16s")
+                name_fields.append(len(names))
+            elif field.base == 10 and field.length in _INT_CODES:
+                fmt.append(_INT_CODES[field.length])
+            else:
+                return None
+            names.append(field.name)
+            position = field.offset + field.length
+        return struct.Struct("".join(fmt)), tuple(names), tuple(name_fields)
 
     def field_names(self):
         return [field.name for field in self.fields]
 
-    def decode_body(self, body, host_names):
-        return {
-            field.name: field.decode(body, host_names) for field in self.fields
-        }
+    def compile_with_header(self):
+        """Fuse the standard header and the compiled body layout into
+        one struct, so a whole message decodes with a single unpack.
+        Returns ``(unpacker, names, name_field_indices, event_name)``
+        or None when the body needs the per-field fallback."""
+        if self._compiled is None:
+            return None
+        body, names, name_fields = self._compiled
+        fused = struct.Struct(_HEADER_STRUCT.format + body.format[1:])
+        return (
+            fused,
+            HEADER_FIELDS + names,
+            tuple(index + len(HEADER_FIELDS) for index in name_fields),
+            self.event.lower(),
+        )
+
+    def decode_body(self, body, host_names, offset=0):
+        compiled = self._compiled
+        if compiled is None or len(body) - offset < compiled[0].size:
+            if offset:
+                body = body[offset:]
+            return {
+                field.name: field.decode(body, host_names)
+                for field in self.fields
+            }
+        unpacker, names, name_fields = compiled
+        values = list(unpacker.unpack_from(body, offset))
+        for index in name_fields:
+            decoded = decode_name(values[index], host_names)
+            values[index] = decoded.display() if decoded is not None else ""
+        return dict(zip(names, values))
 
 
 class DescriptionSet:
     """A parsed description file: header + per-event descriptions."""
 
-    def __init__(self, header_fields, events):
+    def __init__(self, header_fields, events, compiled=True):
         self.header_fields = list(header_fields)
         #: type code -> EventDescription
         self.by_type = {event.type_code: event for event in events}
         self.by_name = {event.event.lower(): event for event in events}
+        # The standard header decodes in one unpack; a HEADER line that
+        # renames or subsets the fields keeps the per-field path.
+        self._standard_header = compiled and tuple(header_fields) == HEADER_FIELDS
+        # With the standard header, header + body of each regular event
+        # fuse into one struct: type code -> (unpacker, names,
+        # name_field_indices, event_name).
+        self._fused = {}
+        if self._standard_header:
+            for event in events:
+                fused = event.compile_with_header()
+                if fused is not None:
+                    self._fused[event.type_code] = fused
 
     def decode_message(self, raw, host_names=None):
         """Decode one complete meter message into a flat record dict."""
         host_names = host_names or {}
-        record = {}
-        for name in self.header_fields:
-            offset, length = _HEADER_LAYOUT[name]
-            record[name] = int.from_bytes(
-                raw[offset : offset + length], "big", signed=True
+        if self._standard_header and len(raw) >= messages.HEADER_BYTES:
+            fused = self._fused.get(_TRACE_TYPE_STRUCT.unpack_from(raw, 20)[0])
+            if fused is not None and len(raw) >= fused[0].size:
+                unpacker, names, name_fields, event_name = fused
+                values = unpacker.unpack_from(raw)
+                record = dict(zip(names, values))
+                for index in name_fields:
+                    decoded = decode_name(values[index], host_names)
+                    record[names[index]] = (
+                        decoded.display() if decoded is not None else ""
+                    )
+                record["event"] = event_name
+                return record
+            size, machine, cpu_time, proc_time, trace_type = (
+                _HEADER_STRUCT.unpack_from(raw)
             )
+            record = {
+                "size": size,
+                "machine": machine,
+                "cpuTime": cpu_time,
+                "procTime": proc_time,
+                "traceType": trace_type,
+            }
+        else:
+            record = {}
+            for name in self.header_fields:
+                offset, length = _HEADER_LAYOUT[name]
+                record[name] = int.from_bytes(
+                    raw[offset : offset + length], "big", signed=True
+                )
         event = self.by_type.get(record["traceType"])
         if event is None:
             raise ValueError("no description for traceType %d" % record["traceType"])
         record["event"] = event.event.lower()
         record.update(
-            event.decode_body(raw[messages.HEADER_BYTES :], host_names)
+            event.decode_body(raw, host_names, offset=messages.HEADER_BYTES)
         )
         return record
 
@@ -108,8 +215,12 @@ class DescriptionSet:
         return ["event"] + list(self.header_fields) + event.field_names()
 
 
-def parse_descriptions(text):
-    """Parse a description file (Figure 3.2 format)."""
+def parse_descriptions(text, compiled=True):
+    """Parse a description file (Figure 3.2 format).
+
+    ``compiled=False`` skips struct compilation and decodes every
+    message field-by-field (the benchmark baseline).
+    """
     header_fields = list(HEADER_FIELDS)
     events = []
     for line in text.splitlines():
@@ -129,8 +240,8 @@ def parse_descriptions(text):
             if len(parts) != 4:
                 raise ValueError("bad field spec %r in %r" % (spec, line))
             fields.append(FieldDescription(parts[0], parts[1], parts[2], parts[3]))
-        events.append(EventDescription(keyword, type_token, fields))
-    return DescriptionSet(header_fields, events)
+        events.append(EventDescription(keyword, type_token, fields, compiled=compiled))
+    return DescriptionSet(header_fields, events, compiled=compiled)
 
 
 def default_descriptions_text():

@@ -19,6 +19,11 @@ from repro.metering.messages import HEADER_BYTES, peek_size
 #: speaking the meter protocol at all; it is closed, not parsed.
 MAX_METER_MESSAGE = 4096
 
+#: Bytes requested per read: large enough to drain a whole shipped
+#: batch train in one syscall, so framing cost is paid per read, not
+#: per message.
+READ_SIZE = 65536
+
 
 class MeterInbox:
     """Accept meter connections on fd 0 and reassemble meter messages.
@@ -64,7 +69,7 @@ class MeterInbox:
                 self.connections_accepted += 1
                 continue
             try:
-                data = yield sys.read(fd, 4096)
+                data = yield sys.read(fd, READ_SIZE)
             except SyscallError:
                 # Connection reset: the metered machine crashed or the
                 # path was severed.  The stream is gone; records already
@@ -74,23 +79,49 @@ class MeterInbox:
                 yield sys.close(fd)
                 del self.buffers[fd]
                 continue
-            buf = self.buffers[fd] + data
-            corrupt = False
-            while True:
-                size = peek_size(buf)
-                if size is None or (HEADER_BYTES <= size and len(buf) < size):
-                    break
-                if size < HEADER_BYTES or size > MAX_METER_MESSAGE:
-                    # Not the meter protocol: drop the connection
-                    # rather than loop over garbage framing.
-                    corrupt = True
-                    break
-                raw_messages.append(buf[:size])
-                buf = buf[size:]
+            corrupt = self._feed(fd, data, raw_messages)
             if corrupt:
+                # Not the meter protocol: drop the connection rather
+                # than loop over garbage framing.
                 yield sys.close(fd)
                 del self.buffers[fd]
-            else:
-                self.buffers[fd] = buf
         self.messages_received += len(raw_messages)
         return raw_messages
+
+    def _feed(self, fd, data, raw_messages):
+        """Frame newly read bytes, appending complete messages to
+        ``raw_messages``.  Returns True if the stream is corrupt.
+
+        One concatenation joins any partial message left from the
+        previous read; after that a cursor indexes into the buffer, so
+        a read full of messages costs one slice per message plus one
+        tail copy, instead of a shrinking-``bytes`` reslice (slice of
+        the head *and* slice of the tail) per message.
+        """
+        leftover = self.buffers[fd]
+        if leftover:
+            data = leftover + data
+        end = len(data)
+        offset = 0
+        while True:
+            size = peek_size(data, offset)
+            if size is None:
+                break
+            if size < HEADER_BYTES or size > MAX_METER_MESSAGE:
+                return True
+            if end - offset < size:
+                break
+            if offset == 0 and size == end:
+                # The read is exactly one message: pass it through.
+                raw_messages.append(data)
+                offset = end
+                break
+            raw_messages.append(data[offset : offset + size])
+            offset += size
+        if offset == end:
+            self.buffers[fd] = b""
+        elif offset:
+            self.buffers[fd] = data[offset:]
+        else:
+            self.buffers[fd] = data
+        return False

@@ -18,13 +18,35 @@ Value forms:
 Field name ``type`` is accepted as an alias for the header's
 ``traceType``, matching the figures' spelling, and may also be compared
 against event names ("type=send").
+
+The filter runs :meth:`RuleSet.apply` once per live record, so the set
+is compiled at parse time: every condition becomes a closure, every
+rule a tuple of closures, and rules pinned to one event type by a
+``type=`` equality condition go into a dispatch table keyed by
+``traceType`` so only candidate rules are consulted per record.  The
+interpreted path (:meth:`Rule.matches` walking conditions) is kept both
+as the semantic reference for the property tests and as the
+``compiled=False`` baseline for the hot-path benchmark.
 """
+
+import operator
 
 from repro.metering.messages import EVENT_TYPES
 
 _OPERATORS = ("<=", ">=", "!=", "<", ">", "=")
 
 _ALIASES = {"type": "traceType"}
+
+_OP_FUNCS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    ">": operator.gt,
+    "<=": operator.le,
+    ">=": operator.ge,
+}
+
+_MISSING = object()
 
 
 class Condition:
@@ -88,6 +110,52 @@ class Condition:
             return actual <= expected
         return actual >= expected  # ">="
 
+    def compile(self):
+        """Return a ``record -> bool`` closure equivalent to
+        :meth:`matches`."""
+        field = self.field
+        if self.is_wildcard:
+            return lambda record: field in record
+        op = _OP_FUNCS[self.op]
+        if self.is_field_ref:
+            ref = _ALIASES.get(self.value, self.value)
+            literal = self.value
+
+            def check_ref(record):
+                actual = record.get(field, _MISSING)
+                if actual is _MISSING:
+                    return False
+                expected = record.get(ref, _MISSING)
+                if expected is _MISSING:
+                    expected = literal
+                if isinstance(actual, int) and isinstance(expected, int):
+                    return op(actual, expected)
+                return op(str(actual), str(expected))
+
+            return check_ref
+        if isinstance(self.value, int):
+            value = self.value
+            text = str(value)
+
+            def check_int(record):
+                actual = record.get(field, _MISSING)
+                if actual is _MISSING:
+                    return False
+                if isinstance(actual, int):
+                    return op(actual, value)
+                return op(str(actual), text)
+
+            return check_int
+        value = str(self.value)
+
+        def check_str(record):
+            actual = record.get(field, _MISSING)
+            if actual is _MISSING:
+                return False
+            return op(str(actual), value)
+
+        return check_str
+
     def to_text(self):
         value = self.value
         if self.is_wildcard:
@@ -112,10 +180,84 @@ class Rule:
     def discard_fields(self):
         return {cond.field for cond in self.conditions if cond.discard}
 
+    def pinned_trace_types(self):
+        """Integer ``traceType`` values this rule requires via equality
+        conditions, or None if the rule is not pinned to a type."""
+        pins = {
+            cond.value
+            for cond in self.conditions
+            if cond.field == "traceType"
+            and cond.op == "="
+            and not cond.is_wildcard
+            and not cond.is_field_ref
+            and isinstance(cond.value, int)
+        }
+        return pins or None
+
+    def compile(self):
+        return _CompiledRule(self)
+
     def __repr__(self):
         return "Rule({0})".format(
             ", ".join(cond.to_text() for cond in self.conditions)
         )
+
+
+#: Header fields present in every record the filter decodes; a rule
+#: whose conditions are all wildcards over these fields accepts every
+#: live record, so its compiled form can skip the checks entirely.
+_ALWAYS_PRESENT = frozenset(
+    ("size", "machine", "cpuTime", "procTime", "traceType", "event")
+)
+
+
+class _CompiledRule:
+    """A :class:`Rule` lowered to closures.
+
+    ``accepts_all`` marks the wildcard-only fast path: every condition
+    is a wildcard over an always-present header field and nothing is
+    discarded, so :meth:`RuleSet.apply` can accept the record without
+    calling any check.
+
+    ``matches`` is an instance attribute, not a method: a one-condition
+    rule *is* its check closure (no extra call frame), a conjunction
+    gets a closure walking the checks.
+    """
+
+    __slots__ = ("checks", "discards", "accepts_all", "matches")
+
+    def __init__(self, rule):
+        self.discards = frozenset(rule.discard_fields())
+        wildcard_only = all(cond.is_wildcard for cond in rule.conditions)
+        self.accepts_all = (
+            wildcard_only
+            and not self.discards
+            and all(
+                cond.field in _ALWAYS_PRESENT for cond in rule.conditions
+            )
+        )
+        if wildcard_only:
+            # Collapse the conjunction into one membership sweep.
+            fields = tuple({cond.field: None for cond in rule.conditions})
+            self.checks = (
+                lambda record: all(field in record for field in fields),
+            )
+        else:
+            self.checks = tuple(cond.compile() for cond in rule.conditions)
+        if len(self.checks) == 1:
+            self.matches = self.checks[0]
+        else:
+            self.matches = self._conjunction(self.checks)
+
+    @staticmethod
+    def _conjunction(checks):
+        def matches(record):
+            for check in checks:
+                if not check(record):
+                    return False
+            return True
+
+        return matches
 
 
 class RuleSet:
@@ -124,12 +266,78 @@ class RuleSet:
     :meth:`apply` returns the (possibly reduced) record to save, or
     None if no rule accepts it.  An empty rule set accepts everything
     unreduced (a filter with no templates just logs the full trace).
+
+    With ``compiled=True`` (the default) the rules are lowered once at
+    construction: conditions become closures and rules pinned to one
+    event type by a ``type=`` equality condition are filed in a
+    dispatch table keyed by ``traceType``, so a record is only tested
+    against rules that could possibly accept it.  First-matching-rule
+    semantics are preserved by merging pinned and generic rules in
+    their original file order.  ``compiled=False`` keeps the
+    interpreted per-condition walk (the benchmark baseline).
     """
 
-    def __init__(self, rules):
+    def __init__(self, rules, compiled=True):
         self.rules = list(rules)
+        self.compiled = compiled
+        self._generic = ()
+        self._dispatch = {}
+        if compiled:
+            self._build_dispatch()
+
+    def _build_dispatch(self):
+        """Partition compiled rules into per-traceType candidate lists.
+
+        A pinned rule can only accept records whose ``traceType``
+        equals its pin numerically (int records) or textually (string
+        records, per :meth:`Condition._compare`), so it is filed under
+        both the int pin and ``str(pin)``.  Over-approximation is safe
+        -- every candidate rule still runs its own checks -- but a rule
+        must never be *excluded* from a type it could match.
+        """
+        generic = []  # (index, compiled) pairs, original file order
+        pinned = {}  # dispatch key -> [(index, compiled), ...]
+        for index, rule in enumerate(self.rules):
+            compiled = rule.compile()
+            pins = rule.pinned_trace_types()
+            if pins is None:
+                generic.append((index, compiled))
+            elif len(pins) == 1:
+                (pin,) = pins
+                for key in (pin, str(pin)):
+                    pinned.setdefault(key, []).append((index, compiled))
+            # Contradictory pins (type=1, type=2) can never both hold:
+            # the rule matches nothing and is filed nowhere.
+        self._generic = tuple(compiled for __, compiled in generic)
+        self._dispatch = {}
+        for key, entries in pinned.items():
+            merged = sorted(entries + generic, key=lambda pair: pair[0])
+            self._dispatch[key] = tuple(compiled for __, compiled in merged)
 
     def apply(self, record):
+        if not self.compiled:
+            return self.apply_interpreted(record)
+        if not self.rules:
+            return record
+        trace_type = record.get("traceType")
+        if not isinstance(trace_type, int):
+            trace_type = str(trace_type)
+        candidates = self._dispatch.get(trace_type, self._generic)
+        for rule in candidates:
+            if rule.accepts_all or rule.matches(record):
+                discards = rule.discards
+                if not discards:
+                    return record
+                return {
+                    key: value
+                    for key, value in record.items()
+                    if key not in discards
+                }
+        return None
+
+    def apply_interpreted(self, record):
+        """The original per-condition interpretation of the rule file
+        (reference semantics; also the benchmark baseline)."""
         if not self.rules:
             return record
         for rule in self.rules:
@@ -161,7 +369,7 @@ def _parse_condition(text):
     raise ValueError("no operator in condition %r" % text)
 
 
-def parse_rules(text):
+def parse_rules(text, compiled=True):
     """Parse a templates file into a :class:`RuleSet`."""
     rules = []
     for line in text.splitlines():
@@ -175,7 +383,7 @@ def parse_rules(text):
         ]
         if conditions:
             rules.append(Rule(conditions))
-    return RuleSet(rules)
+    return RuleSet(rules, compiled=compiled)
 
 
 #: The default templates file installed on every machine: one wildcard

@@ -52,6 +52,12 @@ STORE_SUFFIX = ".store"
 LOG_FORMAT_TEXT = "text"
 LOG_FORMAT_STORE = "store"
 
+#: Text-mode log buffering: accepted lines accumulate across wait
+#: batches and hit the file in one write when the buffer reaches this
+#: many bytes or the meter stream goes idle for the flush interval.
+LOG_FLUSH_BYTES = 32 * 1024
+LOG_IDLE_FLUSH_MS = 5.0
+
 
 def log_path_for(filtername, directory=None, log_format=LOG_FORMAT_TEXT):
     suffix = STORE_SUFFIX if log_format == LOG_FORMAT_STORE else TEXT_SUFFIX
@@ -83,8 +89,13 @@ def standard_filter(sys, argv):
         log_fd = yield sys.open(log_path, "a")
 
     inbox = MeterInbox()
+    pending = []  # accepted text lines buffered across wait batches
+    pending_bytes = 0
     while True:
-        raw_messages = yield from inbox.wait(sys)
+        # While lines are buffered, wake after a short idle gap so the
+        # log never lags the stream by more than the flush interval.
+        timeout_ms = LOG_IDLE_FLUSH_MS if pending else None
+        raw_messages = yield from inbox.wait(sys, timeout_ms=timeout_ms)
         lines = []
         for raw in raw_messages:
             try:
@@ -111,6 +122,15 @@ def standard_filter(sys, argv):
             # writer's buffer goes to disk before we block again.
             writer.sync()
             yield from flush_to_guest(sys, writer)
-        elif lines:
-            yield sys.write(log_fd, ("\n".join(lines) + "\n").encode("ascii"))
+            continue
+        if lines:
+            pending.extend(lines)
+            pending_bytes += sum(len(line) + 1 for line in lines)
+        # One write per accepted batch train: flush when the stream
+        # pauses (idle timeout, connection close) or the buffer fills.
+        if pending and (not raw_messages or pending_bytes >= LOG_FLUSH_BYTES):
+            data = ("\n".join(pending) + "\n").encode("ascii")
+            pending = []
+            pending_bytes = 0
+            yield sys.write(log_fd, data)
         # The filter runs until the controller removes it (die).

@@ -520,7 +520,7 @@ class Machine(SocketCalls, FileCalls, ProcessCalls):
         return None
 
     def _on_conn_req(self, packet):
-        from repro.kernel.socket import Socket, next_endpoint_id
+        from repro.kernel.socket import Socket
 
         listener = self._listener_for(packet.dst_name)
         refused = listener is None or len(listener.pending) >= listener.backlog
@@ -539,7 +539,7 @@ class Machine(SocketCalls, FileCalls, ProcessCalls):
         conn.name = listener.name
         conn.peer_name = packet.client_name
         conn.peer = (packet.src_host, packet.client_eid)
-        conn.endpoint_id = next_endpoint_id()
+        conn.endpoint_id = self.network.next_endpoint_id()
         conn.state = ST_CONNECTED
         self.endpoints[conn.endpoint_id] = conn
         listener.pending.append(conn)

@@ -16,7 +16,6 @@ side, connect on the other, producing a fresh *connection socket* on
 the accepting side.
 """
 
-import itertools
 from collections import deque
 
 from repro.kernel import defs, errno
@@ -29,21 +28,6 @@ ST_CONNECTING = "connecting"
 ST_CONNECTED = "connected"
 ST_REFUSED = "refused"
 ST_CLOSED = "closed"
-
-_endpoint_ids = itertools.count(1)
-_pair_ids = itertools.count(1)
-
-
-def next_endpoint_id():
-    """Globally unique id for one end of a stream connection."""
-    return next(_endpoint_ids)
-
-
-def next_pair_id():
-    """Unique id for socketpair names (Section 4.1: "internally
-    generated unique name")."""
-    return next(_pair_ids)
-
 
 class Socket:
     """One endpoint of communication."""
@@ -155,6 +139,16 @@ class Socket:
 
     def take_stream_bytes(self, nbytes):
         """Dequeue up to ``nbytes`` from the stream buffer."""
+        if self.recv_queue:
+            first = self.recv_queue[0]
+            # Zero-copy fast path: the whole first chunk satisfies the
+            # read (big filter reads usually drain one shipped batch).
+            if len(first) == nbytes or (
+                len(first) < nbytes and len(self.recv_queue) == 1
+            ):
+                self.recv_queue.popleft()
+                self.recv_bytes -= len(first)
+                return first
         parts = []
         remaining = nbytes
         while remaining > 0 and self.recv_queue:

@@ -19,8 +19,6 @@ from repro.kernel.socket import (
     ST_REFUSED,
     ST_UNCONNECTED,
     Socket,
-    next_endpoint_id,
-    next_pair_id,
 )
 from repro.net.addresses import InternetName, PairName, SocketName, UnixName
 
@@ -111,7 +109,7 @@ class SocketCalls:
             )
         else:
             self._register_binding(
-                sock, UnixName("/autobind/{0}".format(next_pair_id()))
+                sock, UnixName("/autobind/{0}".format(self.network.next_pair_id()))
             )
 
     # ------------------------------------------------------------------
@@ -163,7 +161,7 @@ class SocketCalls:
             dest = self._resolve_dest_name(sock, name_arg)
             dst_host = self._host_for_name(dest)
             self._autobind(sock)
-            sock.endpoint_id = next_endpoint_id()
+            sock.endpoint_id = self.network.next_endpoint_id()
             self.endpoints[sock.endpoint_id] = sock
             sock.state = ST_CONNECTING
             state["initiated"] = True
@@ -213,12 +211,12 @@ class SocketCalls:
             raise SyscallError(errno.EOPNOTSUPP, "socketpair is UNIX-domain")
         sock_a = self._make_socket(proc, domain, type_, protocol)
         sock_b = self._make_socket(proc, domain, type_, protocol)
-        sock_a.name = PairName(next_pair_id())
-        sock_b.name = PairName(next_pair_id())
+        sock_a.name = PairName(self.network.next_pair_id())
+        sock_b.name = PairName(self.network.next_pair_id())
         sock_a.peer_name, sock_b.peer_name = sock_b.name, sock_a.name
         if type_ == defs.SOCK_STREAM:
             for sock in (sock_a, sock_b):
-                sock.endpoint_id = next_endpoint_id()
+                sock.endpoint_id = self.network.next_endpoint_id()
                 self.endpoints[sock.endpoint_id] = sock
                 sock.state = ST_CONNECTED
             sock_a.peer = (self.host, sock_b.endpoint_id)

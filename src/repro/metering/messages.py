@@ -125,13 +125,28 @@ _KIND_BYTES = {"long": 4, "name": _NAME_BYTES}
 
 HEADER_FIELDS = ["size", "machine", "cpuTime", "procTime", "traceType"]
 
+# Precompiled whole-message structs: one ``struct.Struct`` per
+# Appendix-A format so encode/decode are single pack/unpack calls on
+# the hot path instead of per-field loops.  The header's Dummy word is
+# the ``4x`` pad (pack writes it as zeros, matching the per-field
+# encoder); body longs are ``i`` and NAME fields ``16s``.
+_HEADER_FMT = ">ih2xi4xii"
+_EVENT_STRUCTS = {
+    event: struct.Struct(
+        _HEADER_FMT
+        + "".join("i" if kind == "long" else "16s" for __, kind in fields)
+    )
+    for event, fields in BODY_FIELDS.items()
+}
+_HEADER_DECODE = struct.Struct(_HEADER_FMT)
+
 
 def body_length(event):
     return sum(_KIND_BYTES[kind] for __, kind in BODY_FIELDS[event])
 
 
 def message_length(event):
-    return HEADER_BYTES + body_length(event)
+    return _EVENT_STRUCTS[event].size
 
 
 def record_fields(event):
@@ -170,25 +185,21 @@ class MessageCodec:
     def encode(self, event, machine, cpu_time, proc_time, **body):
         """Build one wire message.  NAME-kind fields take SocketName
         objects (or None for "name not available", length zero)."""
-        fields = BODY_FIELDS[event]
-        size = message_length(event)
-        parts = [
-            _HEADER_STRUCT.pack(
-                size,
-                int(machine),
-                int(cpu_time),
-                0,  # Dummy
-                int(proc_time),
-                EVENT_TYPES[event],
-            )
+        packer = _EVENT_STRUCTS[event]
+        values = [
+            packer.size,
+            int(machine),
+            int(cpu_time),
+            int(proc_time),
+            EVENT_TYPES[event],
         ]
-        for name, kind in fields:
+        for name, kind in BODY_FIELDS[event]:
             value = body.get(name)
             if kind == "long":
-                parts.append(struct.pack(">i", int(value or 0)))
+                values.append(int(value or 0))
             else:
-                parts.append(value.wire_bytes() if value is not None else NO_NAME)
-        return b"".join(parts)
+                values.append(value.wire_bytes() if value is not None else NO_NAME)
+        return packer.pack(*values)
 
     def name_lengths(self, **names):
         """Helper: wire_len of each given name (0 when unavailable)."""
@@ -208,22 +219,20 @@ class MessageCodec:
         records in the wire encoding without loss.
         """
         event = record.get("event") or EVENT_NAMES[record["traceType"]]
-        parts = [
-            _HEADER_STRUCT.pack(
-                message_length(event),
-                int(record.get("machine") or 0),
-                int(record.get("cpuTime") or 0),
-                0,  # Dummy
-                int(record.get("procTime") or 0),
-                EVENT_TYPES[event],
-            )
+        packer = _EVENT_STRUCTS[event]
+        values = [
+            packer.size,
+            int(record.get("machine") or 0),
+            int(record.get("cpuTime") or 0),
+            int(record.get("procTime") or 0),
+            EVENT_TYPES[event],
         ]
         for name, kind in BODY_FIELDS[event]:
             if kind == "long":
-                parts.append(struct.pack(">i", int(record.get(name) or 0)))
+                values.append(int(record.get(name) or 0))
             else:
-                parts.append(self._name_wire_bytes(record.get(name)))
-        return b"".join(parts)
+                values.append(self._name_wire_bytes(record.get(name)))
+        return packer.pack(*values)
 
     def _name_wire_bytes(self, value):
         """Wire form of a NAME field value that may be a SocketName, a
@@ -258,14 +267,18 @@ class MessageCodec:
         """
         if len(raw) < HEADER_BYTES:
             raise ValueError("short meter message: %d bytes" % len(raw))
-        size, machine, cpu_time, __, proc_time, trace_type = _HEADER_STRUCT.unpack(
-            raw[:HEADER_BYTES]
+        size, machine, cpu_time, proc_time, trace_type = _HEADER_DECODE.unpack_from(
+            raw
         )
         if len(raw) < size:
             raise ValueError("truncated meter message")
         event = EVENT_NAMES.get(trace_type)
         if event is None:
             raise ValueError("unknown traceType %d" % trace_type)
+        unpacker = _EVENT_STRUCTS[event]
+        if len(raw) < unpacker.size:
+            raise ValueError("truncated meter message")
+        values = unpacker.unpack_from(raw)
         record = {
             "size": size,
             "machine": machine,
@@ -274,16 +287,14 @@ class MessageCodec:
             "traceType": trace_type,
             "event": event,
         }
-        offset = HEADER_BYTES
-        for name, kind in BODY_FIELDS[event]:
-            nbytes = _KIND_BYTES[kind]
-            chunk = raw[offset : offset + nbytes]
+        host_names = self.host_names
+        fields = BODY_FIELDS[event]
+        for index, (name, kind) in enumerate(fields, 5):
             if kind == "long":
-                record[name] = struct.unpack(">i", chunk)[0]
+                record[name] = values[index]
             else:
-                decoded = decode_name(chunk, self.host_names)
+                decoded = decode_name(values[index], host_names)
                 record[name] = decoded.display() if decoded is not None else ""
-            offset += nbytes
         return record
 
 

@@ -175,7 +175,9 @@ class MeterSubsystem:
             return
         pending = proc.meter_buffer
         proc.meter_buffer = []
-        data = b"".join(pending)
+        # Single-message batches (M_IMMEDIATE, buffer_limit=1) ship the
+        # encoded bytes from _record as-is; only real batches pay a join.
+        data = pending[0] if len(pending) == 1 else b"".join(pending)
         sock = proc.meter_entry.obj
         if self.machine.kernel_stream_send(sock, data):
             self.wire_sends += 1

@@ -25,6 +25,8 @@ bytes are gone, exactly like a TCP connection reset -- and the kernel
 layer surfaces ``ECONNRESET``/``EPIPE`` to the endpoints.
 """
 
+import itertools
+
 
 class NetworkParams:
     """Tunable characteristics of the internetwork.
@@ -54,6 +56,12 @@ class Network:
     def __init__(self, simulator, params=None):
         self.sim = simulator
         self.params = params or NetworkParams()
+        # Cluster-scoped id wells for socket endpoints and socketpair
+        # names.  Per-network (not module-global) state keeps runs
+        # byte-identical even when several clusters share a process
+        # (the determinism requirement of DESIGN.md Section 5).
+        self._endpoint_ids = itertools.count(1)
+        self._pair_ids = itertools.count(1)
         #: channel key -> earliest time the next packet may arrive,
         #: used to keep reliable channels FIFO.
         self._channel_clearance = {}
@@ -77,6 +85,19 @@ class Network:
         self.reliable_packets_sent = 0
         self.reliable_packets_dropped = 0
         self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Id allocation
+    # ------------------------------------------------------------------
+
+    def next_endpoint_id(self):
+        """Cluster-unique id for one end of a stream connection."""
+        return next(self._endpoint_ids)
+
+    def next_pair_id(self):
+        """Cluster-unique id for socketpair names (Section 4.1:
+        "internally generated unique name")."""
+        return next(self._pair_ids)
 
     # ------------------------------------------------------------------
     # Topology faults

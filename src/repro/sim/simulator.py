@@ -17,16 +17,22 @@ from repro.sim.errors import SimulationDeadlock, SimulationError
 class _Event:
     """One scheduled callback.  Ordered by (time, sequence number)."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "in_queue")
 
     def __init__(self, time, seq, callback):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.in_queue = True
 
     def __lt__(self, other):
         return (self.time, self.seq) < (other.time, other.seq)
+
+
+#: Compaction never triggers below this many cancelled events; tiny
+#: queues are cheaper to drain lazily than to rebuild.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Simulator:
@@ -43,6 +49,8 @@ class Simulator:
         self._seq = itertools.count()
         self._idle_hooks = []
         self.events_run = 0
+        #: Cancelled events still sitting in the heap (lazy removal).
+        self._cancelled_in_queue = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -68,8 +76,30 @@ class Simulator:
         return self.schedule(0.0, callback)
 
     def cancel(self, event):
-        """Cancel a scheduled event (lazy removal)."""
+        """Cancel a scheduled event (lazy removal).
+
+        The event stays in the heap until it surfaces or until
+        cancelled events outnumber live ones, at which point the heap
+        is compacted -- so long timer-churny runs (fault injection,
+        retry storms) don't drag a garbage-filled queue.
+        """
+        if event.cancelled:
+            return
         event.cancelled = True
+        if not event.in_queue:
+            return  # already popped and executed/discarded
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue >= _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self):
+        """Rebuild the heap without cancelled events."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
 
     def add_idle_hook(self, hook):
         """Register ``hook()`` to run when the queue drains.
@@ -87,7 +117,9 @@ class Simulator:
         """Run the next pending event.  Returns False if queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.in_queue = False
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             if event.time < self.now:
                 raise SimulationError("event queue went backwards")
@@ -136,17 +168,19 @@ class Simulator:
                 raise SimulationDeadlock(
                     ["waiting for predicate %r" % getattr(predicate, "__name__", predicate)]
                 )
-            self.step()
-            count += 1
-            if count > max_events:
+            if count >= max_events:
                 raise SimulationError(
                     "run_until exceeded %d events without satisfying the "
                     "predicate" % max_events
                 )
+            self.step()
+            count += 1
 
     def pending_events(self):
-        """Number of live (non-cancelled) events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events in the queue.  O(1):
+        the count of lazily-cancelled entries is tracked as they are
+        cancelled, popped, and compacted away."""
+        return len(self._queue) - self._cancelled_in_queue
 
     # ------------------------------------------------------------------
     # Internals
@@ -154,7 +188,8 @@ class Simulator:
 
     def _peek(self):
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            heapq.heappop(self._queue).in_queue = False
+            self._cancelled_in_queue -= 1
         return self._queue[0] if self._queue else None
 
     def _run_idle_hooks(self):

@@ -112,3 +112,66 @@ def test_field_order_headers_first():
     order = ds.field_order("send")
     assert order[:6] == ["event", "size", "machine", "cpuTime", "procTime", "traceType"]
     assert order[6:] == ["pid", "pc", "sock", "msgLength", "destNameLen", "destName"]
+
+
+def test_compiled_body_decode_matches_per_field_decode():
+    """The per-event compiled struct must read exactly what the
+    interpreted field-by-field decode reads, for every Appendix-A
+    event and for gapped custom layouts."""
+    from repro.metering import messages
+
+    hosts = {1: "red", 2: "green", 3: "blue"}
+    ds = default_description_set()
+    codec = MessageCodec(hosts)
+    name = InternetName("green", 5100, 2)
+    bodies = {
+        "send": dict(pid=7, pc=2, sock=3, msgLength=512, destName=name,
+                     **codec.name_lengths(destName=name)),
+        "accept": dict(pid=7, pc=2, sock=3, newSock=4, sockName=name,
+                       peerName=name,
+                       **codec.name_lengths(sockName=name, peerName=name)),
+        "termproc": dict(pid=7, pc=2, status=-1),
+    }
+    for event, body in bodies.items():
+        raw = codec.encode(event, machine=1, cpu_time=50, proc_time=10, **body)
+        desc = ds.by_type[messages.EVENT_TYPES[event]]
+        assert desc._compiled is not None
+        compiled = desc.decode_body(raw, hosts, offset=messages.HEADER_BYTES)
+        interpreted = {
+            field.name: field.decode(raw[messages.HEADER_BYTES :], hosts)
+            for field in desc.fields
+        }
+        assert compiled == interpreted
+
+    # Gapped subset layout: pad bytes cover the skipped fields.
+    subset = parse_descriptions("SEND 1, pid,0,4,10 msgLength,12,4,10\n")
+    desc = subset.by_type[1]
+    assert desc._compiled is not None
+    raw = codec.encode(
+        "send", machine=1, cpu_time=0, proc_time=0,
+        pid=9, pc=1, sock=2, msgLength=77, destName=None, destNameLen=0,
+    )
+    assert desc.decode_body(raw, hosts, offset=messages.HEADER_BYTES) == {
+        "pid": 9,
+        "msgLength": 77,
+    }
+
+
+def test_irregular_description_falls_back_to_per_field_decode():
+    """A 3-byte field has no struct code; the interpreted decode must
+    still serve it (and overlapping fields must not compile)."""
+    import struct
+
+    ds = parse_descriptions("SEND 1, weird,1,3,10\n")
+    desc = ds.by_type[1]
+    assert desc._compiled is None
+    header = struct.pack(">ih2xi4xii", 64, 1, 50, 10, 1)
+    raw = header + b"\x00\x01\x02\x03\x04\x05" + b"\x00" * 34
+    record = ds.decode_message(raw)
+    assert record["weird"] == 0x010203
+
+    overlap = parse_descriptions("SEND 1, a,0,4,10 b,2,4,10\n")
+    assert overlap.by_type[1]._compiled is None
+    record = overlap.decode_message(raw)
+    assert record["a"] == 0x00010203
+    assert record["b"] == 0x02030405

@@ -16,3 +16,95 @@ def test_fds_lists_listener_then_connections():
     inbox.buffers[7] = b""
     inbox.buffers[9] = b""
     assert inbox.fds() == [3, 7, 9]
+
+
+# ---------------------------------------------------------------------------
+# Framing: _feed reassembles meter messages from arbitrary stream chunks.
+# ---------------------------------------------------------------------------
+
+import struct
+
+from repro.filtering.filterlib import MAX_METER_MESSAGE
+from repro.metering.messages import MessageCodec
+
+_codec = MessageCodec({1: "red", 2: "green"})
+
+
+def _message(i=0):
+    return _codec.encode(
+        "fork", machine=1, cpu_time=100 + i, proc_time=10, pid=500 + i, newPid=600 + i
+    )
+
+
+def _fed(inbox, fd, data):
+    out = []
+    corrupt = inbox._feed(fd, data, out)
+    return out, corrupt
+
+
+def test_feed_single_exact_message_passes_through():
+    inbox = MeterInbox()
+    inbox.buffers[4] = b""
+    msg = _message()
+    out, corrupt = _fed(inbox, 4, msg)
+    assert not corrupt
+    assert out == [msg]
+    assert out[0] is msg  # exact reads are not re-copied
+    assert inbox.buffers[4] == b""
+
+
+def test_feed_batch_of_messages_in_one_read():
+    inbox = MeterInbox()
+    inbox.buffers[4] = b""
+    msgs = [_message(i) for i in range(50)]
+    out, corrupt = _fed(inbox, 4, b"".join(msgs))
+    assert not corrupt
+    assert out == msgs
+    assert inbox.buffers[4] == b""
+
+
+def test_feed_reassembles_across_chunk_boundaries():
+    inbox = MeterInbox()
+    inbox.buffers[4] = b""
+    msgs = [_message(i) for i in range(7)]
+    stream = b"".join(msgs)
+    out = []
+    # Feed in ugly 11-byte chunks: every message straddles a boundary.
+    for start in range(0, len(stream), 11):
+        chunk_out, corrupt = _fed(inbox, 4, stream[start : start + 11])
+        assert not corrupt
+        out.extend(chunk_out)
+    assert out == msgs
+    assert inbox.buffers[4] == b""
+
+
+def test_feed_keeps_partial_tail_buffered():
+    inbox = MeterInbox()
+    inbox.buffers[4] = b""
+    msg = _message()
+    out, corrupt = _fed(inbox, 4, msg + msg[:10])
+    assert not corrupt
+    assert out == [msg]
+    assert inbox.buffers[4] == msg[:10]
+    out, corrupt = _fed(inbox, 4, msg[10:])
+    assert not corrupt
+    assert out == [msg]
+
+
+def test_feed_flags_garbage_size_as_corrupt():
+    inbox = MeterInbox()
+    for bad_size in (0, 5, MAX_METER_MESSAGE + 1, -3):
+        inbox.buffers[4] = b""
+        data = struct.pack(">i", bad_size) + b"x" * 60
+        out, corrupt = _fed(inbox, 4, data)
+        assert corrupt
+        assert out == []
+
+
+def test_feed_short_prefix_waits_for_size_word():
+    inbox = MeterInbox()
+    inbox.buffers[4] = b""
+    out, corrupt = _fed(inbox, 4, b"\x00\x00")
+    assert not corrupt
+    assert out == []
+    assert inbox.buffers[4] == b"\x00\x00"

@@ -149,3 +149,85 @@ def test_parse_rejects_garbage():
 def test_blank_lines_ignored():
     rules = parse_rules("\n\nmachine=0\n\n")
     assert len(rules) == 1
+
+
+# ---------------------------------------------------------------------------
+# The compiled engine: dispatch table, fast paths, interpreted parity.
+# ---------------------------------------------------------------------------
+
+DISPATCH_TEXT = """
+type=8, sockName=peerName
+type=1, msgLength>500
+machine=5, cpuTime<100000
+type=#10
+"""
+
+
+def test_compiled_matches_interpreted_on_fixtures():
+    compiled = parse_rules(DISPATCH_TEXT)
+    interpreted = parse_rules(DISPATCH_TEXT, compiled=False)
+    for record in (SEND_RECORD, ACCEPT_RECORD):
+        assert compiled.apply(record) == interpreted.apply(record)
+        assert compiled.apply(record) == compiled.apply_interpreted(record)
+
+
+def test_dispatch_table_partitions_by_trace_type():
+    rules = parse_rules(DISPATCH_TEXT)
+    # Three pinned types (8, 1, 10) plus their string forms; the
+    # machine=5 rule stays generic and is merged into every list.
+    assert set(rules._dispatch) == {1, "1", 8, "8", 10, "10"}
+    assert len(rules._generic) == 1
+    # First-match order is preserved in the merged per-type lists: for
+    # type 1 the pinned msgLength rule precedes the generic rule.
+    assert len(rules._dispatch[1]) == 2
+
+
+def test_pinned_rule_not_consulted_for_other_types():
+    rules = parse_rules("type=1, msgLength>500\n")
+    # An accept record never reaches the send-pinned rule; with no
+    # generic rules the candidate list is empty and the record drops.
+    assert rules.apply(ACCEPT_RECORD) is None
+    assert rules.apply(SEND_RECORD) == SEND_RECORD
+
+
+def test_contradictory_type_pins_match_nothing():
+    rules = parse_rules("type=1, type=2\nmachine=*\n")
+    for record in (SEND_RECORD, ACCEPT_RECORD):
+        assert rules.apply(record) == record  # via the wildcard rule
+    only = parse_rules("type=1, type=2\n")
+    assert only.apply(SEND_RECORD) is None
+    assert only.apply_interpreted(SEND_RECORD) is None
+
+
+def test_wildcard_only_rule_takes_accept_all_fast_path():
+    rules = parse_rules("machine=*\n")
+    (rule,) = (rules._generic)
+    assert rule.accepts_all
+    assert rules.apply(SEND_RECORD) == SEND_RECORD
+
+
+def test_wildcard_over_body_field_is_not_accept_all():
+    # msgLength only exists on send/receive records, so the wildcard
+    # must still test presence.
+    rules = parse_rules("msgLength=*\n")
+    (rule,) = rules._generic
+    assert not rule.accepts_all
+    assert rules.apply(SEND_RECORD) == SEND_RECORD
+    assert rules.apply(ACCEPT_RECORD) is None
+
+
+def test_wildcard_with_discard_still_reduces():
+    rules = parse_rules("machine=*, pc=#*\n")
+    saved = rules.apply(SEND_RECORD)
+    assert "pc" not in saved
+    assert saved == rules.apply_interpreted(SEND_RECORD)
+
+
+def test_string_trace_type_reaches_pinned_rules():
+    # _compare turns mixed types into strings, so a record carrying
+    # traceType as "8" still matches a type=8 pin; the dispatch
+    # table's str(pin) key keeps the compiled path equivalent.
+    record = dict(ACCEPT_RECORD, traceType="8")
+    rules = parse_rules("type=8\n")
+    assert rules.apply(record) == record
+    assert rules.apply_interpreted(record) == record

@@ -207,3 +207,18 @@ def test_field_layout_matches_figure_3_2_send_line():
         ("destNameLen", 16, 4, 10),
         ("destName", 20, 16, 16),
     ]
+
+
+def test_precompiled_structs_agree_with_field_tables():
+    """The whole-message struct per event must be exactly header +
+    body as declared in BODY_FIELDS, or encode/decode silently shift."""
+    from repro.metering.messages import (
+        _EVENT_STRUCTS,
+        HEADER_BYTES,
+        body_length,
+        message_length,
+    )
+
+    for event in EVENT_TYPES:
+        assert _EVENT_STRUCTS[event].size == HEADER_BYTES + body_length(event)
+        assert message_length(event) == _EVENT_STRUCTS[event].size

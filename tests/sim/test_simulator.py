@@ -132,3 +132,68 @@ def test_rng_is_seeded_and_deterministic():
     values_b = [Simulator(seed=7).rng.random() for __ in range(3)]
     assert values_a == values_b
     assert values_a != [Simulator(seed=8).rng.random() for __ in range(3)]
+
+
+def test_run_until_max_events_bound_is_exact():
+    """The guard fires after exactly max_events callbacks, not one more."""
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(1.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run_until(lambda: False, max_events=100)
+    assert sim.events_run == 100
+
+
+def test_run_until_succeeds_on_the_last_allowed_event():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append(1)
+        if len(fired) < 10:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run_until(lambda: len(fired) == 10, max_events=10)
+    assert len(fired) == 10
+
+
+def test_mass_cancellation_keeps_queue_bounded():
+    """Cancelling 10k timers compacts the heap instead of leaking."""
+    sim = Simulator()
+    live = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+    dead = [sim.schedule(1000.0 + i, lambda: None) for i in range(10_000)]
+    for handle in dead:
+        sim.cancel(handle)
+    assert sim.pending_events() == 100
+    # The heap holds the live events plus at most a compaction
+    # threshold's worth of cancelled stragglers -- not all 10k.
+    assert len(sim._queue) < 100 + 300
+    sim.run()
+    assert sim.events_run == 100
+    assert live[0].cancelled is False
+
+
+def test_cancel_after_execution_keeps_counts_consistent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    later = sim.schedule(2.0, lambda: None)
+    sim.run()
+    sim.cancel(handle)  # already ran: must not corrupt the live count
+    sim.cancel(handle)  # double-cancel: idempotent
+    sim.cancel(later)
+    assert sim.pending_events() == 0
+    assert sim._cancelled_in_queue == 0
+
+
+def test_pending_events_is_live_count_through_churn():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+    for handle in handles[::2]:
+        sim.cancel(handle)
+    assert sim.pending_events() == 250
+    sim.run(max_events=100)
+    assert sim.pending_events() == 150

@@ -7,7 +7,7 @@ in job 'foo' terminated: reason: normal").
 """
 
 from repro import guestlib
-from repro.controller import states
+from repro.controller import health, journal, states
 from repro.controller.model import FilterInfo, Job, ProcessRecord
 from repro.daemon import protocol
 from repro.daemon.meterdaemon import METERDAEMON_PORT
@@ -49,6 +49,8 @@ Commands:
                                                  process' standard input
   stdinfile <jobname> <procname> <filename>      redirect a file into a
                                                  process' standard input
+  resume [<journalfile>]                         rebuild the session of a
+                                                 crashed controller
   die                                            exit the controller
 Metering flags:
   fork termproc send receivecall receive socket dup destsocket
@@ -79,11 +81,13 @@ class ControllerState:
         self.filters = {}  # name -> FilterInfo
         self.filter_order = []  # creation order (for the default filter)
         self.jobs = {}  # name -> Job
-        #: machine -> {"failures": int, "degraded": bool} (RPC health).
-        self.daemon_health = {}
+        #: Daemon liveness: heartbeats, degradation, recovery probes.
+        self.health = health.HealthMonitor()
         self.next_job_number = 1
         self.input_stack = []
         self.sink_fd = None  # output file fd, or None for the terminal
+        #: Session journal (opened lazily; -1 means unavailable).
+        self.journal_fd = None
         self.die_warned = False
         self.dead = False
 
@@ -103,6 +107,35 @@ class ControllerState:
 
     def active_count(self):
         return sum(len(job.active_processes()) for job in self.jobs.values())
+
+
+def _watched_machines(state):
+    """Machines hosting a piece of the session (a filter or a live
+    process record): the heartbeat set."""
+    watched = {info.machine for info in state.filters.values()}
+    for job in state.jobs.values():
+        for record in job.processes:
+            if record.state != states.KILLED:
+                watched.add(record.machine)
+    return watched
+
+
+def _journal(sys, ctl, op, **fields):
+    """Append one entry to the session journal.  Best-effort: a
+    session with no writable journal still runs, it just cannot be
+    resumed after a controller crash.  (The controller state argument
+    is named ``ctl`` here so entries may carry a ``state=`` field.)"""
+    if ctl.journal_fd is None:
+        try:
+            ctl.journal_fd = yield sys.open(
+                journal.journal_path(ctl.log_directory), "a"
+            )
+        except SyscallError:
+            ctl.journal_fd = -1
+    if ctl.journal_fd == -1:
+        return
+    entry = journal.encode_entry(op, **fields)
+    yield sys.write(ctl.journal_fd, entry.encode("ascii"))
 
 
 def controller(sys, argv):
@@ -147,17 +180,33 @@ def controller(sys, argv):
 
 
 def _read_tty_line(sys, state, source):
-    """Prompt, then wait for a command while servicing notifications."""
+    """Prompt, then wait for a command while servicing notifications
+    and running the daemon liveness schedule.
+
+    The select timeout is the next heartbeat or recovery-probe
+    deadline; when every watched machine is dormant (session idle, no
+    degraded machines mid-episode) it is None and the controller
+    blocks -- the quiescence the simulator's settle() depends on.
+    """
     yield sys.write(1, PROMPT.encode("ascii"))
     while True:
+        now = yield sys.gettimeofday()
+        watched = _watched_machines(state)
+        for machine in watched:
+            state.health.watch(machine, now)
+        deadline = state.health.next_wakeup(watched)
+        timeout_ms = None if deadline is None else max(0.0, deadline - now)
         fds = [source.fd, state.notify_listen] + list(state.notify_buffers)
-        ready, __ = yield sys.select(fds)
+        ready, __ = yield sys.select(fds, timeout_ms=timeout_ms)
         yield from _handle_notification_fds(sys, state, ready)
         if source.fd in ready:
             line = yield from guestlib.read_line(sys, source.fd, source.buffered)
             if line is None:
                 return "die"  # control-D
             return line
+        now = yield sys.gettimeofday()
+        for machine in state.health.due(now, _watched_machines(state)):
+            yield from _probe_machine(sys, state, machine)
 
 
 def _poll_notifications(sys, state):
@@ -198,6 +247,8 @@ def _handle_notification(sys, state, payload):
         return  # junk on the notification port; ignore it
     if msg_type == protocol.TERMINATION_NOTIFY:
         yield from _on_termination(sys, state, body)
+    elif msg_type == protocol.FILTER_RESTART_NOTIFY:
+        yield from _on_filter_restart(sys, state, body)
     elif msg_type == protocol.OUTPUT_NOTIFY:
         text = body.get("data", "").rstrip("\n")
         for line in text.splitlines():
@@ -218,13 +269,24 @@ def _on_termination(sys, state, body):
                     info.name, body.get("reason")
                 ),
             )
+            yield from _journal(sys, state, "filter-gone", name=info.name)
             del state.filters[info.name]
             state.filter_order.remove(info.name)
             return
     job, record = state.find_record(machine, pid)
-    if record is None:
+    if record is None or record.state == states.KILLED:
+        # Unknown pid, or a duplicate: the daemon retries notifications
+        # and the reconcile path may already have reported this death.
         return
     record.state = states.KILLED
+    yield from _journal(
+        sys,
+        state,
+        "state",
+        jobname=job.name,
+        procname=record.procname,
+        state=states.KILLED,
+    )
     yield from _emit(
         sys,
         state,
@@ -232,6 +294,38 @@ def _on_termination(sys, state, body):
             record.procname, job.name, body.get("reason")
         ),
     )
+
+
+def _on_filter_restart(sys, state, body):
+    """The meterdaemon relaunched a crashed filter (its supervision
+    duty): adopt the replacement and repoint every meter at it."""
+    info = state.filters.get(body.get("filtername"))
+    if info is None or info.machine != body.get("machine"):
+        return
+    if info.pid != body.get("old_pid") and info.pid != body.get("pid"):
+        return  # stale notification for a generation we no longer track
+    old_port = body.get("old_port", info.meter_port)
+    info.pid = body["pid"]
+    info.meter_host = body.get("meter_host", info.meter_host)
+    if old_port not in info.past_ports:
+        info.past_ports.append(old_port)
+    info.meter_port = body["meter_port"]
+    yield from _journal(
+        sys,
+        state,
+        "filter-restart",
+        name=info.name,
+        pid=info.pid,
+        meter_port=info.meter_port,
+    )
+    yield from _emit(
+        sys,
+        state,
+        "WARNING: filter '{0}' on {1} was relaunched: identifier = {2}".format(
+            info.name, info.machine, info.pid
+        ),
+    )
+    yield from _repoint_filter(sys, state, info, [old_port])
 
 
 # ----------------------------------------------------------------------
@@ -258,10 +352,33 @@ RPC_BACKOFF_MS = 40.0
 RPC_BACKOFF_CAP_MS = 320.0
 
 
-def _daemon_health(state, machine):
-    return state.daemon_health.setdefault(
-        machine, {"failures": 0, "degraded": False}
-    )
+def _note_success(sys, state, machine):
+    """Record a successful exchange; on a degraded->healthy transition
+    emit the recovery warning and reconcile session state with the
+    (possibly brand-new) daemon."""
+    now = yield sys.gettimeofday()
+    if state.health.note_success(machine, now):
+        yield from _emit(
+            sys,
+            state,
+            "WARNING: meterdaemon on '{0}' is responding again".format(
+                machine
+            ),
+        )
+        yield from _reconcile_machine(sys, state, machine)
+
+
+def _note_failure(sys, state, machine):
+    """Record a failed exchange (the caller already spent its retry
+    budget); emit the warning on a healthy->degraded transition."""
+    now = yield sys.gettimeofday()
+    if state.health.note_failure(machine, now):
+        yield from _emit(
+            sys,
+            state,
+            "WARNING: meterdaemon on '{0}' is not responding; "
+            "marking machine degraded".format(machine),
+        )
 
 
 def _rpc(sys, state, machine, msg_type, **body):
@@ -272,19 +389,22 @@ def _rpc(sys, state, machine, msg_type, **body):
 
     Robustness: each attempt carries a connect/receive deadline, and
     transient failures (daemon not up yet, path severed) are retried
-    with jittered exponential backoff.  A machine whose daemon exhausts
-    the retry budget is marked *degraded*: later RPCs to it fast-fail
-    after a single attempt until one succeeds again.  A daemon that
-    hangs up mid-exchange is NOT retried -- the request may already
-    have executed (e.g. the process may have been created), and
-    repeating it could duplicate the side effect.
+    with jittered exponential backoff.  Outcomes feed the shared
+    :class:`~repro.controller.health.HealthMonitor`: a machine whose
+    daemon exhausts the retry budget is marked *degraded* -- later RPCs
+    to it fast-fail after a single attempt, and liveness probes take
+    over until one succeeds again.  A daemon that hangs up mid-exchange
+    is NOT retried -- the request may already have executed (e.g. the
+    process may have been created), and repeating it could duplicate
+    the side effect.
     """
     body.setdefault("uid", state.uid)
     body.setdefault("control_host", state.hostname)
     body.setdefault("control_port", state.notify_port)
     request = protocol.encode(msg_type, **body)
-    health = _daemon_health(state, machine)
-    attempts = 1 if health["degraded"] else RPC_ATTEMPTS
+    now = yield sys.gettimeofday()
+    state.health.note_activity(now)
+    attempts = 1 if state.health.is_degraded(machine) else RPC_ATTEMPTS
     delay = RPC_BACKOFF_MS
     last_status = None
     for attempt in range(attempts):
@@ -297,7 +417,6 @@ def _rpc(sys, state, machine, msg_type, **body):
             )
         except SyscallError as err:
             yield sys.close(fd)
-            health["failures"] += 1
             last_status = "no meterdaemon on '{0}' ({1})".format(
                 machine, errno_name(err.errno)
             )
@@ -309,30 +428,280 @@ def _rpc(sys, state, machine, msg_type, **body):
             continue
         yield sys.close(fd)
         if payload is None:
-            # Mid-exchange hangup: ambiguous outcome, never retried.
+            # Mid-exchange hangup: ambiguous outcome, never retried,
+            # and no health transition -- the daemon was reachable.
             return protocol.ERROR_REPLY, {
                 "status": "daemon closed the connection"
             }
-        health["failures"] = 0
-        if health["degraded"]:
-            health["degraded"] = False
-            yield from _emit(
-                sys,
-                state,
-                "WARNING: meterdaemon on '{0}' is responding again".format(
-                    machine
-                ),
-            )
+        yield from _note_success(sys, state, machine)
         return protocol.decode(payload)
-    if not health["degraded"]:
-        health["degraded"] = True
+    yield from _note_failure(sys, state, machine)
+    return protocol.ERROR_REPLY, {"status": last_status}
+
+
+def _probe_machine(sys, state, machine):
+    """One liveness ping (Section 3.5.1's exchange, minimal body).
+
+    Single attempt: the probe schedule itself is the retry loop, with
+    the HealthMonitor's backoff between episodes.  Silent except for
+    health transitions, so an all-healthy session produces no output.
+    """
+    request = protocol.encode(
+        protocol.PING_REQ,
+        uid=state.uid,
+        control_host=state.hostname,
+        control_port=state.notify_port,
+    )
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    ok = False
+    try:
+        yield sys.connect(
+            fd, (machine, METERDAEMON_PORT), health.PROBE_DEADLINE_MS
+        )
+        yield from guestlib.send_frame(sys, fd, request)
+        payload = yield from guestlib.recv_frame_timeout(
+            sys, fd, health.PROBE_DEADLINE_MS
+        )
+        ok = payload is not None
+    except SyscallError:
+        ok = False
+    yield sys.close(fd)
+    if ok:
+        yield from _note_success(sys, state, machine)
+    else:
+        yield from _note_failure(sys, state, machine)
+
+
+# ----------------------------------------------------------------------
+# Recovery: reconcile, respawn, repoint
+# ----------------------------------------------------------------------
+
+
+def _reconcile_machine(sys, state, machine):
+    """A machine came back (healed partition or restarted daemon):
+    have its daemon adopt the session's processes and filters, then
+    square our records with what actually survived."""
+    children = []
+    for job in state.jobs.values():
+        for record in job.processes:
+            if record.machine == machine and record.state != states.KILLED:
+                children.append(
+                    {
+                        "pid": record.pid,
+                        "jobname": record.jobname,
+                        "procname": record.procname,
+                        "flags": record.flags,
+                    }
+                )
+    filter_infos = []
+    for name in state.filter_order:
+        info = state.filters[name]
+        if info.machine == machine:
+            filter_infos.append(
+                {
+                    "pid": info.pid,
+                    "filtername": info.name,
+                    "filterfile": info.filterfile,
+                    "log_path": info.log_path,
+                    "descriptions": info.descriptions,
+                    "templates": info.templates,
+                    "meter_port": info.meter_port,
+                }
+            )
+    if not children and not filter_infos:
+        return
+    reply_type, body = yield from _rpc(
+        sys,
+        state,
+        machine,
+        protocol.ADOPT_REQ,
+        children=children,
+        filters=filter_infos,
+    )
+    if reply_type != protocol.ADOPT_REPLY or not protocol.is_ok(body):
+        return
+    for pid in body.get("dead", []):
+        job, record = state.find_record(machine, pid)
+        if record is None or record.state == states.KILLED:
+            continue
+        record.state = states.KILLED
+        yield from _journal(
+            sys,
+            state,
+            "state",
+            jobname=job.name,
+            procname=record.procname,
+            state=states.KILLED,
+        )
         yield from _emit(
             sys,
             state,
-            "WARNING: meterdaemon on '{0}' is not responding; "
-            "marking machine degraded".format(machine),
+            "DONE: process {0} in job '{1}' terminated: reason: {2}".format(
+                record.procname, job.name, "lost while machine was degraded"
+            ),
         )
-    return protocol.ERROR_REPLY, {"status": last_status}
+    respawned = set()
+    for filtername in body.get("filters_dead", []):
+        info = state.filters.get(filtername)
+        if info is not None and info.machine == machine:
+            respawned.add(filtername)
+            yield from _respawn_filter(sys, state, info)
+    # Survivors keep running through a degradation, but a setflags
+    # issued during it may never have landed: re-assert.
+    for pid in body.get("alive", []):
+        __, record = state.find_record(machine, pid)
+        if record is not None and record.state != states.KILLED:
+            yield from _rpc(
+                sys,
+                state,
+                machine,
+                protocol.SETFLAGS_REQ,
+                pid=record.pid,
+                flags=record.flags,
+            )
+    # A filter restart this machine slept through left its meters
+    # aimed at a dead port and its kernel holding orphaned batches
+    # spooled under the old one: re-aim every live meter of the jobs
+    # it hosts and drain all earlier ports.  Filters respawned just
+    # above already repointed everything, and a filter with no past
+    # ports never restarted, so its meters were never stale.
+    for name in list(state.filter_order):
+        info = state.filters.get(name)
+        if info is None or name in respawned or not info.past_ports:
+            continue
+        records = []
+        hosts_jobs = False
+        for job in state.jobs.values():
+            if job.filtername != name:
+                continue
+            for record in job.processes:
+                if record.machine != machine:
+                    continue
+                hosts_jobs = True
+                if record.state != states.KILLED:
+                    records.append(
+                        {"pid": record.pid, "flags": record.flags}
+                    )
+        if hosts_jobs:
+            ports = list(
+                dict.fromkeys(info.past_ports + [info.meter_port])
+            )
+            yield from _remeter_machine(
+                sys, state, info, machine, records, ports
+            )
+
+
+def _respawn_filter(sys, state, info):
+    """A filter died with its daemon: recreate it from the stored spec
+    (same log path, so the trace continues where it stopped) and
+    repoint every meter at the replacement."""
+    request = dict(
+        filtername=info.name,
+        filterfile=info.filterfile,
+        descriptions=info.descriptions,
+        templates=info.templates,
+        log_format=state.log_format,
+    )
+    if state.log_directory:
+        request["log_directory"] = state.log_directory
+    old_port = info.meter_port
+    reply_type, body = yield from _rpc(
+        sys, state, info.machine, protocol.CREATE_FILTER_REQ, **request
+    )
+    if reply_type != protocol.CREATE_FILTER_REPLY or not protocol.is_ok(body):
+        yield from _emit(
+            sys,
+            state,
+            "DONE: filter '{0}' terminated: reason: {1}".format(
+                info.name, "could not be relaunched"
+            ),
+        )
+        yield from _journal(sys, state, "filter-gone", name=info.name)
+        del state.filters[info.name]
+        state.filter_order.remove(info.name)
+        return
+    info.pid = body["pid"]
+    info.meter_host = body["meter_host"]
+    if old_port not in info.past_ports:
+        info.past_ports.append(old_port)
+    info.meter_port = body["meter_port"]
+    info.log_path = body["log_path"]
+    yield from _journal(
+        sys,
+        state,
+        "filter-restart",
+        name=info.name,
+        pid=info.pid,
+        meter_port=info.meter_port,
+    )
+    yield from _emit(
+        sys,
+        state,
+        "WARNING: filter '{0}' on {1} was relaunched: identifier = {2}".format(
+            info.name, info.machine, info.pid
+        ),
+    )
+    yield from _repoint_filter(sys, state, info, [old_port])
+
+
+def _repoint_filter(sys, state, info, old_ports):
+    """A filter has a new meter port: every machine with a process of
+    one of its jobs re-aims live meters at it (the kernel resends its
+    unacknowledged window; the filter dedups) and drains batches
+    orphaned under the old port numbers.  Machines whose processes all
+    died still get the drain -- their final batches are waiting."""
+    by_machine = {}
+    for job in state.jobs.values():
+        if job.filtername != info.name:
+            continue
+        for record in job.processes:
+            per = by_machine.setdefault(record.machine, [])
+            if record.state != states.KILLED:
+                per.append({"pid": record.pid, "flags": record.flags})
+    # A machine that was degraded during an EARLIER restart may still
+    # hold spools under ports older than the one being replaced now.
+    ports = list(dict.fromkeys(list(old_ports) + info.past_ports))
+    for machine in sorted(by_machine):
+        yield from _remeter_machine(
+            sys, state, info, machine, by_machine[machine], ports
+        )
+
+
+def _remeter_machine(sys, state, info, machine, records, old_ports):
+    """One REMETER exchange: aim ``records``' meters at the filter's
+    current port and drain batches orphaned under ``old_ports``."""
+    reply_type, body = yield from _rpc(
+        sys,
+        state,
+        machine,
+        protocol.REMETER_REQ,
+        records=records,
+        filter_host=info.meter_host,
+        filter_port=info.meter_port,
+        old_ports=list(old_ports),
+    )
+    if reply_type != protocol.REMETER_REPLY or not protocol.is_ok(body):
+        return
+    for pid in body.get("dead", []):
+        job, record = state.find_record(machine, pid)
+        if record is None or record.state == states.KILLED:
+            continue
+        record.state = states.KILLED
+        yield from _journal(
+            sys,
+            state,
+            "state",
+            jobname=job.name,
+            procname=record.procname,
+            state=states.KILLED,
+        )
+        yield from _emit(
+            sys,
+            state,
+            "DONE: process {0} in job '{1}' terminated: reason: {2}".format(
+                record.procname, job.name, "died during filter restart"
+            ),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -342,6 +711,29 @@ def _rpc(sys, state, machine, msg_type, **body):
 
 def _valid_params(tokens):
     return all(set(token) <= _PARAM_CHARS for token in tokens)
+
+
+#: Commands whose line is journaled write-ahead (they mutate session
+#: state; a crash mid-command leaves the intent on record).
+_JOURNALED_COMMANDS = frozenset(
+    {
+        "filter",
+        "newjob",
+        "addprocess",
+        "add",
+        "acquire",
+        "setflags",
+        "startjob",
+        "stopjob",
+        "removejob",
+        "rmjob",
+        "removeprocess",
+        "resume",
+        "die",
+        "exit",
+        "bye",
+    }
+)
 
 
 def _dispatch(sys, state, line):
@@ -361,6 +753,10 @@ def _dispatch(sys, state, line):
             sys, state, "unknown command '{0}' (try help)".format(command)
         )
         return
+    now = yield sys.gettimeofday()
+    state.health.note_activity(now)
+    if command in _JOURNALED_COMMANDS:
+        yield from _journal(sys, state, "cmd", line=line)
     yield from handler(sys, state, args)
 
 
@@ -419,9 +815,26 @@ def cmd_filter(sys, state, args):
         body["meter_host"],
         body["meter_port"],
         body["log_path"],
+        filterfile=filterfile,
+        descriptions=descriptions,
+        templates=templates,
     )
     state.filters[filtername] = info
     state.filter_order.append(filtername)
+    yield from _journal(
+        sys,
+        state,
+        "filter",
+        name=info.name,
+        machine=info.machine,
+        pid=info.pid,
+        meter_host=info.meter_host,
+        meter_port=info.meter_port,
+        log_path=info.log_path,
+        filterfile=info.filterfile,
+        descriptions=info.descriptions,
+        templates=info.templates,
+    )
     yield from _emit(
         sys,
         state,
@@ -452,6 +865,14 @@ def cmd_newjob(sys, state, args):
             )
             return
     state.jobs[jobname] = Job(jobname, info.name, state.next_job_number)
+    yield from _journal(
+        sys,
+        state,
+        "newjob",
+        name=jobname,
+        filtername=info.name,
+        number=state.next_job_number,
+    )
     state.next_job_number += 1
 
 
@@ -509,6 +930,17 @@ def cmd_addprocess(sys, state, args):
     record = ProcessRecord(processfile, jobname, machine, body["pid"], states.NEW)
     record.flags = job.flags
     job.processes.append(record)
+    yield from _journal(
+        sys,
+        state,
+        "process",
+        jobname=jobname,
+        procname=record.procname,
+        machine=machine,
+        pid=record.pid,
+        state=record.state,
+        flags=record.flags,
+    )
     yield from _emit(
         sys,
         state,
@@ -553,6 +985,17 @@ def cmd_acquire(sys, state, args):
     record = ProcessRecord(str(pid), jobname, machine, pid, states.ACQUIRED)
     record.flags = job.flags
     job.processes.append(record)
+    yield from _journal(
+        sys,
+        state,
+        "process",
+        jobname=jobname,
+        procname=record.procname,
+        machine=machine,
+        pid=pid,
+        state=record.state,
+        flags=record.flags,
+    )
     yield from _emit(sys, state, "process {0} ... acquired".format(pid))
 
 
@@ -573,6 +1016,14 @@ def cmd_setflags(sys, state, args):
     # resets must be explicit.
     job.flags = (job.flags | set_mask) & ~clear_mask
     _update_flag_order(job, args[1:])
+    yield from _journal(
+        sys,
+        state,
+        "flags",
+        jobname=job.name,
+        flags=job.flags,
+        flag_order=list(job.flag_order),
+    )
     yield from _emit(
         sys, state, "new job flags = {0}".format(" ".join(job.flag_order))
     )
@@ -636,6 +1087,14 @@ def cmd_startjob(sys, state, args):
             )
             if reply_type == protocol.SIGNAL_REPLY and protocol.is_ok(body):
                 record.state = states.RUNNING
+                yield from _journal(
+                    sys,
+                    state,
+                    "state",
+                    jobname=job.name,
+                    procname=record.procname,
+                    state=record.state,
+                )
                 yield from _emit(sys, state, "'{0}' started.".format(record.procname))
             else:
                 yield from _emit(
@@ -675,6 +1134,14 @@ def cmd_stopjob(sys, state, args):
             )
             if reply_type == protocol.SIGNAL_REPLY and protocol.is_ok(body):
                 record.state = states.STOPPED
+                yield from _journal(
+                    sys,
+                    state,
+                    "state",
+                    jobname=job.name,
+                    procname=record.procname,
+                    state=record.state,
+                )
                 yield from _emit(sys, state, "'{0}' stopped.".format(record.procname))
             else:
                 yield from _emit(
@@ -702,6 +1169,14 @@ def _remove_record(sys, state, job, record):
             sig=defs.SIGKILL,
         )
         record.state = states.KILLED
+        yield from _journal(
+            sys,
+            state,
+            "state",
+            jobname=job.name,
+            procname=record.procname,
+            state=record.state,
+        )
     elif record.state == states.ACQUIRED:
         yield from _rpc(
             sys, state, record.machine, protocol.UNMETER_REQ, pid=record.pid
@@ -732,6 +1207,7 @@ def cmd_removejob(sys, state, args):
     for record in job.processes:
         yield from _remove_record(sys, state, job, record)
     del state.jobs[job.name]
+    yield from _journal(sys, state, "removejob", name=job.name)
 
 
 def cmd_removeprocess(sys, state, args):
@@ -759,6 +1235,13 @@ def cmd_removeprocess(sys, state, args):
         return
     yield from _remove_record(sys, state, job, record)
     job.processes.remove(record)
+    yield from _journal(
+        sys,
+        state,
+        "removeprocess",
+        jobname=job.name,
+        procname=record.procname,
+    )
 
 
 def cmd_jobs(sys, state, args):
@@ -778,25 +1261,26 @@ def cmd_jobs(sys, state, args):
         if job is None:
             yield from _emit(sys, state, "no job '{0}'".format(jobname))
             continue
+        dropped = yield from _job_drop_counts(sys, state, job)
         yield from _emit(sys, state, "job '{0}':".format(job.name))
         for record in job.processes:
             flag_names = " ".join(mflags.names_from_flags(record.flags)) or "none"
-            yield from _emit(
-                sys,
-                state,
-                "  {0} {1} '{2}' on {3} flags: {4}".format(
-                    record.pid,
-                    record.state,
-                    record.procname,
-                    record.machine,
-                    flag_names,
-                ),
+            line = "  {0} {1} '{2}' on {3} flags: {4}".format(
+                record.pid,
+                record.state,
+                record.procname,
+                record.machine,
+                flag_names,
             )
+            lost = dropped.get((record.machine, record.pid), 0)
+            if lost:
+                line += " dropped: {0}".format(lost)
+            yield from _emit(sys, state, line)
         degraded = sorted(
             {
                 record.machine
                 for record in job.processes
-                if state.daemon_health.get(record.machine, {}).get("degraded")
+                if state.health.is_degraded(record.machine)
             }
         )
         if degraded:
@@ -806,6 +1290,44 @@ def cmd_jobs(sys, state, args):
                 "  degraded machines (meterdaemon not responding): "
                 + " ".join(degraded),
             )
+            for machine in degraded:
+                entry = state.health.entry(machine)
+                last = (
+                    "never"
+                    if entry.last_probe_ms is None
+                    else "{0:.0f}ms".format(entry.last_probe_ms)
+                )
+                yield from _emit(
+                    sys,
+                    state,
+                    "    {0}: {1} failure(s), last probe at {2}".format(
+                        machine, entry.failures, last
+                    ),
+                )
+
+
+def _job_drop_counts(sys, state, job):
+    """Per-(machine, pid) dropped-event counts from the daemons'
+    status RPC.  Degraded machines are skipped: the probe schedule,
+    not a status call, decides when they are back."""
+    dropped = {}
+    for machine in sorted({record.machine for record in job.processes}):
+        if state.health.is_degraded(machine):
+            continue
+        reply_type, body = yield from _rpc(
+            sys, state, machine, protocol.STATUS_REQ
+        )
+        if reply_type != protocol.STATUS_REPLY or not protocol.is_ok(body):
+            continue
+        by_pid = body.get("dropped_by_pid", {})
+        for record in job.processes:
+            if record.machine != machine:
+                continue
+            # JSON round-trips dict keys as strings.
+            count = by_pid.get(str(record.pid), 0)
+            if count:
+                dropped[(machine, record.pid)] = count
+    return dropped
 
 
 def cmd_getlog(sys, state, args):
@@ -935,6 +1457,50 @@ def cmd_sink(sys, state, args):
         state.sink_fd = yield sys.open(args[0], "w")
 
 
+def cmd_resume(sys, state, args):
+    """Rebuild a crashed controller's session from its journal.
+
+    Replays the journal's effect entries to recover filters, jobs and
+    process records, then reconciles every machine: its daemon adopts
+    the session's processes (re-registering them against THIS
+    controller's notification port), dead processes are reported
+    exactly once, dead filters are relaunched and meters repointed.
+    """
+    if state.filters or state.jobs:
+        yield from _emit(
+            sys,
+            state,
+            "resume: this controller already has session state "
+            "(resume only into a fresh controller)",
+        )
+        return
+    path = args[0] if args else journal.journal_path(state.log_directory)
+    text = yield from guestlib.read_optional_file(sys, path)
+    if text is None:
+        yield from _emit(
+            sys, state, "resume: no journal at '{0}'".format(path)
+        )
+        return
+    replayed = journal.replay(journal.parse_journal(text))
+    if replayed.clean_exit or not (replayed.filters or replayed.jobs):
+        yield from _emit(sys, state, "resume: nothing to recover")
+        return
+    state.filters = replayed.filters
+    state.filter_order = replayed.filter_order
+    state.jobs = replayed.jobs
+    state.next_job_number = replayed.next_job_number
+    yield from _journal(sys, state, "resume")
+    yield from _emit(
+        sys,
+        state,
+        "resumed {0} filter(s) and {1} job(s) from '{2}'".format(
+            len(state.filters), len(state.jobs), path
+        ),
+    )
+    for machine in sorted(_watched_machines(state)):
+        yield from _reconcile_machine(sys, state, machine)
+
+
 def cmd_die(sys, state, args):
     if state.active_count() > 0 and not state.die_warned:
         state.die_warned = True
@@ -955,6 +1521,9 @@ def cmd_die(sys, state, args):
             pid=info.pid,
             sig=defs.SIGKILL,
         )
+    # A clean exit truncates the recoverable session: resume after
+    # this reports nothing to recover.
+    yield from _journal(sys, state, "die")
     state.dead = True
 
 
@@ -977,6 +1546,7 @@ _COMMANDS = {
     "sink": cmd_sink,
     "input": cmd_input,
     "stdinfile": cmd_stdinfile,
+    "resume": cmd_resume,
     "die": cmd_die,
     "exit": cmd_die,
     "bye": cmd_die,

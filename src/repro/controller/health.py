@@ -1,0 +1,166 @@
+"""Daemon liveness: heartbeats, degradation, bounded recovery probes.
+
+The controller holds one :class:`HealthMonitor`; every outcome that
+says anything about a meterdaemon -- a user command's RPC, a liveness
+ping -- flows through the same two transitions (:meth:`note_success`,
+:meth:`note_failure`), so a machine cannot be half-degraded depending
+on who last talked to it.
+
+Schedule shape (all simulator milliseconds):
+
+- While the user is active (a command or RPC within the last
+  ``HEARTBEAT_MS * IDLE_ROUNDS``), every machine hosting part of the
+  session -- a job process or a filter -- is pinged every
+  ``HEARTBEAT_MS``.
+- A machine that stops answering is *degraded* (one warning, visible
+  in ``jobs``) and re-probed with exponential backoff from
+  ``PROBE_MIN_MS`` to ``PROBE_CAP_MS``, at most ``PROBES_PER_EPISODE``
+  probes, then the monitor goes dormant for it.
+- Any activity re-arms the dormant probes; any successful exchange
+  clears the degradation (one "responding again" warning).
+
+Dormancy is load-bearing: the controller idles in a select with no
+timeout when nothing is scheduled, so a finished session quiesces and
+``settle()`` terminates.  Probes are single-attempt and silent except
+for state transitions.
+"""
+
+HEARTBEAT_MS = 400.0
+IDLE_ROUNDS = 5
+PROBE_MIN_MS = 300.0
+PROBE_CAP_MS = 4000.0
+PROBES_PER_EPISODE = 8
+
+#: Per-probe connect/receive deadline.  Shorter than the RPC deadline:
+#: a probe asks one cheap question and gives up fast.
+PROBE_DEADLINE_MS = 800.0
+
+
+class MachineHealth:
+    """What the controller believes about one machine's meterdaemon."""
+
+    __slots__ = (
+        "failures",
+        "degraded",
+        "last_probe_ms",
+        "next_probe_ms",
+        "backoff_ms",
+        "probes_left",
+    )
+
+    def __init__(self):
+        self.failures = 0
+        self.degraded = False
+        self.last_probe_ms = None
+        self.next_probe_ms = None
+        self.backoff_ms = PROBE_MIN_MS
+        self.probes_left = 0
+
+
+class HealthMonitor:
+    """Single transition path for daemon health, plus the probe clock."""
+
+    def __init__(self):
+        self.machines = {}  # name -> MachineHealth
+        self.active_until = 0.0
+
+    def entry(self, machine):
+        return self.machines.setdefault(machine, MachineHealth())
+
+    # -- activity and scheduling ----------------------------------------
+
+    def note_activity(self, now):
+        """A user command or RPC happened: keep heartbeats running for
+        another idle window, and re-arm dormant recovery probes."""
+        self.active_until = now + HEARTBEAT_MS * IDLE_ROUNDS
+        for health in self.machines.values():
+            if health.degraded and health.probes_left <= 0:
+                health.probes_left = PROBES_PER_EPISODE
+                health.backoff_ms = PROBE_MIN_MS
+                health.next_probe_ms = now + health.backoff_ms
+
+    def watch(self, machine, now):
+        """Ensure a machine hosting session state is on the heartbeat
+        schedule."""
+        health = self.entry(machine)
+        if health.next_probe_ms is None and not health.degraded:
+            health.next_probe_ms = now + HEARTBEAT_MS
+
+    def _armed(self, health):
+        if health.next_probe_ms is None:
+            return False
+        if health.degraded:
+            return health.probes_left > 0
+        return health.next_probe_ms <= self.active_until
+
+    def next_wakeup(self, watched):
+        """Earliest scheduled probe among ``watched`` machines, or None
+        when every machine is dormant (the select blocks indefinitely)."""
+        deadline = None
+        for name in watched:
+            health = self.machines.get(name)
+            if health is None or not self._armed(health):
+                continue
+            if deadline is None or health.next_probe_ms < deadline:
+                deadline = health.next_probe_ms
+        return deadline
+
+    def due(self, now, watched):
+        """Machines whose probe deadline has arrived, in name order."""
+        ready = []
+        for name in watched:
+            health = self.machines.get(name)
+            if health is None or not self._armed(health):
+                continue
+            if health.next_probe_ms <= now + 1e-9:
+                ready.append(name)
+        return sorted(ready)
+
+    # -- the shared transitions -----------------------------------------
+
+    def note_success(self, machine, now):
+        """Any successful exchange with the machine's daemon.  Returns
+        True when this cleared a degraded state (emit the recovery
+        warning and reconcile)."""
+        health = self.entry(machine)
+        recovered = health.degraded
+        health.failures = 0
+        health.degraded = False
+        health.last_probe_ms = now
+        health.backoff_ms = PROBE_MIN_MS
+        health.probes_left = 0
+        health.next_probe_ms = now + HEARTBEAT_MS
+        return recovered
+
+    def note_failure(self, machine, now):
+        """Any failed exchange (retry budget already spent by the
+        caller).  Returns True when this marked the machine degraded
+        (emit the degradation warning)."""
+        health = self.entry(machine)
+        health.failures += 1
+        health.last_probe_ms = now
+        if not health.degraded:
+            health.degraded = True
+            health.backoff_ms = PROBE_MIN_MS
+            health.probes_left = PROBES_PER_EPISODE
+            health.next_probe_ms = now + health.backoff_ms
+            return True
+        if health.probes_left > 0:
+            health.probes_left -= 1
+        if health.probes_left <= 0:
+            health.next_probe_ms = None  # dormant until activity
+        else:
+            health.backoff_ms = min(health.backoff_ms * 2.0, PROBE_CAP_MS)
+            health.next_probe_ms = now + health.backoff_ms
+        return False
+
+    # -- queries ---------------------------------------------------------
+
+    def is_degraded(self, machine):
+        health = self.machines.get(machine)
+        return health is not None and health.degraded
+
+    def degraded_machines(self):
+        return sorted(
+            name for name, health in self.machines.items() if health.degraded
+        )

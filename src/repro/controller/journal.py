@@ -1,0 +1,153 @@
+"""The controller's session journal: crash recovery for the control
+process itself.
+
+Every state-changing command is journaled -- the command line first
+(write-ahead, before any RPC fires), then one *effect* entry per state
+mutation carrying exactly what a replay needs (pids, ports, log paths
+come from daemon replies, so the command line alone cannot rebuild
+them).  The journal is a JSON-lines file in the session's log
+directory; a fresh controller started after a crash rebuilds the dead
+one's filters, jobs and process records with ``resume`` and then
+reconciles the result against what the daemons report as still
+running.
+
+Append-only and line-oriented on purpose: a controller crash can tear
+at most the final line, and :func:`parse_journal` drops torn lines
+instead of failing the whole recovery.
+"""
+
+import json
+
+from repro.controller import states
+from repro.controller.model import FilterInfo, Job, ProcessRecord
+
+JOURNAL_NAME = "control.journal"
+
+
+def journal_path(log_directory):
+    return "{0}/{1}".format(log_directory or "/usr/tmp", JOURNAL_NAME)
+
+
+def encode_entry(op, **fields):
+    """One journal line (newline included)."""
+    entry = {"op": op}
+    entry.update(fields)
+    return json.dumps(entry, sort_keys=True) + "\n"
+
+
+def parse_journal(text):
+    """Journal text -> entry dicts, skipping damaged (torn) lines."""
+    entries = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(entry, dict) and "op" in entry:
+            entries.append(entry)
+    return entries
+
+
+class ReplayedState:
+    """What a journal replay rebuilds (the controller adopts these)."""
+
+    def __init__(self):
+        self.filters = {}
+        self.filter_order = []
+        self.jobs = {}
+        self.next_job_number = 1
+        self.clean_exit = False
+
+
+def replay(entries):
+    """Fold effect entries into a :class:`ReplayedState`.
+
+    ``cmd`` (write-ahead) entries are intent, not effect: a command
+    journaled but crashed mid-execution contributes whatever effect
+    entries it managed to append, and nothing more -- the reconcile
+    pass squares that against the daemons' reality.
+    """
+    state = ReplayedState()
+    for entry in entries:
+        op = entry["op"]
+        if op in ("cmd", "resume"):
+            continue
+        if op == "die":
+            state = ReplayedState()
+            state.clean_exit = True
+        elif op == "filter":
+            info = FilterInfo(
+                entry["name"],
+                entry["machine"],
+                entry["pid"],
+                entry["meter_host"],
+                entry["meter_port"],
+                entry["log_path"],
+                filterfile=entry.get("filterfile", "filter"),
+                descriptions=entry.get("descriptions", "descriptions"),
+                templates=entry.get("templates", "templates"),
+            )
+            state.filters[info.name] = info
+            if info.name not in state.filter_order:
+                state.filter_order.append(info.name)
+            state.clean_exit = False
+        elif op == "filter-restart":
+            info = state.filters.get(entry["name"])
+            if info is not None:
+                info.pid = entry["pid"]
+                # Kernels that missed the restart still hold orphaned
+                # batches keyed by the previous meter port; remember it
+                # so reconcile can drain those spools.
+                if info.meter_port != entry["meter_port"]:
+                    if info.meter_port not in info.past_ports:
+                        info.past_ports.append(info.meter_port)
+                info.meter_port = entry["meter_port"]
+        elif op == "filter-gone":
+            state.filters.pop(entry["name"], None)
+            if entry["name"] in state.filter_order:
+                state.filter_order.remove(entry["name"])
+        elif op == "newjob":
+            job = Job(entry["name"], entry["filtername"], entry["number"])
+            state.jobs[job.name] = job
+            state.next_job_number = max(
+                state.next_job_number, entry["number"] + 1
+            )
+            state.clean_exit = False
+        elif op == "flags":
+            job = state.jobs.get(entry["jobname"])
+            if job is not None:
+                job.flags = entry["flags"]
+                job.flag_order = list(entry.get("flag_order", []))
+                for record in job.processes:
+                    if record.state != states.KILLED:
+                        record.flags = job.flags
+        elif op == "process":
+            job = state.jobs.get(entry["jobname"])
+            if job is not None:
+                record = ProcessRecord(
+                    entry["procname"],
+                    entry["jobname"],
+                    entry["machine"],
+                    entry["pid"],
+                    entry["state"],
+                )
+                record.flags = entry.get("flags", 0)
+                job.processes.append(record)
+        elif op == "state":
+            job = state.jobs.get(entry["jobname"])
+            if job is not None:
+                record = job.find_process(entry["procname"])
+                if record is not None:
+                    record.state = entry["state"]
+        elif op == "removeprocess":
+            job = state.jobs.get(entry["jobname"])
+            if job is not None:
+                record = job.find_process(entry["procname"])
+                if record is not None:
+                    job.processes.remove(record)
+        elif op == "removejob":
+            state.jobs.pop(entry["name"], None)
+    return state

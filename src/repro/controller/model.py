@@ -6,7 +6,18 @@ from repro.controller import states
 class FilterInfo:
     """One filter process known to the controller."""
 
-    def __init__(self, name, machine, pid, meter_host, meter_port, log_path):
+    def __init__(
+        self,
+        name,
+        machine,
+        pid,
+        meter_host,
+        meter_port,
+        log_path,
+        filterfile="filter",
+        descriptions="descriptions",
+        templates="templates",
+    ):
         self.name = name
         self.machine = machine
         self.pid = pid
@@ -15,6 +26,16 @@ class FilterInfo:
         self.meter_host = meter_host
         self.meter_port = meter_port
         self.log_path = log_path
+        #: How to launch it again: kept for crash recovery (the daemon
+        #: relaunches with these; ``resume`` recreates from these).
+        self.filterfile = filterfile
+        self.descriptions = descriptions
+        self.templates = templates
+        #: Meter ports of earlier incarnations.  Kernels park orphaned
+        #: batches keyed by the port their meter last pointed at; a
+        #: machine that was unreachable during a filter restart still
+        #: has spools under these, so reconcile drains all of them.
+        self.past_ports = []
 
 
 class ProcessRecord:

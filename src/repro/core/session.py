@@ -108,6 +108,27 @@ class MeasurementSession:
         machine.continue_proc(self.controller_proc)
         self._wait_for_prompts(1)
 
+    def restart_controller(self, wait=True):
+        """Kill the controller (if still alive) and start a fresh one
+        on the same terminal -- the crash-recovery entry point.  The
+        new controller knows nothing; type ``resume`` at its prompt to
+        rebuild the session from the journal."""
+        machine = self.cluster.machine(self.control_machine)
+        if self.controller_alive():
+            machine.post_signal(self.controller_proc, defs.SIGKILL)
+        target = self._prompt_count() + 1
+        self.controller_proc = machine.create_process(
+            main=controller,
+            argv=["control", self.log_directory, self.log_format],
+            uid=self.uid,
+            program_name="control",
+            start=False,
+        )
+        machine.attach_terminal(self.controller_proc, self.tty)
+        machine.continue_proc(self.controller_proc)
+        if wait:
+            self._wait_for_prompts(target)
+
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------

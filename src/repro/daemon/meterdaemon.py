@@ -21,6 +21,13 @@ from repro.metering import flags as mflags
 #: Well-known port every meterdaemon listens on.
 METERDAEMON_PORT = 3425
 
+#: Filter supervision: a supervised filter that dies without the
+#: controller asking for it is relaunched after a short backoff, up to
+#: the restart budget; then the daemon gives up and reports the death.
+FILTER_RESTART_BUDGET = 3
+FILTER_RESTART_BACKOFF_MS = 50.0
+FILTER_RESTART_BACKOFF_CAP_MS = 400.0
+
 
 class _DaemonState:
     """Host-local bookkeeping for one meterdaemon."""
@@ -30,6 +37,11 @@ class _DaemonState:
         self.children = {}
         #: gateway fd -> child pid (stdio forwarding)
         self.gateways = {}
+        #: supervised filter pid -> relaunch spec (argv pieces, uid,
+        #: control address, meter port, remaining restart budget)
+        self.filters = {}
+        #: [due time, spec] pairs for filters awaiting relaunch
+        self.pending_restarts = []
         self.requests_served = 0
 
 
@@ -43,8 +55,18 @@ def meterdaemon(sys, argv):
     yield sys.listen(listen_fd, defs.SOMAXCONN)
 
     while True:
+        # A filter awaiting relaunch puts a deadline on the select;
+        # otherwise the daemon blocks indefinitely (quiescence: an idle
+        # daemon schedules nothing).
+        timeout_ms = None
+        if state.pending_restarts:
+            now = yield sys.gettimeofday()
+            due = min(when for when, __ in state.pending_restarts)
+            timeout_ms = max(0.0, due - now)
         ready, child_events = yield sys.select(
-            [listen_fd] + list(state.gateways), want_children=True
+            [listen_fd] + list(state.gateways),
+            timeout_ms=timeout_ms,
+            want_children=True,
         )
         # Drain I/O gateways before handling terminations so a child's
         # final output is not lost with its gateway.
@@ -57,6 +79,16 @@ def meterdaemon(sys, argv):
                 yield from _forward_output(sys, state, fd)
         for event in child_events:
             yield from _report_termination(sys, state, event)
+        if state.pending_restarts:
+            now = yield sys.gettimeofday()
+            due_now = [
+                item for item in state.pending_restarts if item[0] <= now
+            ]
+            state.pending_restarts = [
+                item for item in state.pending_restarts if item[0] > now
+            ]
+            for __, spec in due_now:
+                yield from _relaunch_filter(sys, state, spec)
 
 
 # ----------------------------------------------------------------------
@@ -101,7 +133,14 @@ def _notify_controller(sys, address, payload):
 
 
 def _report_termination(sys, state, event):
-    """SIGCHLD path: tell the responsible controller (Section 3.5.1)."""
+    """SIGCHLD path: tell the responsible controller (Section 3.5.1).
+
+    A supervised filter that dies unexpectedly is not reported dead:
+    its relaunch is scheduled instead, and the controller hears a
+    FILTER_RESTART_NOTIFY once the replacement is up.  Only when the
+    restart budget is exhausted does the death become a termination
+    report.
+    """
     child = state.children.pop(event["pid"], None)
     if child is None:
         return
@@ -109,17 +148,93 @@ def _report_termination(sys, state, event):
         if pid == event["pid"]:
             yield sys.close(fd)
             del state.gateways[fd]
+    spec = state.filters.pop(event["pid"], None)
+    reason = event["reason"]
+    if spec is not None:
+        if spec["restarts_left"] > 0:
+            spec["restarts_left"] -= 1
+            now = yield sys.gettimeofday()
+            state.pending_restarts.append([now + spec["backoff_ms"], spec])
+            spec["backoff_ms"] = min(
+                spec["backoff_ms"] * 2.0, FILTER_RESTART_BACKOFF_CAP_MS
+            )
+            return
+        reason = "{0} (filter restart budget exhausted)".format(reason)
     hostname = yield sys.hostname()
     payload = protocol.encode(
         protocol.TERMINATION_NOTIFY,
         pid=event["pid"],
         machine=hostname,
-        reason=event["reason"],
+        reason=reason,
         status=event["status"],
         jobname=child.get("jobname"),
         procname=child.get("procname"),
     )
     yield from _notify_controller(sys, child["control"], payload)
+
+
+def _relaunch_filter(sys, state, spec):
+    """Bring a crashed filter back: fresh meter socket, same argv, same
+    log path (the filter recovers committed batch sequences from the
+    log it extends), then tell the controller about the new incarnation
+    so it can re-point meter connections."""
+    old_pid = spec["pid"]
+    old_port = spec["meter_port"]
+    try:
+        meter_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+        yield sys.bind(meter_fd, ("", 0))
+        yield sys.listen(meter_fd, defs.SOMAXCONN)
+        name = yield sys.getsockname(meter_fd)
+        argv = [
+            spec["filtername"],
+            spec["log_path"],
+            spec["descriptions"],
+            spec["templates"],
+        ]
+        pid = yield sys.forkexec(
+            spec["filterfile"],
+            argv=argv,
+            stdio_fd=meter_fd,
+            start=True,
+            uid=spec["uid"],
+        )
+        yield sys.close(meter_fd)
+    except SyscallError as err:
+        # Relaunch impossible (program file gone, no ports): give up
+        # and report the filter dead so the controller can react.
+        hostname = yield sys.hostname()
+        payload = protocol.encode(
+            protocol.TERMINATION_NOTIFY,
+            pid=old_pid,
+            machine=hostname,
+            reason="filter relaunch failed: {0}".format(err),
+            status=-1,
+            jobname=None,
+            procname=spec["filtername"],
+        )
+        yield from _notify_controller(sys, spec["control"], payload)
+        return
+    spec["pid"] = pid
+    spec["meter_port"] = name.port
+    state.filters[pid] = spec
+    state.children[pid] = {
+        "control": spec["control"],
+        "jobname": None,
+        "procname": spec["filtername"],
+    }
+    hostname = yield sys.hostname()
+    payload = protocol.encode(
+        protocol.FILTER_RESTART_NOTIFY,
+        filtername=spec["filtername"],
+        pid=pid,
+        old_pid=old_pid,
+        machine=hostname,
+        meter_host=hostname,
+        meter_port=name.port,
+        old_port=old_port,
+        restarts_left=spec["restarts_left"],
+    )
+    yield from _notify_controller(sys, spec["control"], payload)
 
 
 def _forward_output(sys, state, fd):
@@ -259,6 +374,19 @@ def _handle_create_filter(sys, state, body):
         "jobname": None,
         "procname": filtername,
     }
+    state.filters[pid] = {
+        "pid": pid,
+        "filtername": filtername,
+        "filterfile": body.get("filterfile", "filter"),
+        "log_path": log_path,
+        "descriptions": body.get("descriptions", "descriptions"),
+        "templates": body.get("templates", "templates"),
+        "uid": uid,
+        "control": (body["control_host"], body["control_port"]),
+        "meter_port": name.port,
+        "restarts_left": FILTER_RESTART_BUDGET,
+        "backoff_ms": FILTER_RESTART_BACKOFF_MS,
+    }
     hostname = yield sys.hostname()
     return protocol.encode(
         protocol.CREATE_FILTER_REPLY,
@@ -285,8 +413,15 @@ def _handle_setflags(sys, state, body):
 
 
 def _handle_signal(sys, state, body):
-    """Type 14: start/stop/kill via a signal."""
+    """Type 14: start/stop/kill via a signal.
+
+    A SIGKILL aimed at a supervised filter is a deliberate removal
+    (controller exit, removejob): the supervision entry is dropped
+    first so the death is reported, not answered with a relaunch.
+    """
     yield from _require_same_user(sys, body["uid"], body["pid"])
+    if body["sig"] == defs.SIGKILL:
+        state.filters.pop(body["pid"], None)
     yield sys.kill(body["pid"], body["sig"])
     return protocol.encode(protocol.SIGNAL_REPLY, status=protocol.OK)
 
@@ -359,6 +494,165 @@ def _handle_stdin(sys, state, body):
     return protocol.encode(protocol.STDIN_REPLY, status=protocol.OK)
 
 
+def _handle_ping(sys, state, body):
+    """Type 27: liveness probe (controller heartbeat).  Deliberately
+    does almost nothing; the reply carries enough state for the
+    controller to notice a daemon that was restarted behind its back
+    (requests_served resets to a small number)."""
+    now = yield sys.gettimeofday()
+    return protocol.encode(
+        protocol.PING_REPLY,
+        status=protocol.OK,
+        time=now,
+        children=len(state.children),
+        filters=len(state.filters),
+        requests_served=state.requests_served,
+    )
+
+
+def _handle_status(sys, state, body):
+    """Type 32: daemon census plus kernel metering-loss counters.
+
+    ``dropped_by_pid`` comes from meterstat(2) (the daemon runs as
+    root), so the controller can surface per-process event loss in
+    ``jobs`` without any new kernel/controller path.
+    """
+    stats = yield sys.meterstat()
+    return protocol.encode(
+        protocol.STATUS_REPLY,
+        status=protocol.OK,
+        children=[
+            {
+                "pid": pid,
+                "jobname": info.get("jobname"),
+                "procname": info.get("procname"),
+            }
+            for pid, info in sorted(state.children.items())
+        ],
+        filters=[
+            {
+                "pid": pid,
+                "filtername": spec["filtername"],
+                "meter_port": spec["meter_port"],
+                "restarts_left": spec["restarts_left"],
+            }
+            for pid, spec in sorted(state.filters.items())
+        ],
+        events_recorded=stats["events_recorded"],
+        events_dropped=stats["events_dropped"],
+        dropped_by_pid=stats["dropped_by_pid"],
+        orphan_batches=stats["orphan_batches"],
+        requests_served=state.requests_served,
+    )
+
+
+def _handle_remeter(sys, state, body):
+    """Type 34: re-point meter connections at a relaunched filter.
+
+    For every listed (pid, flags) still alive, a fresh meter socket is
+    connected and installed with setmeter -- the kernel then
+    retransmits its unacknowledged batch window, which the filter
+    dedups.  Batches the kernel spooled for processes that died while
+    the filter was down are redelivered with meterdrain(2) against the
+    filter's previous port numbers.
+    """
+    uid = body["uid"]
+    yield from _check_account(sys, uid)
+    remetered, dead = [], []
+    for record in body.get("records", []):
+        pid = record["pid"]
+        try:
+            yield from _require_same_user(sys, uid, pid)
+            meter_fd = yield from _connect_meter_socket(
+                sys, body["filter_host"], body["filter_port"]
+            )
+            yield sys.setmeter(pid, record.get("flags", 0), meter_fd)
+            yield sys.close(meter_fd)
+        except SyscallError:
+            dead.append(pid)
+            continue
+        remetered.append(pid)
+    drained = 0
+    old_ports = [int(port) for port in body.get("old_ports", [])]
+    if old_ports:
+        drain_fd = yield from _connect_meter_socket(
+            sys, body["filter_host"], body["filter_port"]
+        )
+        drained = yield sys.meterdrain(drain_fd, old_ports)
+        yield sys.close(drain_fd)
+    return protocol.encode(
+        protocol.REMETER_REPLY,
+        status=protocol.OK,
+        remetered=remetered,
+        dead=dead,
+        drained=drained,
+    )
+
+
+def _handle_adopt(sys, state, body):
+    """Type 36: re-register children after a daemon or controller
+    restart (the census behind the controller's ``resume``).
+
+    Each listed child still alive is adopted -- reparented to this
+    daemon so its termination report arrives here, and re-recorded with
+    the requesting controller's (new) notification address.  Dead pids
+    are reported back so the controller can mark them killed.  Filters
+    are re-entered under supervision with a fresh restart budget.
+    """
+    uid = body["uid"]
+    yield from _check_account(sys, uid)
+    control = (body["control_host"], body["control_port"])
+    alive, dead = [], []
+    for child in body.get("children", []):
+        pid = child["pid"]
+        try:
+            yield sys.reparent(pid)
+        except SyscallError:
+            dead.append(pid)
+            continue
+        state.children[pid] = {
+            "control": control,
+            "jobname": child.get("jobname"),
+            "procname": child.get("procname"),
+        }
+        alive.append(pid)
+    filters_alive, filters_dead = [], []
+    for info in body.get("filters", []):
+        pid = info["pid"]
+        try:
+            yield sys.reparent(pid)
+        except SyscallError:
+            filters_dead.append(info["filtername"])
+            continue
+        state.children[pid] = {
+            "control": control,
+            "jobname": None,
+            "procname": info["filtername"],
+        }
+        state.filters[pid] = {
+            "pid": pid,
+            "filtername": info["filtername"],
+            "filterfile": info.get("filterfile", "filter"),
+            "log_path": info["log_path"],
+            "descriptions": info.get("descriptions", "descriptions"),
+            "templates": info.get("templates", "templates"),
+            "uid": uid,
+            "control": control,
+            "meter_port": info["meter_port"],
+            "restarts_left": FILTER_RESTART_BUDGET,
+            "backoff_ms": FILTER_RESTART_BACKOFF_MS,
+        }
+        filters_alive.append(info["filtername"])
+    return protocol.encode(
+        protocol.ADOPT_REPLY,
+        status=protocol.OK,
+        alive=alive,
+        dead=dead,
+        filters_alive=filters_alive,
+        filters_dead=filters_dead,
+    )
+
+
 _HANDLERS = {
     protocol.CREATE_REQ: _handle_create,
     protocol.CREATE_FILTER_REQ: _handle_create_filter,
@@ -368,4 +662,8 @@ _HANDLERS = {
     protocol.UNMETER_REQ: _handle_unmeter,
     protocol.GETLOG_REQ: _handle_getlog,
     protocol.STDIN_REQ: _handle_stdin,
+    protocol.PING_REQ: _handle_ping,
+    protocol.STATUS_REQ: _handle_status,
+    protocol.REMETER_REQ: _handle_remeter,
+    protocol.ADOPT_REQ: _handle_adopt,
 }

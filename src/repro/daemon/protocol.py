@@ -27,6 +27,14 @@ GETLOG_REQ = 17
 
 STDIN_REQ = 25  # deliver bytes to a child's standard input (3.5.2)
 
+# Recovery-layer requests: liveness probe, daemon census, meter
+# reconnection after a filter relaunch, and child adoption after a
+# controller restart (resume).
+PING_REQ = 27
+STATUS_REQ = 32
+REMETER_REQ = 34
+ADOPT_REQ = 36
+
 # Reply types (create reply is 18 in Figure 3.6).
 CREATE_REPLY = 18
 CREATE_FILTER_REPLY = 19
@@ -36,12 +44,17 @@ ACQUIRE_REPLY = 22
 UNMETER_REPLY = 23
 GETLOG_REPLY = 24
 STDIN_REPLY = 26
+PING_REPLY = 28
 ERROR_REPLY = 29
+STATUS_REPLY = 33
+REMETER_REPLY = 35
+ADOPT_REPLY = 37
 
 # Daemon-initiated notifications (daemon connects to the controller's
 # notification socket; Section 3.5.1's one exception to the RPC flow).
 TERMINATION_NOTIFY = 30
 OUTPUT_NOTIFY = 31
+FILTER_RESTART_NOTIFY = 38  # a supervised filter was relaunched
 
 REPLY_FOR = {
     CREATE_REQ: CREATE_REPLY,
@@ -52,6 +65,10 @@ REPLY_FOR = {
     UNMETER_REQ: UNMETER_REPLY,
     GETLOG_REQ: GETLOG_REPLY,
     STDIN_REQ: STDIN_REPLY,
+    PING_REQ: PING_REPLY,
+    STATUS_REQ: STATUS_REPLY,
+    REMETER_REQ: REMETER_REPLY,
+    ADOPT_REQ: ADOPT_REPLY,
 }
 
 OK = "ok"

@@ -159,3 +159,32 @@ class FaultInjector:
         for proc in victims:
             target.post_signal(proc, defs.SIGKILL)
         return "killed {0}".format(len(victims))
+
+    def _do_restart_daemon(self, machine):
+        if self.session is None:
+            raise RuntimeError("restart_daemon needs a session on the injector")
+        from repro.daemon.meterdaemon import meterdaemon
+
+        target = self.cluster.machine(machine)
+        self.session.daemons[machine] = target.create_process(
+            main=meterdaemon, uid=0, program_name="meterdaemon"
+        )
+        return "meterdaemon restarted"
+
+    def _do_kill_controller(self):
+        if self.session is None:
+            raise RuntimeError("kill_controller needs a session on the injector")
+        session = self.session
+        if not session.controller_alive():
+            return "controller already dead"
+        machine = self.cluster.machine(session.control_machine)
+        machine.post_signal(session.controller_proc, defs.SIGKILL)
+        return None
+
+    def _do_restart_controller(self):
+        if self.session is None:
+            raise RuntimeError(
+                "restart_controller needs a session on the injector"
+            )
+        self.session.restart_controller(wait=False)
+        return None

@@ -21,6 +21,9 @@ HEAL = "heal"
 LOSS_BURST = "loss_burst"
 LATENCY_SPIKE = "latency_spike"
 KILL_PROCESS = "kill_process"
+KILL_CONTROLLER = "kill_controller"
+RESTART_CONTROLLER = "restart_controller"
+RESTART_DAEMON = "restart_daemon"
 
 
 class FaultEvent:
@@ -118,6 +121,31 @@ class FaultPlan:
     def kill_daemon(self, at_ms, machine):
         """SIGKILL the machine's meterdaemon (control plane loss)."""
         return self.kill_process(at_ms, machine, "meterdaemon")
+
+    def kill_filter(self, at_ms, machine):
+        """SIGKILL every filter process on ``machine`` (its daemon is
+        expected to notice and relaunch them)."""
+        return self.kill_process(at_ms, machine, "filter")
+
+    def restart_daemon(self, at_ms, machine):
+        """Spawn a fresh meterdaemon on ``machine`` (init restarting a
+        crashed daemon; pair with :meth:`kill_daemon`).  Requires a
+        session armed on the injector."""
+        return self._add(at_ms, RESTART_DAEMON, machine=str(machine))
+
+    # -- the controller ---------------------------------------------------
+
+    def kill_controller(self, at_ms):
+        """SIGKILL the session's control process (the user's tool
+        crashes; the session journal survives).  Requires a session
+        armed on the injector."""
+        return self._add(at_ms, KILL_CONTROLLER)
+
+    def restart_controller(self, at_ms):
+        """Start a fresh control process on the session's terminal
+        (killing any survivor first).  The operator then types
+        ``resume``.  Requires a session armed on the injector."""
+        return self._add(at_ms, RESTART_CONTROLLER)
 
     # --------------------------------------------------------------------
 

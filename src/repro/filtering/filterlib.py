@@ -37,7 +37,7 @@ class MeterInbox:
                 ...
     """
 
-    def __init__(self, listen_fd=0):
+    def __init__(self, listen_fd=0, recovered_seqs=None):
         self.listen_fd = listen_fd
         #: conn fd -> reassembly buffer
         self.buffers = {}
@@ -46,6 +46,30 @@ class MeterInbox:
         #: Child events from the most recent :meth:`wait`; defined (and
         #: empty) before the first wait so callers may always read it.
         self.last_child_events = []
+        #: (machine, pid) -> highest accepted batch sequence number;
+        #: seeded from a recovered log so a relaunched filter rejects
+        #: retransmissions of batches already committed by an earlier
+        #: incarnation.
+        self.last_seq = dict(recovered_seqs or {})
+        self.batches_accepted = 0
+        self.batches_deduped = 0
+
+    def accept_batch(self, machine, pid, seq):
+        """At-least-once delivery -> exactly-once acceptance.
+
+        The kernel meter trails every flushed batch with a sequence
+        marker and retransmits its resend window after a reconnect;
+        calling this at each marker tells the filter whether the batch
+        is new (True, and now remembered) or a duplicate to discard.
+        """
+        key = (machine, pid)
+        last = self.last_seq.get(key)
+        if last is not None and seq <= last:
+            self.batches_deduped += 1
+            return False
+        self.last_seq[key] = seq
+        self.batches_accepted += 1
+        return True
 
     def fds(self):
         return [self.listen_fd] + list(self.buffers)

@@ -33,9 +33,13 @@ def parse_record_line(line):
 
 
 def parse_trace(text):
-    """Parse a whole log file into a list of records."""
+    """Parse a whole log file into a list of records.
+
+    Lines starting with ``#`` are filter metadata (batch-commit
+    markers such as ``#batch <machine> <pid> <seq>``), not records.
+    """
     return [
         parse_record_line(line)
         for line in text.splitlines()
-        if line.strip()
+        if line.strip() and not line.lstrip().startswith("#")
     ]

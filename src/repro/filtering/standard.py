@@ -32,7 +32,11 @@ from repro.filtering.descriptions import parse_descriptions
 from repro.filtering.filterlib import MeterInbox
 from repro.filtering.records import format_record
 from repro.filtering.rules import RuleSet, parse_rules
-from repro.metering.messages import record_fields
+from repro.metering.messages import (
+    is_batch_marker,
+    parse_batch_marker,
+    record_fields,
+)
 from repro.tracestore import (
     StoreWriter,
     discard_mask,
@@ -40,6 +44,8 @@ from repro.tracestore import (
     next_segment_index,
     zero_masked_bytes,
 )
+from repro.tracestore.reader import Segment
+from repro.tracestore.writer import segment_path
 
 PROGRAM_NAME = "filter"
 DEFAULT_LOG_DIRECTORY = "/usr/tmp"
@@ -64,6 +70,80 @@ def log_path_for(filtername, directory=None, log_format=LOG_FORMAT_TEXT):
     return "{0}/{1}{2}".format(directory or LOG_DIRECTORY, filtername, suffix)
 
 
+# ----------------------------------------------------------------------
+# Batch commit protocol
+# ----------------------------------------------------------------------
+#
+# The kernel meter trails every flushed batch with a sequence marker
+# (machine, pid, seq) and retransmits its resend window when a filter
+# reconnects.  The filter holds a batch's accepted records in memory
+# until the marker arrives, then commits records *and* a durable copy
+# of the marker to the log in one atomic step (one text write / one
+# frame run ending in a marker frame).  A relaunched filter recovers
+# the committed sequence numbers from its own log and rejects
+# retransmissions of batches it already has -- at-least-once delivery
+# on the wire, exactly-once records in the log.
+
+
+def format_batch_line(machine, pid, seq):
+    """The durable text form of a batch-commit marker."""
+    return "#batch {0} {1} {2}".format(machine, pid, seq)
+
+
+def _parse_batch_line(line):
+    parts = line.split()
+    if len(parts) != 4 or parts[0] != "#batch":
+        return None
+    try:
+        return int(parts[1]), int(parts[2]), int(parts[3])
+    except ValueError:
+        return None
+
+
+def recover_text_seqs(text):
+    """(machine, pid) -> last committed batch seq, from a text log."""
+    recovered = {}
+    for line in text.splitlines():
+        if not line.startswith("#batch"):
+            continue
+        parsed = _parse_batch_line(line)
+        if parsed is None:
+            continue
+        machine, pid, seq = parsed
+        key = (machine, pid)
+        if seq > recovered.get(key, -1):
+            recovered[key] = seq
+    return recovered
+
+
+def recover_store_seqs(sys, base):
+    """(machine, pid) -> last committed batch seq, from marker frames
+    in a store's existing segments -- including an unsealed tail, which
+    is recovered by frame scan (a marker on disk means its whole batch
+    precedes it on disk)."""
+    recovered = {}
+    index = 0
+    while True:
+        data = yield from guestlib.read_whole_bytes(
+            sys, segment_path(base, index)
+        )
+        if data is None:
+            return recovered
+        index += 1
+        try:
+            segment = Segment("", data)
+        except ValueError:
+            continue  # damaged header: nothing recoverable here
+        for __, __mask, payload in segment.iter_frames():
+            marker = parse_batch_marker(payload)
+            if marker is None:
+                continue
+            machine, pid, seq = marker
+            key = (machine, pid)
+            if seq > recovered.get(key, -1):
+                recovered[key] = seq
+
+
 def standard_filter(sys, argv):
     """Guest main for the standard filter."""
     filtername = argv[0] if len(argv) > 0 else "filter"
@@ -80,24 +160,54 @@ def standard_filter(sys, argv):
     store_mode = log_path.endswith(STORE_SUFFIX)
     if store_mode:
         # A relaunched filter continues after the segments an earlier
-        # incarnation flushed; it never rewrites them.
+        # incarnation flushed; it never rewrites them.  Sequence
+        # recovery scans those segments (the unsealed tail included)
+        # for committed batch markers, and auto_seal is off so a
+        # segment never seals inside a half-committed batch.
         start = yield from next_segment_index(sys, log_path)
-        writer = StoreWriter(log_path, start_index=start, host_names=host_names)
+        recovered = yield from recover_store_seqs(sys, log_path)
+        writer = StoreWriter(
+            log_path, start_index=start, host_names=host_names, auto_seal=False
+        )
         log_fd = None
     else:
         writer = None
+        existing = yield from guestlib.read_optional_file(sys, log_path)
+        recovered = recover_text_seqs(existing) if existing else {}
         log_fd = yield sys.open(log_path, "a")
 
-    inbox = MeterInbox()
-    pending = []  # accepted text lines buffered across wait batches
+    inbox = MeterInbox(recovered_seqs=recovered)
+    #: (machine, pid) -> the in-flight batch's accepted items (text
+    #: lines, or (payload, mask) pairs in store mode); committed or
+    #: discarded when the batch's trailing marker arrives.
+    open_batches = {}
+    pending = []  # committed text lines buffered across wait batches
     pending_bytes = 0
     while True:
-        # While lines are buffered, wake after a short idle gap so the
-        # log never lags the stream by more than the flush interval.
-        timeout_ms = LOG_IDLE_FLUSH_MS if pending else None
+        # While lines are buffered (or batches are open on a markerless
+        # stream), wake after a short idle gap so the log never lags
+        # the stream by more than the flush interval.
+        timeout_ms = LOG_IDLE_FLUSH_MS if (pending or open_batches) else None
         raw_messages = yield from inbox.wait(sys, timeout_ms=timeout_ms)
         lines = []
         for raw in raw_messages:
+            if is_batch_marker(raw):
+                marker = parse_batch_marker(raw)
+                if marker is None:
+                    continue
+                machine_id, pid, seq = marker
+                batch = open_batches.pop((machine_id, pid), [])
+                if not inbox.accept_batch(machine_id, pid, seq):
+                    continue  # retransmitted batch already in the log
+                if store_mode:
+                    for payload, mask in batch:
+                        writer.append(payload, mask)
+                    writer.append_marker(raw)
+                    writer.maybe_seal()
+                else:
+                    lines.extend(batch)
+                    lines.append(format_batch_line(machine_id, pid, seq))
+                continue
             try:
                 record = descriptions.decode_message(raw, host_names)
             except (ValueError, KeyError):
@@ -113,10 +223,24 @@ def standard_filter(sys, argv):
                     event,
                     {name for name in record_fields(event) if name not in saved},
                 )
-                writer.append(zero_masked_bytes(raw, event, mask), mask)
+                item = (zero_masked_bytes(raw, event, mask), mask)
             else:
                 order = descriptions.field_order(record["event"])
-                lines.append(format_record(saved, order))
+                item = format_record(saved, order)
+            key = (record["machine"], record.get("pid", 0))
+            open_batches.setdefault(key, []).append(item)
+        if not raw_messages and open_batches:
+            # Idle with batches still open: a markerless sender (tests,
+            # hand-built meter streams).  Flush what we have without
+            # commit markers, preserving the pre-marker behaviour.
+            for key in list(open_batches):
+                batch = open_batches.pop(key)
+                if store_mode:
+                    for payload, mask in batch:
+                        writer.append(payload, mask)
+                    writer.maybe_seal()
+                else:
+                    lines.extend(batch)
         if store_mode:
             # Bounded buffering: whatever this batch left in the
             # writer's buffer goes to disk before we block again.
@@ -126,8 +250,10 @@ def standard_filter(sys, argv):
         if lines:
             pending.extend(lines)
             pending_bytes += sum(len(line) + 1 for line in lines)
-        # One write per accepted batch train: flush when the stream
+        # One write per committed batch train: flush when the stream
         # pauses (idle timeout, connection close) or the buffer fills.
+        # The whole of ``pending`` goes in one atomic write, so a
+        # batch's records and its marker line always land together.
         if pending and (not raw_messages or pending_bytes >= LOG_FLUSH_BYTES):
             data = ("\n".join(pending) + "\n").encode("ascii")
             pending = []

@@ -27,6 +27,25 @@ def read_whole_file(sys, path):
     return b"".join(chunks).decode("ascii", "replace")
 
 
+def read_whole_bytes(sys, path):
+    """Open, read to EOF, close; returns the raw bytes (binary files
+    such as trace-store segments).  None if the file is absent."""
+    try:
+        fd = yield sys.open(path, "r")
+    except SyscallError as err:
+        if err.errno == errno.ENOENT:
+            return None
+        raise
+    chunks = []
+    while True:
+        data = yield sys.read(fd, 65536)
+        if not data:
+            break
+        chunks.append(data)
+    yield sys.close(fd)
+    return b"".join(chunks)
+
+
 def read_optional_file(sys, path):
     """Like :func:`read_whole_file` but returns None if absent."""
     try:

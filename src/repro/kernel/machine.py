@@ -247,6 +247,8 @@ class Machine(SocketCalls, FileCalls, ProcessCalls):
         proc.fds.clear()
         proc.meter_entry = None
         proc.meter_buffer = []
+        proc.meter_window.clear()
+        proc.meter_pending_dest = None
 
     def reboot(self):
         """Bring a crashed machine back with a cold kernel: empty

@@ -69,6 +69,17 @@ class Proc:
         self.meter_flags = 0
         self.meter_buffer = []  # encoded messages not yet sent
 
+        # At-least-once delivery state (PR 5).  Every flushed batch is
+        # stamped with ``meter_seq`` and kept in ``meter_window`` (a
+        # deque of (seq, wire bytes, record count, sent flag)) until the
+        # window rolls over; a reconnecting filter gets the window
+        # retransmitted and dedups on its side.  ``meter_pending_dest``
+        # remembers the filter's socket name while the connection is
+        # down so a replacement connection can be recognised.
+        self.meter_seq = 0
+        self.meter_window = deque()
+        self.meter_pending_dest = None
+
         # Parent/child bookkeeping.
         self.children = set()
         #: Termination reports from children: dicts with pid/status/reason.

@@ -152,6 +152,11 @@ class Sys:
         """Whether ``uid`` has an account on this machine (3.5.5)."""
         return Request("hasaccount", (uid,))
 
+    def reparent(self, pid):
+        """Adopt a running process (root only): its termination report
+        goes to the caller from now on."""
+        return Request("reparent", (pid,))
+
     def fork(self, child_main, argv=()):
         """Create a child process running ``child_main(sys, argv)``.
 
@@ -197,6 +202,17 @@ class Sys:
         :mod:`repro.metering.setmeter` for full semantics.
         """
         return Request("setmeter", (proc, flags, socket_fd))
+
+    def meterstat(self):
+        """Machine-wide metering statistics (root only): recorded and
+        dropped totals, the per-pid dropped split, orphan batch count."""
+        return Request("meterstat", ())
+
+    def meterdrain(self, fd, ports):
+        """Redeliver orphaned meter batches over ``fd`` (root only):
+        batches spooled for the peer host at any of the filter ``ports``
+        are shipped on this connection.  Returns batches shipped."""
+        return Request("meterdrain", (fd, list(ports)))
 
     # -- misc ----------------------------------------------------------------
 

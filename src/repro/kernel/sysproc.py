@@ -78,6 +78,23 @@ class ProcessCalls:
         (uid,) = request.args
         return uid == 0 or uid in self.accounts
 
+    def sys_reparent(self, proc, request):
+        """Adopt a running process: its termination report will go to
+        the caller (init-style adoption; lets a restarted meterdaemon
+        hear the SIGCHLD of children its predecessor forked)."""
+        (pid,) = request.args
+        if proc.uid != 0:
+            raise SyscallError(errno.EPERM, "reparent is root-only")
+        target = self.procs.get(pid)
+        if target is None or target.state == defs.PROC_ZOMBIE:
+            raise SyscallError(errno.ESRCH, "pid %r" % pid)
+        old_parent = self.procs.get(target.ppid)
+        if old_parent is not None:
+            old_parent.children.discard(pid)
+        target.ppid = proc.pid
+        proc.children.add(pid)
+        return 0
+
     def sys_execv(self, proc, request):
         path, argv = request.args
         node = self.fs.lookup(path, proc.uid, want="exec")
@@ -127,6 +144,12 @@ class ProcessCalls:
 
     def sys_setmeter(self, proc, request):
         return self.meter.sys_setmeter(proc, request)
+
+    def sys_meterstat(self, proc, request):
+        return self.meter.sys_meterstat(proc, request)
+
+    def sys_meterdrain(self, proc, request):
+        return self.meter.sys_meterdrain(proc, request)
 
     def sys_hosttable(self, proc, request):
         return self.host_table.names_by_id()

@@ -44,6 +44,13 @@ EVENT_TYPES = {
 }
 EVENT_NAMES = {value: name for name, value in EVENT_TYPES.items()}
 
+#: Trace type of a batch marker: a control message the kernel meter
+#: appends after each flushed batch so a filter can commit batches
+#: durably and dedup retransmissions by ``(machine, pid, seq)``.  The
+#: number is far outside the Appendix-A event range so old readers that
+#: only know types 1-10 can recognise and skip it.
+BATCH_MARKER_TYPE = 99
+
 #: Body field tables: (field name, kind) where kind is "long" or "name".
 #: Order matches the Appendix-A struct declarations.
 BODY_FIELDS = {
@@ -139,6 +146,44 @@ _EVENT_STRUCTS = {
     for event, fields in BODY_FIELDS.items()
 }
 _HEADER_DECODE = struct.Struct(_HEADER_FMT)
+
+# Batch marker: header + pid + seq.  Shares the standard header so the
+# filter's size-based framing carries it like any meter message.
+_MARKER_STRUCT = struct.Struct(_HEADER_FMT + "ii")
+MARKER_BYTES = _MARKER_STRUCT.size
+
+
+def encode_batch_marker(machine, pid, seq, cpu_time=0, proc_time=0):
+    """One batch-marker message: stamps the batch that *precedes* it on
+    the wire with the per-process flush sequence number ``seq``."""
+    return _MARKER_STRUCT.pack(
+        MARKER_BYTES,
+        int(machine),
+        int(cpu_time),
+        int(proc_time),
+        BATCH_MARKER_TYPE,
+        int(pid),
+        int(seq),
+    )
+
+
+def parse_batch_marker(raw, offset=0):
+    """(machine, pid, seq) of a batch marker, or None if the bytes at
+    ``offset`` are not a marker message."""
+    if len(raw) - offset < MARKER_BYTES:
+        return None
+    values = _MARKER_STRUCT.unpack_from(raw, offset)
+    if values[4] != BATCH_MARKER_TYPE or values[0] != MARKER_BYTES:
+        return None
+    return values[1], values[5], values[6]
+
+
+def is_batch_marker(raw, offset=0):
+    """True when the message at ``offset`` is a batch marker (checked
+    from the header's traceType without a full decode)."""
+    if len(raw) - offset < HEADER_BYTES:
+        return False
+    return struct.unpack_from(">i", raw, offset + 20)[0] == BATCH_MARKER_TYPE
 
 
 def body_length(event):
@@ -272,6 +317,18 @@ class MessageCodec:
         )
         if len(raw) < size:
             raise ValueError("truncated meter message")
+        if trace_type == BATCH_MARKER_TYPE:
+            pid, seq = struct.unpack_from(">ii", raw, HEADER_BYTES)
+            return {
+                "size": size,
+                "machine": machine,
+                "cpuTime": cpu_time,
+                "procTime": proc_time,
+                "traceType": trace_type,
+                "event": "batchmark",
+                "pid": pid,
+                "seq": seq,
+            }
         event = EVENT_NAMES.get(trace_type)
         if event is None:
             raise ValueError("unknown traceType %d" % trace_type)
@@ -324,6 +381,11 @@ def decode_stream(raw, codec):
             raise ValueError("corrupt meter stream: size %d" % size)
         if len(raw) - offset < size:
             break
-        records.append(codec.decode(raw[offset : offset + size]))
+        record = codec.decode(raw[offset : offset + size])
+        # Batch markers are delivery-protocol control traffic, not
+        # events; stream consumers (collectors, analyses) never see
+        # them.
+        if record["traceType"] != BATCH_MARKER_TYPE:
+            records.append(record)
         offset += size
     return records, raw[offset:]

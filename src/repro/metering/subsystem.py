@@ -15,11 +15,14 @@ descriptor table and is, therefore, not directly accessible by the
 process" -- here it lives in ``proc.meter_entry``.
 """
 
+from collections import deque
+
 from repro.kernel import defs as kdefs
 from repro.kernel import errno
 from repro.kernel.errno import SyscallError
 from repro.metering import flags as mflags
-from repro.metering.messages import MessageCodec
+from repro.metering.messages import MessageCodec, encode_batch_marker
+from repro.net.addresses import InternetName
 
 #: Event name -> the flag bit that enables it.
 _EVENT_FLAG = {
@@ -44,6 +47,19 @@ DEFAULT_BUFFER_LIMIT = 8
 #: socket cannot grow the kernel buffer without bound.
 DEFAULT_REQUEUE_LIMIT = 64
 
+#: Flushed batches retained per process for retransmission after a
+#: filter reconnect.  Each batch is stamped with a per-process sequence
+#: number; a replacement meter connection gets the whole window resent
+#: and the filter inbox dedups by (machine, pid, seq).  Rolling a
+#: never-delivered batch out of the window is real, counted loss.
+WINDOW_BATCHES = 32
+
+#: Stamped batches retained per destination (filter address) after
+#: their process exits, so a filter that crashes around a process's
+#: death can still recover the final records (including termproc)
+#: through ``meterdrain``.
+ORPHAN_BATCHES = 512
+
 
 class MeterSubsystem:
     """Per-machine metering state and hooks."""
@@ -66,6 +82,13 @@ class MeterSubsystem:
         #: meter connection, re-queue overflow, process termination
         #: with an unsendable buffer) -- loss is observable, not silent.
         self.events_dropped = 0
+        #: pid -> share of ``events_dropped``, surfaced per process
+        #: through meterstat(2) and the daemon status RPC.
+        self.dropped_by_pid = {}
+        #: (filter host, filter port) -> deque of window entries whose
+        #: process has exited; drained to a reconnecting filter by
+        #: meterdrain(2).
+        self.orphans = {}
 
     # ------------------------------------------------------------------
     # setmeter(2)
@@ -98,7 +121,11 @@ class MeterSubsystem:
         if socket_fd is None:
             socket_fd = mflags.SOCK_NONE
         if socket_fd == mflags.SOCK_NONE:
+            # Deliberate un-metering: nobody will reconnect for these
+            # batches, so the window's undelivered remainder is loss.
             self._drop_meter_socket(target)
+            target.meter_pending_dest = None
+            self._discard_window(target)
         elif socket_fd != mflags.NO_CHANGE:
             entry = proc.fds.get(socket_fd)
             if entry is None:
@@ -121,6 +148,14 @@ class MeterSubsystem:
             # a process already having one, the old socket is closed."
             self._drop_meter_socket(target)
             target.meter_entry = self.machine.file_table.ref(entry)
+            target.meter_pending_dest = None
+            if target.meter_window:
+                # Reconnect: every retained batch goes out again on the
+                # new connection; the filter dedups by (machine, pid,
+                # seq), so redelivery is harmless and gaps are closed.
+                for went in target.meter_window:
+                    went[3] = False
+                self._pump_window(target)
         return 0
 
     def _drop_meter_socket(self, proc):
@@ -140,10 +175,14 @@ class MeterSubsystem:
     # ------------------------------------------------------------------
 
     def _metered(self, proc, event):
-        return (
-            proc.meter_entry is not None
-            and proc.meter_flags & _EVENT_FLAG[event] != 0
-        )
+        # A broken meter connection with a remembered destination means
+        # a replacement filter may reconnect: keep recording into the
+        # resend window so the gap can be closed.  Only a process that
+        # never had a socket, or was deliberately un-metered (setmeter
+        # with SOCK_NONE clears the pending destination), stops here.
+        if proc.meter_entry is None and proc.meter_pending_dest is None:
+            return False
+        return proc.meter_flags & _EVENT_FLAG[event] != 0
 
     def _record(self, proc, event, **body):
         """Build, buffer, and maybe ship one meter message."""
@@ -158,47 +197,152 @@ class MeterSubsystem:
         proc.meter_buffer.append(raw)
         self.events_recorded += 1
         proc.charge_cpu(kdefs.METER_EVENT_COST_MS)
-        if (
-            proc.meter_flags & mflags.M_IMMEDIATE
-            or len(proc.meter_buffer) >= self.buffer_limit
-        ):
+        immediate = proc.meter_flags & mflags.M_IMMEDIATE != 0
+        if immediate and proc.meter_entry is None and proc.meter_pending_dest is not None:
+            # Awaiting a filter reconnect: immediate delivery is moot
+            # with no connection, and stamping one window batch per
+            # event would burn through the resend window ``buffer_limit``
+            # times faster than full batches do.  Batch fully until the
+            # replacement connection arrives.
+            immediate = False
+        if immediate or len(proc.meter_buffer) >= self.buffer_limit:
             self.flush(proc)
 
     def flush(self, proc):
         """Ship any buffered messages over the meter connection."""
+        if proc.meter_window:
+            # Older stamped batches first, so the stream stays in
+            # sequence order across a reconnect.
+            self._pump_window(proc)
         if not proc.meter_buffer:
             return
         if proc.meter_entry is None:
-            # "Meter messages are lost if ... unconnected."
-            self.events_dropped += len(proc.meter_buffer)
-            proc.meter_buffer = []
+            if proc.meter_pending_dest is not None:
+                # The connection broke but a replacement filter may
+                # reconnect: stamp the batch into the resend window
+                # instead of dropping it.
+                self._stamp_batch(proc, sent=False)
+            else:
+                # "Meter messages are lost if ... unconnected."
+                self._count_dropped(proc.pid, len(proc.meter_buffer))
+                proc.meter_buffer = []
             return
         pending = proc.meter_buffer
         proc.meter_buffer = []
-        # Single-message batches (M_IMMEDIATE, buffer_limit=1) ship the
-        # encoded bytes from _record as-is; only real batches pay a join.
-        data = pending[0] if len(pending) == 1 else b"".join(pending)
+        # The batch marker trails the batch, stamping it with this
+        # process's flush sequence number; it rides in the same send,
+        # so batching cost (one wire send per batch) is unchanged.
+        seq = proc.meter_seq
+        data = (
+            pending[0] if len(pending) == 1 else b"".join(pending)
+        ) + encode_batch_marker(self.machine.host.host_id, proc.pid, seq)
         sock = proc.meter_entry.obj
         if self.machine.kernel_stream_send(sock, data):
             self.wire_sends += 1
             self.wire_bytes += len(data)
+            proc.meter_seq = seq + 1
+            self._window_push(proc, [seq, data, len(pending), True])
         elif sock.closed or sock.peer_gone or sock.error is not None:
             # The meter connection broke (filter died, path severed):
             # transparency under failure (Section 2) -- quietly un-meter
             # the process and let it keep computing, never perturb it.
-            self.events_dropped += len(pending)
-            self._drop_meter_socket(proc)
+            # The batch waits in the resend window for a reconnect.
+            proc.meter_seq = seq + 1
+            self._window_push(proc, [seq, data, len(pending), False])
+            self._disconnect(proc, sock)
         else:
             # Transient refusal while the socket itself is healthy
             # (e.g. a meter socket set before it finished connecting):
             # keep the batch for the next flush instead of silently
-            # discarding it, bounded by the re-queue limit.
+            # discarding it, bounded by the re-queue limit.  No sequence
+            # number is consumed -- the records are still unstamped.
             requeued = pending + proc.meter_buffer
             overflow = len(requeued) - self.requeue_limit
             if overflow > 0:
-                self.events_dropped += overflow
+                self._count_dropped(proc.pid, overflow)
                 requeued = requeued[overflow:]
             proc.meter_buffer = requeued
+
+    # -- resend window --------------------------------------------------
+
+    def _count_dropped(self, pid, count):
+        if count <= 0:
+            return
+        self.events_dropped += count
+        self.dropped_by_pid[pid] = self.dropped_by_pid.get(pid, 0) + count
+
+    def _dest_of(self, sock):
+        """(host, port) of the filter a meter socket is connected to."""
+        name = getattr(sock, "peer_name", None)
+        if isinstance(name, InternetName):
+            return (name.host, name.port)
+        return None
+
+    def _disconnect(self, proc, sock):
+        """The meter connection is dead: remember where it pointed so a
+        replacement connection can pick the window up, then drop it."""
+        dest = self._dest_of(sock)
+        if dest is not None:
+            proc.meter_pending_dest = dest
+        self._drop_meter_socket(proc)
+
+    def _stamp_batch(self, proc, sent):
+        """Move the whole meter buffer into the window as one stamped,
+        marker-prefixed batch."""
+        pending = proc.meter_buffer
+        proc.meter_buffer = []
+        seq = proc.meter_seq
+        proc.meter_seq = seq + 1
+        data = (
+            pending[0] if len(pending) == 1 else b"".join(pending)
+        ) + encode_batch_marker(self.machine.host.host_id, proc.pid, seq)
+        self._window_push(proc, [seq, data, len(pending), sent])
+
+    def _window_push(self, proc, entry):
+        """Append a [seq, wire bytes, record count, sent] entry, rolling
+        the window; an entry that never reached any filter is loss."""
+        proc.meter_window.append(entry)
+        while len(proc.meter_window) > WINDOW_BATCHES:
+            old = proc.meter_window.popleft()
+            if not old[3]:
+                self._count_dropped(proc.pid, old[2])
+
+    def _pump_window(self, proc):
+        """(Re)send window batches not yet delivered on the current
+        connection, oldest first; stops at the first refusal."""
+        if proc.meter_entry is None:
+            return
+        sock = proc.meter_entry.obj
+        for entry in proc.meter_window:
+            if entry[3]:
+                continue
+            if self.machine.kernel_stream_send(sock, entry[1]):
+                self.wire_sends += 1
+                self.wire_bytes += len(entry[1])
+                entry[3] = True
+            elif sock.closed or sock.peer_gone or sock.error is not None:
+                self._disconnect(proc, sock)
+                return
+            else:
+                return  # transient; retried at the next flush
+
+    def _discard_window(self, proc):
+        for entry in proc.meter_window:
+            if not entry[3]:
+                self._count_dropped(proc.pid, entry[2])
+        proc.meter_window.clear()
+
+    def _spool_orphans(self, proc, dest):
+        """Keep an exited process's window for the filter at ``dest``;
+        meterdrain(2) redelivers it on a fresh connection."""
+        spool = self.orphans.setdefault(dest, deque())
+        for entry in proc.meter_window:
+            spool.append([entry[0], entry[1], entry[2], entry[3], proc.pid])
+        while len(spool) > ORPHAN_BATCHES:
+            old = spool.popleft()
+            if not old[3]:
+                self._count_dropped(old[4], old[2])
+        proc.meter_window.clear()
 
     # ------------------------------------------------------------------
     # Hooks called by the syscall layer
@@ -297,6 +441,75 @@ class MeterSubsystem:
         self.flush(proc)
         if proc.meter_buffer:
             # The process is gone; whatever could not be shipped is lost.
-            self.events_dropped += len(proc.meter_buffer)
+            self._count_dropped(proc.pid, len(proc.meter_buffer))
             proc.meter_buffer = []
+        if proc.meter_window:
+            # The process is gone but its filter may be mid-restart:
+            # park the window where a drain for that filter address can
+            # find it, so even the termproc record survives the race.
+            dest = proc.meter_pending_dest
+            if dest is None and proc.meter_entry is not None:
+                dest = self._dest_of(proc.meter_entry.obj)
+            if dest is not None:
+                self._spool_orphans(proc, dest)
+            else:
+                self._discard_window(proc)
+        proc.meter_pending_dest = None
         self._drop_meter_socket(proc)
+
+    # ------------------------------------------------------------------
+    # meterstat(2) / meterdrain(2)
+    # ------------------------------------------------------------------
+
+    def sys_meterstat(self, proc, request):
+        """Machine-wide metering statistics (root only): loss totals,
+        the per-pid split, and how many orphan batches are parked."""
+        if proc.uid != 0:
+            raise SyscallError(errno.EPERM, "meterstat is root-only")
+        return {
+            "events_recorded": self.events_recorded,
+            "events_dropped": self.events_dropped,
+            "wire_sends": self.wire_sends,
+            "dropped_by_pid": dict(self.dropped_by_pid),
+            "orphan_batches": sum(len(q) for q in self.orphans.values()),
+        }
+
+    def sys_meterdrain(self, proc, request):
+        """Redeliver orphaned batches over ``fd`` (root only).
+
+        ``meterdrain(fd, ports)``: ``fd`` must be a stream socket
+        connected to the (relaunched) filter's machine; every orphan
+        batch spooled for that host at any of the given filter ports is
+        shipped over it.  Returns the number of batches shipped."""
+        fd, ports = request.args
+        if proc.uid != 0:
+            raise SyscallError(errno.EPERM, "meterdrain is root-only")
+        entry = proc.fds.get(fd)
+        if entry is None:
+            raise SyscallError(errno.EBADF, "fd %r" % fd)
+        if entry.kind != "socket":
+            raise SyscallError(errno.ENOTSOCK, "fd %r" % fd)
+        sock = entry.obj
+        dest = self._dest_of(sock)
+        if dest is None:
+            raise SyscallError(
+                errno.EINVAL, "meterdrain needs a connected Internet socket"
+            )
+        shipped = 0
+        for port in ports:
+            key = (dest[0], int(port))
+            spool = self.orphans.pop(key, None)
+            if not spool:
+                continue
+            while spool:
+                batch = spool[0]
+                if self.machine.kernel_stream_send(sock, batch[1]):
+                    spool.popleft()
+                    shipped += 1
+                    self.wire_sends += 1
+                    self.wire_bytes += len(batch[1])
+                else:
+                    # Refused mid-drain: keep the rest for a later try.
+                    self.orphans[key] = spool
+                    return shipped
+        return shipped

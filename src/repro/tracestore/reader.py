@@ -15,7 +15,7 @@ streams instead of sorting a materialized list.
 
 import heapq
 
-from repro.metering.messages import MessageCodec
+from repro.metering.messages import MessageCodec, is_batch_marker
 from repro.tracestore import format as sformat
 from repro.tracestore.writer import SEGMENT_SUFFIX
 
@@ -42,6 +42,29 @@ class Segment:
     def iter_frames(self):
         start, end = self.data_bounds()
         return sformat.iter_frames(self.data, start, end)
+
+    def committed_frames(self):
+        """Frames whose batch the writing filter actually committed.
+
+        Sealed segments seal on a batch boundary, so every frame
+        counts.  An unsealed tail that contains batch markers may end
+        with frames of a batch whose trailing marker never reached the
+        medium (the filter died mid-commit); those frames are
+        uncommitted -- a relaunched filter re-appends the whole batch
+        in a later segment, so reading them would double-count.
+        Marker-free unsealed segments (packed stores, markerless
+        senders) are taken whole.
+        """
+        if self.sealed:
+            return self.iter_frames()
+        frames = list(self.iter_frames())
+        last_marker = None
+        for index, (__, __mask, payload) in enumerate(frames):
+            if is_batch_marker(payload):
+                last_marker = index
+        if last_marker is None:
+            return iter(frames)
+        return iter(frames[: last_marker + 1])
 
     def host_names(self):
         if not self.sealed:
@@ -142,7 +165,11 @@ class StoreReader:
             if segment.sealed:
                 total += segment.footer["records"]
             else:
-                total += sum(1 for __ in segment.iter_frames())
+                total += sum(
+                    1
+                    for __, __mask, payload in segment.committed_frames()
+                    if not is_batch_marker(payload)
+                )
         return total
 
     def scan(self, machines=None, pids=None, events=None, t_min=None,
@@ -176,7 +203,9 @@ class StoreReader:
                 stats.segments_recovered += 1
             stats.segments_scanned += 1
             stats.bytes_scanned += segment.data_bytes()
-            for __, mask, payload in segment.iter_frames():
+            for __, mask, payload in segment.committed_frames():
+                if is_batch_marker(payload):
+                    continue  # delivery-protocol control frame
                 try:
                     record = self.codec.decode(payload)
                 except ValueError:

@@ -49,8 +49,14 @@ class StoreWriter:
         flush_bytes=DEFAULT_FLUSH_BYTES,
         start_index=0,
         host_names=None,
+        auto_seal=True,
     ):
         self.base = base
+        #: With auto_seal off, a full segment is sealed only when the
+        #: caller says so (:meth:`maybe_seal`), letting the standard
+        #: filter keep seals on batch-commit boundaries so a sealed
+        #: segment never ends inside a half-committed batch.
+        self.auto_seal = auto_seal
         self.segment_bytes = max(int(segment_bytes), 1)
         self.flush_bytes = max(int(flush_bytes), 1)
         self.host_names = dict(host_names or {})
@@ -88,7 +94,27 @@ class StoreWriter:
         self.records_appended += 1
         if self._buffered >= self.flush_bytes:
             self._drain_buffer()
-        if self._offset >= self.segment_bytes:
+        if self.auto_seal and self._offset >= self.segment_bytes:
+            self._seal_segment()
+
+    def append_marker(self, payload):
+        """Queue one batch-marker frame (a kernel batch-sequence
+        marker).  Markers are delivery-protocol control frames: they
+        carry no record, never touch the footer index or
+        ``records_appended``, and readers skip them."""
+        if self._path is None:
+            self._begin_segment()
+        frame = sformat.encode_frame(payload, 0)
+        self._offset += len(frame)
+        self._buffer.append(frame)
+        self._buffered += len(frame)
+        if self._buffered >= self.flush_bytes:
+            self._drain_buffer()
+
+    def maybe_seal(self):
+        """Seal the open segment once it is past capacity; with
+        ``auto_seal=False`` this is called at batch boundaries only."""
+        if self._path is not None and self._offset >= self.segment_bytes:
             self._seal_segment()
 
     def sync(self):

@@ -45,6 +45,62 @@ def _silent_daemon(sys, argv):
         held.append(conn)
 
 
+def test_duplicate_termination_notification_reports_once():
+    """The daemon retries termination notifications (the controller may
+    be briefly unreachable), so the controller can legitimately hear
+    about one death twice.  The second copy must be swallowed: the
+    record is already killed."""
+    from repro import guestlib
+    from repro.daemon import protocol
+    from repro.programs import install_all
+
+    session = _make_session()
+    install_all(session)
+    cluster = session.cluster
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red nameserver 5353")
+    session.command("startjob j")
+    session.settle(50)
+    red = cluster.machine("red")
+    victim = [
+        p for p in red.procs.values() if p.program_name == "nameserver"
+    ][0]
+    # The controller's notification listener is the only non-daemon
+    # stream port on the control machine.
+    yellow = cluster.machine("yellow")
+    notify_ports = [
+        port
+        for (stype, port), sock in yellow.inet_ports.items()
+        if stype == defs.SOCK_STREAM and port != METERDAEMON_PORT
+    ]
+    assert len(notify_ports) == 1
+    payload = protocol.encode(
+        protocol.TERMINATION_NOTIFY,
+        pid=victim.pid,
+        machine="red",
+        reason="signaled",
+        status=9,
+        jobname="j",
+        procname="nameserver",
+    )
+
+    def _double_notify(sys, argv):
+        for __ in range(2):
+            fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+            yield sys.connect(fd, ("yellow", notify_ports[0]), 500.0)
+            yield from guestlib.send_frame(sys, fd, payload)
+            yield sys.close(fd)
+        yield sys.exit(0)
+
+    red.post_signal(victim, defs.SIGKILL)  # make the report truthful
+    cluster.spawn("red", _double_notify, uid=0, program_name="notifier")
+    session.settle()
+    transcript = session.transcript()
+    done = "DONE: process nameserver in job 'j' terminated"
+    assert transcript.count(done) == 1
+
+
 def test_no_daemon_listening_is_an_error_reply_and_degrades():
     session = _make_session()
     _kill_daemon(session.cluster, "red")

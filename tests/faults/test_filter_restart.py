@@ -1,8 +1,11 @@
-"""Filter relaunch must extend, not erase, the existing log.
+"""Filter crash recovery: the daemon relaunches a dead filter and the
+trace continues in the same log.
 
-The filter used to open its log with mode "w"; a filter recreated
-after a crash or daemon restart therefore truncated every record the
-first incarnation had saved.  Append mode keeps them.
+Two layers under test: the meterdaemon's supervision (a filter killed
+behind the controller's back is relaunched with the same argv, bounded
+by a restart budget) and the log continuity that relaunch depends on
+(append mode plus batch-sequence recovery, so the replacement extends
+rather than erases the first incarnation's records).
 """
 
 from repro.core.cluster import Cluster
@@ -27,7 +30,7 @@ def _run_job(session, jobname):
     session.settle()
 
 
-def test_filter_relaunch_appends_to_existing_log():
+def test_filter_crash_is_healed_by_relaunch():
     cluster = Cluster(seed=33)
     session = MeasurementSession(cluster, control_machine="yellow")
     session.install_program("talker", _talker)
@@ -36,16 +39,92 @@ def test_filter_relaunch_appends_to_existing_log():
     first = session.read_trace("f1")
     assert first
 
-    # The filter dies (a fault plan kills it, as a daemon restart
-    # would); the controller hears about it and lets us recreate it
-    # under the same name -- and the same log path.
-    plan = FaultPlan().kill_process(cluster.sim.now + 5.0, "blue", "filter")
+    # The filter dies behind the controller's back; its meterdaemon
+    # notices the death and relaunches it -- no operator command.
+    plan = FaultPlan().kill_filter(cluster.sim.now + 5.0, "blue")
     FaultInjector(cluster, plan).arm()
     session.settle(ms=200.0)
-    assert "f1" not in session.command("filter")  # gone from the controller
 
-    session.command("filter f1 blue")
+    transcript = session.transcript()
+    assert "WARNING: filter 'f1' on blue was relaunched" in transcript
+    assert "DONE: filter 'f1' terminated" not in transcript
+    # Still listed, under a new identifier.
+    listing = session.command("filter")
+    assert "filter 'f1'" in listing
+
+    # The replacement extends the same log: a second job's records land
+    # after the first job's, nothing truncated.
     _run_job(session, "j2")
     combined = session.read_trace("f1")
-    assert combined[: len(first)] == first  # nothing truncated
+    assert combined[: len(first)] == first
     assert len(combined) == 2 * len(first)
+
+
+def test_process_death_during_filter_restart_yields_one_end_record():
+    """The race the notification retries exist for: a metered process
+    dies while its filter is down (killed, not yet relaunched).  The
+    termproc record must ride the orphan-drain path into the log
+    exactly once, and the controller must report the death exactly
+    once -- the daemon's retried notification and the reconcile pass
+    must not double-report."""
+    from repro.programs import install_all
+
+    cluster = Cluster(seed=35)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    install_all(session)
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    # A short producer: ~50ms of sends, so it terminates inside the
+    # filter's relaunch backoff window when we kill the filter mid-run.
+    session.command("addprocess j red dgramproducer green 6000 10 64 5")
+    session.command("setflags j send termproc immediate")
+    session.command("startjob j")
+    session.settle(20)
+    plan = FaultPlan().kill_filter(cluster.sim.now + 1.0, "blue")
+    FaultInjector(cluster, plan).arm()
+    session.settle()
+
+    transcript = session.transcript()
+    assert "WARNING: filter 'f1' on blue was relaunched" in transcript
+    done = "DONE: process dgramproducer in job 'j' terminated"
+    assert transcript.count(done) == 1
+
+    records = session.read_trace("f1")
+    producers = [
+        p
+        for p in cluster.machine("red").procs.values()
+        if p.program_name == "dgramproducer"
+    ]
+    pid = producers[0].pid
+    ends = [
+        r for r in records if r["event"] == "termproc" and r["pid"] == pid
+    ]
+    assert len(ends) == 1
+    sends = [r for r in records if r["event"] == "send" and r["pid"] == pid]
+    assert len(sends) == 10  # nothing lost across the gap either
+
+
+def test_filter_restart_budget_exhaustion_reports_death():
+    cluster = Cluster(seed=34)
+    session = MeasurementSession(cluster, control_machine="yellow")
+    session.install_program("talker", _talker)
+    session.command("filter f1 blue")
+    _run_job(session, "j1")
+
+    # Kill the filter once more than the daemon is willing to relaunch
+    # it; the final death is reported instead of healed.  Kills are
+    # spaced past the relaunch backoff so each one lands on a live
+    # incarnation.
+    now = cluster.sim.now
+    plan = FaultPlan()
+    for i in range(5):
+        plan.kill_filter(now + 5.0 + 900.0 * i, "blue")
+    FaultInjector(cluster, plan).arm()
+    session.settle(ms=5000.0)
+    session.settle()
+
+    transcript = session.transcript()
+    assert "WARNING: filter 'f1' on blue was relaunched" in transcript
+    assert "DONE: filter 'f1' terminated" in transcript
+    assert "filter restart budget exhausted" in transcript
+    assert "f1" not in session.command("filter")

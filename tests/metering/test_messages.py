@@ -161,9 +161,31 @@ def test_decode_rejects_unknown_trace_type(codec):
             "fork", machine=1, cpu_time=0, proc_time=0, pid=1, pc=1, newPid=2
         )
     )
-    raw[20:24] = (99).to_bytes(4, "big")
+    raw[20:24] = (77).to_bytes(4, "big")
     with pytest.raises(ValueError):
         codec.decode(bytes(raw))
+
+
+def test_batch_marker_roundtrip(codec):
+    raw = messages.encode_batch_marker(3, 2117, 9)
+    assert len(raw) == messages.MARKER_BYTES
+    assert messages.is_batch_marker(raw)
+    assert messages.parse_batch_marker(raw) == (3, 2117, 9)
+    record = codec.decode(raw)
+    assert record["event"] == "batchmark"
+    assert record["pid"] == 2117
+    assert record["seq"] == 9
+    assert record["traceType"] == messages.BATCH_MARKER_TYPE
+
+
+def test_decode_stream_skips_batch_markers(codec):
+    event = codec.encode(
+        "fork", machine=1, cpu_time=0, proc_time=0, pid=1, pc=1, newPid=2
+    )
+    raw = messages.encode_batch_marker(1, 1, 0) + event
+    records, leftover = messages.decode_stream(raw, codec)
+    assert leftover == b""
+    assert [r["event"] for r in records] == ["fork"]
 
 
 def test_peek_size(codec):

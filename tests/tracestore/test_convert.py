@@ -89,14 +89,18 @@ def test_cli_pack_inspect_cat(tmp_path, capsys, log_text):
 
 
 def test_cli_cat_text_lines_match_original(tmp_path, capsys, log_text):
-    """cat reproduces the original text log lines byte for byte."""
+    """cat reproduces the original record lines byte for byte (the
+    log's #batch commit-marker lines are metadata, not records)."""
     logfile = tmp_path / "f1.log"
     logfile.write_text(log_text, encoding="ascii")
     base = str(tmp_path / "f1.store")
     main(["trace", "pack", str(logfile), base])
     capsys.readouterr()
     main(["trace", "cat", base])
-    assert capsys.readouterr().out.strip("\n") == log_text.strip("\n")
+    record_lines = "\n".join(
+        line for line in log_text.splitlines() if not line.startswith("#")
+    )
+    assert capsys.readouterr().out.strip("\n") == record_lines.strip("\n")
 
 
 def test_cli_trace_usage_and_errors(tmp_path, capsys):

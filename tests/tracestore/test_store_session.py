@@ -116,6 +116,38 @@ def test_store_filter_restart_appends_new_segments():
     assert len(reader.segments) >= 2
 
 
+@pytest.mark.parametrize("seed", [21, 22, 23])
+def test_unsealed_tail_relaunch_keeps_records_exactly_once(seed):
+    """Property, across seeds: a filter killed mid-stream leaves an
+    *unsealed* tail segment; the supervised relaunch recovers committed
+    batch sequences from that tail by frame scan, so the kernel's
+    window resend closes the gap without duplicating anything.  Every
+    metered send appears in the final store exactly once."""
+    from repro.programs import install_all
+
+    session = _session("store", seed=seed)
+    install_all(session)
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command("addprocess j red dgramproducer green 6000 40 64 5")
+    session.command("setflags j send immediate")
+    session.command("startjob j")
+    session.settle(100)  # mid-stream: the tail segment is unsealed
+    now = session.cluster.sim.now
+    FaultInjector(
+        session.cluster, FaultPlan().kill_process(now + 1.0, "blue", "filter")
+    ).arm()
+    session.settle()
+    assert (
+        "WARNING: filter 'f1' on blue was relaunched" in session.transcript()
+    )
+    records = session.read_trace("f1")
+    sends = [r for r in records if r["event"] == "send"]
+    assert len(sends) == 40
+    keys = [(r["machine"], r["pid"], r["pc"]) for r in sends]
+    assert len(set(keys)) == 40  # exactly once, no resend duplicates
+
+
 def test_concurrent_sessions_use_separate_log_directories():
     cluster = Cluster(seed=21)
     one = MeasurementSession(

@@ -19,6 +19,7 @@ import sys
 from repro.filtering.records import format_record
 from repro.metering.messages import record_fields
 from repro.tracestore import StoreReader, pack_text
+from repro.tracestore.fsck import format_report, fsck_store, repair_store
 from repro.tracestore.format import DEFAULT_SEGMENT_BYTES
 from repro.tracestore.writer import flush_to_files
 
@@ -29,10 +30,14 @@ usage: python -m repro trace <subcommand>
   pack <logfile> <storebase> [--segment-bytes N]
                      convert a text trace log into a segmented store
   inspect <storebase>
-                     show per-segment index footers
+                     show per-segment index footers + integrity status
   cat <storebase> [--machine N] [--pid N] [--event NAME]
-                  [--since T] [--until T]
-                     stream selected records as log lines"""
+                  [--since T] [--until T] [--salvage yes]
+                     stream selected records as log lines
+  fsck <storebase> [--repair yes] [--out BASE]
+                     verify every segment (exit 1 if damaged); with
+                     --repair, write a clean copy at BASE (default
+                     <storebase>.repaired) keeping only verified frames"""
 
 
 def _available():
@@ -87,14 +92,39 @@ def _trace_pack(args):
     return 0
 
 
+def _integrity_suffix(report):
+    """One-line integrity summary for a segment (inspect output)."""
+    parts = ["v{0}".format(report["version"] or "?"), report["status"]]
+    parts.append("{0}B committed".format(report["committed_bytes"]))
+    if report["torn_bytes"]:
+        parts.append("{0}B torn".format(report["torn_bytes"]))
+    if report["quarantined_bytes"]:
+        parts.append("{0}B quarantined".format(report["quarantined_bytes"]))
+    return ", ".join(parts)
+
+
 def _trace_inspect(args):
     if len(args) != 1:
         print(TRACE_USAGE)
         return 1
     reader = StoreReader.from_files(args[0])
-    for path, footer in reader.footers():
+    integrity = {report["path"]: report for report in reader.integrity()}
+    for segment in reader.segments:
+        path, footer = segment.path, segment.footer
+        report = integrity[path]
+        if not segment.valid:
+            print(
+                "{0}: UNREADABLE ({1}) [{2}]".format(
+                    path, report["error"], report["status"]
+                )
+            )
+            continue
         if footer is None:
-            print("{0}: open segment (no footer; recovered by scan)".format(path))
+            print(
+                "{0}: open segment (no footer; recovered by scan) [{1}]".format(
+                    path, _integrity_suffix(report)
+                )
+            )
             continue
         events = " ".join(
             "{0}={1}".format(name, count)
@@ -105,13 +135,41 @@ def _trace_inspect(args):
             for m, count in sorted(footer["machines"].items(), key=lambda kv: int(kv[0]))
         )
         print(
-            "{0}: {1} records, t=[{2}, {3}], {4}; {5}".format(
+            "{0}: {1} records, t=[{2}, {3}], {4}; {5} [{6}]".format(
                 path, footer["records"], footer["t_min"], footer["t_max"],
-                machines, events,
+                machines, events, _integrity_suffix(report),
             )
         )
     print("total records: {0}".format(reader.record_count()))
     return 0
+
+
+def _trace_fsck(args):
+    positional, flags = _parse_flags(args, {"repair": str, "out": str})
+    if len(positional) != 1:
+        print(TRACE_USAGE)
+        return 1
+    base = positional[0]
+    reader = StoreReader.from_files(base)
+    repair = flags.get("repair", "").lower() in ("yes", "true", "1", "on")
+    if repair:
+        out_base = flags.get("out", base + ".repaired")
+        __, writer, report = repair_store(
+            reader, out_base, writer_driver=flush_to_files
+        )
+        for line in format_report(report):
+            print(line)
+        print(
+            "repaired copy: {0} record(s) in {1} sealed segment(s) at "
+            "{2}.seg*".format(
+                writer.records_appended, writer.segments_sealed, out_base
+            )
+        )
+    else:
+        report = fsck_store(reader)
+        for line in format_report(report):
+            print(line)
+    return 0 if report["clean"] else 1
 
 
 def _trace_cat(args):
@@ -121,6 +179,7 @@ def _trace_cat(args):
         "event": str,
         "since": int,
         "until": int,
+        "salvage": str,
     }
     positional, flags = _parse_flags(args, spec)
     if len(positional) != 1:
@@ -132,6 +191,7 @@ def _trace_cat(args):
         "events": [flags["event"]] if "event" in flags else None,
         "t_min": flags.get("since"),
         "t_max": flags.get("until"),
+        "salvage": flags.get("salvage", "").lower() in ("yes", "true", "1", "on"),
     }
     if "pid" in flags:
         if "machine" not in flags:
@@ -141,11 +201,27 @@ def _trace_cat(args):
     for record in reader.scan(**predicates):
         order = ["event"] + record_fields(record["event"])
         print(format_record(record, order))
+    stats = reader.last_stats
+    if not stats.loss_free():
+        print(
+            "# loss: {0} corrupt frame(s), {1} byte(s) quarantined, "
+            "{2} bad-header segment(s)".format(
+                stats.frames_corrupt,
+                stats.bytes_quarantined,
+                stats.segments_bad_header,
+            ),
+            file=sys.stderr,
+        )
     return 0
 
 
 def trace_main(args):
-    handlers = {"pack": _trace_pack, "inspect": _trace_inspect, "cat": _trace_cat}
+    handlers = {
+        "pack": _trace_pack,
+        "inspect": _trace_inspect,
+        "cat": _trace_cat,
+        "fsck": _trace_fsck,
+    }
     if not args or args[0] not in handlers:
         print(TRACE_USAGE)
         return 1

@@ -100,7 +100,7 @@ class Trace:
 
     @classmethod
     def from_store(cls, reader, machines=None, pids=None, events=None,
-                   t_min=None, t_max=None):
+                   t_min=None, t_max=None, salvage=False):
         """Build a trace by streaming a :class:`~repro.tracestore.
         StoreReader` scan.
 
@@ -110,6 +110,14 @@ class Trace:
         never materialized -- only the selection becomes Events.  With
         no predicate this is record-for-record identical to
         :meth:`from_text` on the equivalent text log.
+
+        Integrity: strict by default -- a damaged segment raises
+        :class:`~repro.tracestore.errors.CorruptSegmentError` rather
+        than building a trace that silently differs from what was
+        recorded.  With ``salvage=True`` the trace is built from every
+        verifiable frame and ``reader.last_stats`` quantifies the loss
+        (``bytes_quarantined`` / ``frames_corrupt``) -- answers with
+        error bars instead of a crash or a lie.
         """
         return cls(
             reader.scan(
@@ -118,6 +126,7 @@ class Trace:
                 events=events,
                 t_min=t_min,
                 t_max=t_max,
+                salvage=salvage,
             )
         )
 

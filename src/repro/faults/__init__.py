@@ -8,11 +8,15 @@ simulated milliseconds, and a :class:`FaultInjector` arms the plan on a
 cluster's event queue.  Same plan + same seed => identical trace.
 
 Supported faults: machine crash and reboot, network partition and heal,
-link degradation (datagram loss bursts, latency spikes), and targeted
-process/daemon kills.
+link degradation (datagram loss bursts, latency spikes), targeted
+process/daemon kills, and storage faults (torn writes, dropped flushes,
+bit rot -- see :mod:`repro.faults.storage`, which also provides
+:class:`FaultyWriter` / :class:`StorageFaultPlan` for injecting
+deterministic damage at the trace-store writer's driver seam).
 """
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.faults.storage import FaultyWriter, StorageFaultPlan
 
-__all__ = ["FaultPlan", "FaultInjector"]
+__all__ = ["FaultPlan", "FaultInjector", "FaultyWriter", "StorageFaultPlan"]

@@ -146,6 +146,28 @@ class FaultInjector:
         return broken
 
     # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+
+    def _do_storage_torn_write(self, machine, path_prefix, drop_bytes):
+        from repro.faults import storage
+
+        fs = self.cluster.machine(machine).fs
+        return storage.truncate_tail(fs, path_prefix, drop_bytes) or "no matching files"
+
+    def _do_storage_drop_flush(self, machine, path_prefix):
+        from repro.faults import storage
+
+        fs = self.cluster.machine(machine).fs
+        return storage.arm_drop_next_write(fs, path_prefix)
+
+    def _do_storage_bit_rot(self, machine, path_prefix, flips, seed):
+        from repro.faults import storage
+
+        fs = self.cluster.machine(machine).fs
+        return storage.rot_bits(fs, path_prefix, flips, seed) or "no matching bytes"
+
+    # ------------------------------------------------------------------
     # Processes
     # ------------------------------------------------------------------
 

@@ -24,6 +24,9 @@ KILL_PROCESS = "kill_process"
 KILL_CONTROLLER = "kill_controller"
 RESTART_CONTROLLER = "restart_controller"
 RESTART_DAEMON = "restart_daemon"
+STORAGE_TORN_WRITE = "storage_torn_write"
+STORAGE_DROP_FLUSH = "storage_drop_flush"
+STORAGE_BIT_ROT = "storage_bit_rot"
 
 
 class FaultEvent:
@@ -132,6 +135,47 @@ class FaultPlan:
         crashed daemon; pair with :meth:`kill_daemon`).  Requires a
         session armed on the injector."""
         return self._add(at_ms, RESTART_DAEMON, machine=str(machine))
+
+    # -- storage ---------------------------------------------------------
+
+    def storage_torn_write(self, at_ms, machine, path_prefix, drop_bytes):
+        """Tear the tail off the newest file matching ``path_prefix``
+        on ``machine`` (the last ``drop_bytes`` bytes never reached the
+        platter).  Pair with :meth:`crash` at the same instant for a
+        realistic power-fail torn write; a trace-store segment damaged
+        this way reads back as a torn tail / salvageable segment."""
+        return self._add(
+            at_ms,
+            STORAGE_TORN_WRITE,
+            machine=str(machine),
+            path_prefix=str(path_prefix),
+            drop_bytes=int(drop_bytes),
+        )
+
+    def storage_drop_flush(self, at_ms, machine, path_prefix):
+        """Arm a one-shot medium lie on ``machine``: the next guest
+        write to a file matching ``path_prefix`` is acknowledged but
+        silently discarded (a dropped sync).  Detected by per-frame
+        CRCs / salvage accounting on read."""
+        return self._add(
+            at_ms,
+            STORAGE_DROP_FLUSH,
+            machine=str(machine),
+            path_prefix=str(path_prefix),
+        )
+
+    def storage_bit_rot(self, at_ms, machine, path_prefix, flips=1, seed=0):
+        """Flip ``flips`` seed-chosen bits across the at-rest bytes of
+        every file matching ``path_prefix`` on ``machine`` (bit rot /
+        post-crash corruption).  Deterministic: same seed, same bits."""
+        return self._add(
+            at_ms,
+            STORAGE_BIT_ROT,
+            machine=str(machine),
+            path_prefix=str(path_prefix),
+            flips=int(flips),
+            seed=int(seed),
+        )
 
     # -- the controller ---------------------------------------------------
 

@@ -1,0 +1,310 @@
+"""Deterministic storage fault injection for the trace store.
+
+The network and session layers already misbehave on demand (PR 1 /
+PR 5); this module makes the *storage medium* able to misbehave too,
+reproducibly, at two seams:
+
+1. **The writer's driver seam.**  :class:`StoreWriter` is I/O-free: it
+   queues ``("open"/"write"/"close", path, ...)`` ops that a pluggable
+   driver (``flush_to_guest`` / ``flush_to_fs`` / ``flush_to_files`` /
+   ``collect_ops``) applies to a medium, all by calling
+   ``pending_ops()``.  :class:`FaultyWriter` wraps any writer at
+   exactly that seam and perturbs the op stream before the driver sees
+   it -- torn writes at arbitrary byte offsets, short (partially lost)
+   writes, dropped flushes, and bit flips -- so every driver works
+   unmodified against a faulty disk.
+
+2. **The simulated medium.**  For faults scheduled on the simulator
+   clock (:class:`~repro.faults.plan.FaultPlan` ``storage_*`` events),
+   helpers here mutate a machine's in-memory filesystem directly:
+   truncating a segment tail (a torn write materialized post-crash),
+   flipping seeded bits in at-rest bytes (bit rot), or arming a
+   one-shot interceptor that discards the next matching write (a sync
+   the disk acknowledged but never performed).
+
+Determinism: every fault is either pinned to an explicit byte offset /
+op index, or derived from a caller-supplied integer seed through
+:class:`random.Random` -- same plan + same seed => the same damaged
+bytes, byte for byte.  Offsets are positions in the writer's *intended*
+byte stream (all write-op payloads concatenated in emission order,
+across segment boundaries), so a fault plan means the same thing no
+matter how the writer happens to batch its flushes.
+"""
+
+import random
+
+
+def flip_bit(data, at_byte, bit):
+    """Return ``data`` (bytes) with one bit XOR-flipped."""
+    buf = bytearray(data)
+    buf[at_byte] ^= 1 << (bit & 7)
+    return bytes(buf)
+
+
+def flip_random_bits(data, count, seed):
+    """Flip ``count`` seed-chosen bits in ``data``; returns
+    (mutated bytes, [(byte offset, bit), ...])."""
+    if not data or not count:
+        return bytes(data), []
+    rng = random.Random(seed)
+    buf = bytearray(data)
+    flips = []
+    for __ in range(count):
+        at_byte = rng.randrange(len(buf))
+        bit = rng.randrange(8)
+        buf[at_byte] ^= 1 << bit
+        flips.append((at_byte, bit))
+    return bytes(buf), flips
+
+
+class StorageFaultPlan:
+    """A declarative, seed-reproducible schedule of storage faults,
+    applied by :class:`FaultyWriter` as the op stream flows past.
+    Builder methods chain::
+
+        faults = (StorageFaultPlan(seed=7)
+                  .drop_flush(2)            # 3rd write op never lands
+                  .short_write(900, 40)     # bytes 900..940 lost mid-stream
+                  .bit_flip(1234)           # seed-chosen bit of byte 1234
+                  .torn_write(4000))        # medium dies at byte 4000
+    """
+
+    def __init__(self, seed=0):
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+        #: Stream cut: every intended byte at offset >= this is lost and
+        #: the medium is dead afterwards (None: no cut).
+        self.torn_at = None
+        #: Mid-stream losses: list of (start, end) intended-byte ranges
+        #: silently dropped (later bytes still land, shifted earlier --
+        #: a short write the writer never learned about).
+        self.lost_ranges = []
+        #: Write-op indexes (0-based, write ops only) dropped whole.
+        self.dropped_flushes = set()
+        #: (intended byte offset, bit) XOR flips.
+        self.bit_flips = []
+
+    # -- builders --------------------------------------------------------
+
+    def torn_write(self, at_byte):
+        """Cut the stream at ``at_byte`` (an arbitrary offset: mid
+        frame, mid header, mid footer); everything after is lost."""
+        at_byte = int(at_byte)
+        if at_byte < 0:
+            raise ValueError("torn_write offset must be >= 0")
+        if self.torn_at is None or at_byte < self.torn_at:
+            self.torn_at = at_byte
+        return self
+
+    def short_write(self, at_byte, drop_bytes):
+        """Lose ``drop_bytes`` intended bytes starting at ``at_byte``;
+        the stream continues afterwards (a partially performed write)."""
+        at_byte, drop_bytes = int(at_byte), int(drop_bytes)
+        if at_byte < 0 or drop_bytes <= 0:
+            raise ValueError("short_write needs offset >= 0, drop > 0")
+        self.lost_ranges.append((at_byte, at_byte + drop_bytes))
+        return self
+
+    def drop_flush(self, nth_write):
+        """Drop the ``nth_write``-th write op entirely (0-based count
+        over write ops): one whole flush acknowledged but never
+        performed."""
+        self.dropped_flushes.add(int(nth_write))
+        return self
+
+    def bit_flip(self, at_byte, bit=None):
+        """Flip one bit of the intended byte at ``at_byte`` (rot as the
+        data passes to the medium).  ``bit`` defaults to a seed-chosen
+        position."""
+        if bit is None:
+            bit = self._rng.randrange(8)
+        self.bit_flips.append((int(at_byte), int(bit) & 7))
+        return self
+
+    def scatter_bit_flips(self, count, max_byte):
+        """``count`` seed-chosen flips uniform over the first
+        ``max_byte`` intended bytes."""
+        for __ in range(int(count)):
+            self.bit_flips.append(
+                (self._rng.randrange(int(max_byte)), self._rng.randrange(8))
+            )
+        return self
+
+    def describe(self):
+        parts = []
+        for nth in sorted(self.dropped_flushes):
+            parts.append("drop_flush(#{0})".format(nth))
+        for start, end in sorted(self.lost_ranges):
+            parts.append("short_write({0}..{1})".format(start, end))
+        for at_byte, bit in sorted(self.bit_flips):
+            parts.append("bit_flip({0}:{1})".format(at_byte, bit))
+        if self.torn_at is not None:
+            parts.append("torn_write(@{0})".format(self.torn_at))
+        return parts
+
+
+class FaultyWriter:
+    """Wrap a :class:`StoreWriter` (or anything with ``pending_ops``)
+    so its queued driver ops emerge damaged per a
+    :class:`StorageFaultPlan`.
+
+    The wrapper is a transparent proxy -- ``append`` / ``sync`` /
+    ``close`` / attribute access all reach the inner writer -- except
+    for :meth:`pending_ops`, which transforms the op stream.  Use it in
+    place of the writer with any flush driver::
+
+        faulty = FaultyWriter(writer, plan)
+        ...
+        flush_to_files(faulty)          # or flush_to_fs / collect_ops
+        yield from flush_to_guest(sys, faulty)
+
+    ``bytes_intended`` counts the stream position (what the writer
+    believed it durably wrote); ``bytes_delivered`` counts what the
+    medium actually kept; ``applied`` logs each fault as it fires, in
+    order, for determinism assertions.
+    """
+
+    def __init__(self, writer, plan):
+        self._writer = writer
+        self.plan = plan
+        self.bytes_intended = 0
+        self.bytes_delivered = 0
+        self.write_ops_seen = 0
+        self.dead = False
+        #: Human-readable log of faults actually applied, in order.
+        self.applied = []
+
+    def __getattr__(self, name):
+        return getattr(self._writer, name)
+
+    # ------------------------------------------------------------------
+
+    def pending_ops(self):
+        ops = self._writer.pending_ops()
+        if self.dead:
+            # The medium died at the torn-write cut: later ops are
+            # consumed (the writer keeps believing its writes succeed)
+            # but nothing reaches the store.
+            return []
+        out = []
+        for op in ops:
+            if op[0] != "write":
+                out.append(op)
+                continue
+            survived = self._transform_write(op[1], op[2])
+            if survived:
+                out.append(("write", op[1], survived))
+            if self.dead:
+                break
+        return out
+
+    def _transform_write(self, path, data):
+        plan = self.plan
+        start = self.bytes_intended
+        end = start + len(data)
+        self.bytes_intended = end
+        index = self.write_ops_seen
+        self.write_ops_seen += 1
+        if index in plan.dropped_flushes:
+            self.applied.append(
+                "drop_flush #{0} ({1} bytes, {2})".format(index, len(data), path)
+            )
+            return b""
+        buf = bytearray(data)
+        for at_byte, bit in plan.bit_flips:
+            if start <= at_byte < end:
+                buf[at_byte - start] ^= 1 << bit
+                self.applied.append(
+                    "bit_flip byte {0} bit {1} ({2})".format(at_byte, bit, path)
+                )
+        # Short writes: drop intended ranges (highest first, so earlier
+        # deletions do not shift later ones).
+        cuts = sorted(
+            (
+                (max(range_start, start), min(range_end, end))
+                for range_start, range_end in plan.lost_ranges
+            ),
+            reverse=True,
+        )
+        for cut_start, cut_end in cuts:
+            if cut_start >= cut_end:
+                continue
+            del buf[cut_start - start : cut_end - start]
+            self.applied.append(
+                "short_write lost {0}..{1} ({2})".format(cut_start, cut_end, path)
+            )
+        if plan.torn_at is not None and plan.torn_at < end:
+            keep = max(0, plan.torn_at - start)
+            # Deletions above shifted offsets; a torn write is a crash,
+            # so the interplay hardly matters in practice -- cut on the
+            # intended offset within what survived.
+            del buf[keep:]
+            self.dead = True
+            self.applied.append(
+                "torn_write at byte {0} ({1})".format(plan.torn_at, path)
+            )
+        self.bytes_delivered += len(buf)
+        return bytes(buf)
+
+
+# ----------------------------------------------------------------------
+# Medium-level faults (the simulated filesystem), used by FaultInjector
+# ----------------------------------------------------------------------
+
+
+def matching_paths(fs, path_prefix):
+    return [path for path in fs.paths() if path.startswith(path_prefix)]
+
+
+def truncate_tail(fs, path_prefix, drop_bytes):
+    """Materialize a torn write after the fact: drop the last
+    ``drop_bytes`` bytes of the newest matching file (paths sort in
+    segment order).  Returns a description or None when nothing
+    matched."""
+    paths = matching_paths(fs, path_prefix)
+    if not paths:
+        return None
+    path = paths[-1]
+    node = fs.node(path)
+    keep = max(0, len(node.data) - int(drop_bytes))
+    lost = len(node.data) - keep
+    del node.data[keep:]
+    return "truncated {0} by {1} byte(s)".format(path, lost)
+
+
+def rot_bits(fs, path_prefix, flips, seed):
+    """Flip ``flips`` seed-chosen bits across the bytes of every
+    matching file (post-crash bit rot on the at-rest store).  Returns a
+    description or None when nothing matched."""
+    paths = matching_paths(fs, path_prefix)
+    total = sum(len(fs.node(path).data) for path in paths)
+    if not total or not flips:
+        return None
+    rng = random.Random(seed)
+    flipped = []
+    for __ in range(int(flips)):
+        target = rng.randrange(total)
+        for path in paths:
+            node = fs.node(path)
+            if target < len(node.data):
+                node.data[target] ^= 1 << rng.randrange(8)
+                flipped.append("{0}@{1}".format(path, target))
+                break
+            target -= len(node.data)
+    return "flipped {0} bit(s): {1}".format(len(flipped), ", ".join(flipped))
+
+
+def arm_drop_next_write(fs, path_prefix):
+    """One-shot medium lie: the next guest write to a matching path is
+    acknowledged but never performed (a dropped sync).  Installs a
+    :attr:`FileSystem.write_fault` hook that disarms itself after
+    firing."""
+
+    def write_fault(path, data):
+        if not path.startswith(path_prefix):
+            return data
+        fs.write_fault = None  # one-shot
+        return b""
+
+    fs.write_fault = write_fault
+    return "armed drop-next-write on {0}*".format(path_prefix)

@@ -130,11 +130,11 @@ def recover_store_seqs(sys, base):
         if data is None:
             return recovered
         index += 1
-        try:
-            segment = Segment("", data)
-        except ValueError:
+        segment = Segment("", data)
+        if not segment.valid:
             continue  # damaged header: nothing recoverable here
-        for __, __mask, payload in segment.iter_frames():
+        frames, __gaps = segment.committed_salvage()
+        for __, __mask, payload in frames:
             marker = parse_batch_marker(payload)
             if marker is None:
                 continue

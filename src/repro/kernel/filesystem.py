@@ -54,6 +54,11 @@ class FileSystem:
 
     def __init__(self):
         self._nodes = {}
+        #: Optional storage-fault hook (``repro.faults.storage``): a
+        #: callable ``(path, data) -> bytes`` applied to every write
+        #: performed through an open file.  The syscall still reports
+        #: the full length -- the medium lies, the writer believes it.
+        self.write_fault = None
 
     # -- administrative API (host side, no permission checks) ----------
 
@@ -121,10 +126,12 @@ class OpenFile:
 
     kind = "file"
 
-    def __init__(self, node, mode, append=False):
+    def __init__(self, node, mode, append=False, fs=None, path=None):
         self.node = node
         self.mode = mode  # "r" or "w"
         self.offset = len(node.data) if append else 0
+        self.fs = fs
+        self.path = path
 
     def read(self, nbytes):
         data = bytes(self.node.data[self.offset : self.offset + nbytes])
@@ -132,11 +139,16 @@ class OpenFile:
         return data
 
     def write(self, data):
-        end = self.offset + len(data)
+        stored = data
+        if self.fs is not None and self.fs.write_fault is not None:
+            # An armed storage fault may shrink or corrupt what the
+            # medium keeps; the syscall still claims full success.
+            stored = self.fs.write_fault(self.path, data)
+        end = self.offset + len(stored)
         if self.offset == len(self.node.data):
-            self.node.data.extend(data)
+            self.node.data.extend(stored)
         else:
-            self.node.data[self.offset : end] = data
+            self.node.data[self.offset : end] = stored
         self.offset = end
         return len(data)
 

@@ -19,16 +19,16 @@ class FileCalls:
         path, mode = request.args
         if mode == "r":
             node = self.fs.lookup(path, proc.uid, want="read")
-            open_file = OpenFile(node, "r")
+            open_file = OpenFile(node, "r", fs=self.fs, path=path)
         elif mode == "w":
             node = self.fs.create(path, proc.uid)
-            open_file = OpenFile(node, "w")
+            open_file = OpenFile(node, "w", fs=self.fs, path=path)
         elif mode == "a":
             if self.fs.exists(path):
                 node = self.fs.lookup(path, proc.uid, want="write")
             else:
                 node = self.fs.create(path, proc.uid)
-            open_file = OpenFile(node, "w", append=True)
+            open_file = OpenFile(node, "w", append=True, fs=self.fs, path=path)
         else:
             raise SyscallError(errno.EINVAL, "open mode %r" % mode)
         entry = self.file_table.allocate(open_file)

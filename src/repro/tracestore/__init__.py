@@ -12,16 +12,38 @@ index footer, so analyses can stream exactly the records they need:
   crash-safe appends; usable from filter guests);
 - :mod:`repro.tracestore.reader` -- :class:`StoreReader` (streaming
   scans with segment pushdown) and :func:`merge_scan`;
-- :mod:`repro.tracestore.convert` -- text log <-> store packing.
+- :mod:`repro.tracestore.convert` -- text log <-> store packing;
+- :mod:`repro.tracestore.errors` -- the typed :class:`StoreError`
+  hierarchy (all integrity failures raise these, never bare
+  ``ValueError``);
+- :mod:`repro.tracestore.fsck` -- offline store checking and repair
+  (the ``trace fsck`` CLI).
+
+Durability: segments are written in format v2 -- every frame carries a
+CRC32 over its length, mask, and payload -- so corruption anywhere in
+the data region is *detectable*, not just at the sealed footer.  v1
+segments (pre-CRC) remain fully readable.  Reads are strict by default
+(a corrupt frame raises :class:`CorruptSegmentError`); salvage mode
+(``scan(salvage=True)``) resynchronizes past damage and accounts every
+quarantined byte in :class:`ScanStats`.
 """
 
 from repro.tracestore.format import (
     DEFAULT_SEGMENT_BYTES,
+    FORMAT_VERSION,
+    FORMAT_VERSION_V1,
     discard_mask,
     masked_fields,
     zero_masked_bytes,
 )
 from repro.tracestore.convert import pack_records, pack_text
+from repro.tracestore.errors import (
+    BadSegmentHeaderError,
+    CorruptFrameError,
+    CorruptSegmentError,
+    StoreError,
+)
+from repro.tracestore.fsck import fsck_store, repair_store
 from repro.tracestore.reader import ScanStats, Segment, StoreReader, merge_scan
 from repro.tracestore.writer import (
     StoreWriter,
@@ -35,11 +57,19 @@ from repro.tracestore.writer import (
 
 __all__ = [
     "DEFAULT_SEGMENT_BYTES",
+    "FORMAT_VERSION",
+    "FORMAT_VERSION_V1",
     "discard_mask",
     "masked_fields",
     "zero_masked_bytes",
     "pack_records",
     "pack_text",
+    "StoreError",
+    "BadSegmentHeaderError",
+    "CorruptSegmentError",
+    "CorruptFrameError",
+    "fsck_store",
+    "repair_store",
     "ScanStats",
     "Segment",
     "StoreReader",

@@ -14,8 +14,15 @@ Each segment is::
     +--------+----------------------------+--------+---------+
 
 - header (8 bytes): magic "RTS1", version u16, flags u16;
-- frame: payload length u32, discard mask u32, payload -- the payload
-  is the record's Appendix-A wire message, byte for byte;
+- frame (version 2, the current format): payload length u32, discard
+  mask u32, crc32 u32, payload -- the CRC covers length, mask, *and*
+  payload, so a flipped bit anywhere in the frame (including its own
+  length field) is detectable; the payload is the record's Appendix-A
+  wire message, byte for byte;
+- frame (version 1, still readable): payload length u32, discard mask
+  u32, payload -- no per-frame CRC; only the footer blob was
+  checksummed, so v1 data-region corruption is detectable only where
+  the payload fails structural validation;
 - footer: a JSON index of the segment (record count, min/max header
   cpuTime, per-machine / per-(machine,pid) / per-event-type record
   counts, per-event first/last byte offsets, the host-name map used to
@@ -30,6 +37,14 @@ writer flushed survives).  The footer lets a reader skip a whole
 segment when a predicate cannot match any record in it -- that is the
 predicate pushdown the streaming analyses rely on.
 
+Because a sealed segment always ends exactly on a frame boundary, a
+frame that overruns the sealed data region is corruption, not a torn
+tail; only *unsealed* segments may legitimately end mid-frame.
+:func:`iter_frames` enforces that distinction, and
+:func:`salvage_frames` resynchronizes past damage to the next frame
+whose CRC verifies (v2) or whose payload is a structurally plausible
+meter message (v1), reporting every skipped byte range.
+
 The discard mask is a bitmap over :func:`repro.metering.messages.
 record_fields`: bit *i* set means field *i* was discarded by a
 reduction rule (Figure 3.4's ``#`` prefix).  Masked field bytes are
@@ -41,21 +56,40 @@ import json
 import struct
 import zlib
 
-from repro.metering.messages import HEADER_BYTES, field_layout, record_fields
+from repro.metering.messages import (
+    EVENT_NAMES,
+    HEADER_BYTES,
+    field_layout,
+    is_batch_marker,
+    message_length,
+    record_fields,
+)
+from repro.tracestore.errors import BadSegmentHeaderError, CorruptFrameError
 
 SEGMENT_MAGIC = b"RTS1"
 TRAILER_MAGIC = b"RTSX"
-FORMAT_VERSION = 1
+#: Current segment format (v2: per-frame CRC32).
+FORMAT_VERSION = 2
+#: The pre-CRC format; still fully readable.
+FORMAT_VERSION_V1 = 1
+SUPPORTED_VERSIONS = (FORMAT_VERSION_V1, FORMAT_VERSION)
 
 _HEADER_STRUCT = struct.Struct(">4sHH")
 SEGMENT_HEADER_BYTES = _HEADER_STRUCT.size  # 8
-_FRAME_STRUCT = struct.Struct(">II")
-FRAME_OVERHEAD_BYTES = _FRAME_STRUCT.size  # 8
+_FRAME_STRUCT_V1 = struct.Struct(">II")
+_FRAME_STRUCT_V2 = struct.Struct(">III")
+FRAME_OVERHEAD_BYTES_V1 = _FRAME_STRUCT_V1.size  # 8
+FRAME_OVERHEAD_BYTES = _FRAME_STRUCT_V2.size  # 12 (current format)
 _TRAILER_STRUCT = struct.Struct(">II4s")
 TRAILER_BYTES = _TRAILER_STRUCT.size  # 12
 
 #: Default segment capacity (data bytes before the segment is sealed).
 DEFAULT_SEGMENT_BYTES = 64 * 1024
+
+#: Upper bound a salvage scan accepts for a candidate frame's payload
+#: length: real payloads are whole meter messages (tens of bytes), so
+#: anything bigger than a segment is noise, not a frame.
+MAX_SALVAGE_PAYLOAD = 1 << 20
 
 #: Wire offsets of the maskable header fields (size and traceType are
 #: never zeroed: they carry the framing and the record's identity).
@@ -66,19 +100,28 @@ _MASKABLE_HEADER_OFFSETS = {
 }
 
 
-def segment_header():
-    return _HEADER_STRUCT.pack(SEGMENT_MAGIC, FORMAT_VERSION, 0)
+def segment_header(version=FORMAT_VERSION):
+    return _HEADER_STRUCT.pack(SEGMENT_MAGIC, version, 0)
 
 
-def parse_segment_header(data):
-    """Validate a segment's first bytes; raises ValueError."""
+def parse_segment_header(data, path=None):
+    """Validate a segment's first bytes; returns the format version.
+    Raises :class:`BadSegmentHeaderError` (a ``ValueError``)."""
     if len(data) < SEGMENT_HEADER_BYTES:
-        raise ValueError("short segment: %d bytes" % len(data))
+        raise BadSegmentHeaderError(
+            "short segment: %d bytes" % len(data), path=path
+        )
     magic, version, __ = _HEADER_STRUCT.unpack_from(data, 0)
     if magic != SEGMENT_MAGIC:
-        raise ValueError("not a trace-store segment (magic %r)" % magic)
-    if version != FORMAT_VERSION:
-        raise ValueError("unsupported segment version %d" % version)
+        raise BadSegmentHeaderError(
+            "not a trace-store segment (magic %r)" % magic,
+            path=path,
+            foreign=True,
+        )
+    if version not in SUPPORTED_VERSIONS:
+        raise BadSegmentHeaderError(
+            "unsupported segment version %d" % version, path=path
+        )
     return version
 
 
@@ -87,22 +130,137 @@ def parse_segment_header(data):
 # ----------------------------------------------------------------------
 
 
-def encode_frame(payload, mask=0):
-    return _FRAME_STRUCT.pack(len(payload), mask) + payload
+def frame_overhead(version=FORMAT_VERSION):
+    return FRAME_OVERHEAD_BYTES_V1 if version == FORMAT_VERSION_V1 else FRAME_OVERHEAD_BYTES
 
 
-def iter_frames(data, start, end):
+def frame_crc(length, mask, payload):
+    """The v2 per-frame checksum: covers length, mask, and payload."""
+    head = _FRAME_STRUCT_V1.pack(length, mask)
+    return zlib.crc32(payload, zlib.crc32(head)) & 0xFFFFFFFF
+
+
+def encode_frame(payload, mask=0, version=FORMAT_VERSION):
+    if version == FORMAT_VERSION_V1:
+        return _FRAME_STRUCT_V1.pack(len(payload), mask) + payload
+    return (
+        _FRAME_STRUCT_V2.pack(len(payload), mask, frame_crc(len(payload), mask, payload))
+        + payload
+    )
+
+
+def plausible_record_payload(payload):
+    """Structural validity check used to resynchronize v1 salvage scans
+    (v2 frames carry a CRC and need no heuristics): the payload must be
+    a whole Appendix-A meter message or a batch marker."""
+    if len(payload) < HEADER_BYTES:
+        return False
+    if is_batch_marker(payload):
+        return True
+    size, trace_type = struct.unpack(">i16xi", payload[:HEADER_BYTES])
+    event = EVENT_NAMES.get(trace_type)
+    if event is None or size != len(payload):
+        return False
+    return message_length(event) == len(payload)
+
+
+def _read_frame(data, offset, end, version):
+    """Parse one frame at ``offset``; returns (mask, payload, next
+    offset, error) where error is None, "torn" (incomplete tail bytes)
+    or "crc" (v2 checksum mismatch)."""
+    overhead = frame_overhead(version)
+    if offset + overhead > end:
+        return None, None, end, "torn"
+    if version == FORMAT_VERSION_V1:
+        length, mask = _FRAME_STRUCT_V1.unpack_from(data, offset)
+        crc = None
+    else:
+        length, mask, crc = _FRAME_STRUCT_V2.unpack_from(data, offset)
+    body_start = offset + overhead
+    if body_start + length > end:
+        return None, None, end, "torn"
+    payload = bytes(data[body_start : body_start + length])
+    if crc is not None and frame_crc(length, mask, payload) != crc:
+        return None, None, body_start + length, "crc"
+    return mask, payload, body_start + length, None
+
+
+def iter_frames(data, start, end, version=FORMAT_VERSION, sealed=False,
+                path=None):
     """Yield (offset, mask, payload) for each complete frame in
-    ``data[start:end]``; a truncated trailing frame (crash mid-write)
-    ends the iteration instead of raising."""
+    ``data[start:end]``.
+
+    A truncated trailing frame normally ends the iteration (a crash
+    mid-append is expected on unsealed tails); with ``sealed=True`` the
+    region is known to end on a frame boundary, so a trailing overrun
+    is corruption and raises.  A v2 frame whose CRC does not match its
+    bytes always raises :class:`CorruptFrameError`.
+    """
     offset = start
-    while offset + FRAME_OVERHEAD_BYTES <= end:
-        length, mask = _FRAME_STRUCT.unpack_from(data, offset)
-        body_start = offset + FRAME_OVERHEAD_BYTES
-        if body_start + length > end:
+    while offset < end:
+        mask, payload, next_offset, error = _read_frame(data, offset, end, version)
+        if error == "torn":
+            if sealed and offset + frame_overhead(version) <= end:
+                raise CorruptFrameError(
+                    "frame at offset %d overruns the sealed data region"
+                    % offset,
+                    path=path,
+                    offset=offset,
+                )
             break  # torn tail frame: the writer died mid-append
-        yield offset, mask, bytes(data[body_start : body_start + length])
-        offset = body_start + length
+        if error == "crc":
+            raise CorruptFrameError(
+                "frame CRC mismatch at offset %d" % offset,
+                path=path,
+                offset=offset,
+            )
+        yield offset, mask, payload
+        offset = next_offset
+
+
+def salvage_frames(data, start, end, version=FORMAT_VERSION):
+    """Best-effort frame walk that survives data-region corruption.
+
+    Yields ``("frame", offset, mask, payload)`` for every verifiable
+    frame, ``("gap", gap_start, gap_end)`` for every byte range that
+    had to be quarantined to reach the next verifiable frame, and at
+    most one trailing ``("torn", tail_start, end)`` when the region
+    ends with an ordinary torn tail frame (crash mid-append: expected
+    loss, not corruption).  After a bad frame, the scan resynchronizes
+    by sliding forward one byte at a time until a candidate frame
+    verifies (v2: CRC match; v1: payload passes
+    :func:`plausible_record_payload`).  A trailing region with no
+    verifiable frame is quarantined in full.
+    """
+    offset = start
+    gap_start = None
+    while offset < end:
+        mask, payload, next_offset, error = _read_frame(data, offset, end, version)
+        ok = error is None
+        if ok and version == FORMAT_VERSION_V1:
+            ok = plausible_record_payload(payload)
+        if ok:
+            if gap_start is not None:
+                yield "gap", gap_start, offset
+                gap_start = None
+            yield "frame", offset, mask, payload
+            offset = next_offset
+            continue
+        if error == "torn" and gap_start is None:
+            if offset + 4 > min(end, len(data)):
+                candidate_length = None  # too short even for a length
+            else:
+                candidate_length = struct.unpack_from(">I", data, offset)[0]
+            if candidate_length is None or candidate_length <= MAX_SALVAGE_PAYLOAD:
+                # Straight out of valid frames into an incomplete one
+                # with a plausible length: a torn tail, not noise.
+                yield "torn", offset, end
+                return
+        if gap_start is None:
+            gap_start = offset
+        offset += 1
+    if gap_start is not None and gap_start < end:
+        yield "gap", gap_start, end
 
 
 # ----------------------------------------------------------------------
@@ -187,9 +345,9 @@ class SegmentStats:
         else:
             span[1] = offset
 
-    def footer(self, data_start, data_end):
+    def footer(self, data_start, data_end, version=FORMAT_VERSION):
         return {
-            "version": FORMAT_VERSION,
+            "version": version,
             "records": self.records,
             "data_start": data_start,
             "data_end": data_end,
@@ -230,7 +388,7 @@ def parse_footer(data):
         footer = json.loads(blob.decode("ascii"))
     except (UnicodeDecodeError, ValueError):
         return None
-    if footer.get("version") != FORMAT_VERSION:
+    if footer.get("version") not in SUPPORTED_VERSIONS:
         return None
     return footer
 

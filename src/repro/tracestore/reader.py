@@ -7,6 +7,23 @@ a matching record.  Unsealed tail segments (the writer crashed, or the
 filter is still running) are recovered by scanning their
 self-delimiting frames.
 
+Damage handling is explicit, never silent:
+
+- a segment whose header does not parse (foreign file, truncated or
+  bit-rotted header) is skipped and counted in
+  :attr:`ScanStats.segments_bad_header`, with the reason kept in
+  :attr:`ScanStats.segment_errors`;
+- in the default *strict* mode, a corrupt frame (v2 CRC mismatch, or a
+  frame overrunning a sealed data region) raises
+  :class:`~repro.tracestore.errors.CorruptSegmentError` -- the scan
+  refuses to return a record stream it cannot vouch for;
+- in *salvage* mode (``scan(salvage=True)``), the scan resynchronizes
+  past corrupt byte ranges to the next verifiable frame, quarantines
+  what it skipped, and accounts the loss in
+  :attr:`ScanStats.bytes_quarantined` / :attr:`ScanStats.frames_corrupt`,
+  so a damaged store degrades into "these records, minus this much
+  quantified loss" instead of an exception or a lie.
+
 :func:`merge_scan` merges several filters' stores into one stream
 ordered by (header cpuTime, machine) -- the same heuristic interleaving
 as :meth:`Trace.merge`, but computed with a k-way heap merge over lazy
@@ -17,20 +34,46 @@ import heapq
 
 from repro.metering.messages import MessageCodec, is_batch_marker
 from repro.tracestore import format as sformat
+from repro.tracestore.errors import (
+    BadSegmentHeaderError,
+    CorruptSegmentError,
+)
 from repro.tracestore.writer import SEGMENT_SUFFIX
+
+#: Segment integrity classes (``Segment.verify()`` / ``trace fsck``).
+SEALED_CLEAN = "sealed-clean"
+OPEN_CLEAN = "open-clean"
+TORN_TAIL = "torn-tail"
+CORRUPT_FRAME = "corrupt-frame"
+BAD_HEADER = "bad-header"
+FOREIGN = "foreign"
 
 
 class Segment:
-    """One segment file, parsed lazily."""
+    """One segment file, parsed lazily.
+
+    A segment whose header fails to parse is still constructed --
+    ``valid`` is False and ``header_error`` holds the typed error --
+    so one damaged or foreign file can be reported and skipped instead
+    of aborting access to the whole store.
+    """
 
     def __init__(self, path, data):
         self.path = path
         self.data = bytes(data)
-        sformat.parse_segment_header(self.data)
-        self.footer = sformat.parse_footer(self.data)
+        self.header_error = None
+        try:
+            self.version = sformat.parse_segment_header(self.data, path=path)
+        except BadSegmentHeaderError as err:
+            self.version = None
+            self.header_error = err
+        self.valid = self.header_error is None
+        self.footer = sformat.parse_footer(self.data) if self.valid else None
         self.sealed = self.footer is not None
 
     def data_bounds(self):
+        if not self.valid:
+            return 0, 0
         if self.sealed:
             return self.footer["data_start"], self.footer["data_end"]
         return sformat.SEGMENT_HEADER_BYTES, len(self.data)
@@ -40,8 +83,24 @@ class Segment:
         return end - start
 
     def iter_frames(self):
+        """Strict frame walk: raises CorruptFrameError on damage."""
+        if not self.valid:
+            return iter(())
         start, end = self.data_bounds()
-        return sformat.iter_frames(self.data, start, end)
+        return sformat.iter_frames(
+            self.data, start, end,
+            version=self.version, sealed=self.sealed, path=self.path,
+        )
+
+    def salvage_frames(self):
+        """Damage-tolerant walk: ("frame", offset, mask, payload) /
+        ("gap", start, end) / ("torn", start, end) items."""
+        if not self.valid:
+            return iter(())
+        start, end = self.data_bounds()
+        return sformat.salvage_frames(
+            self.data, start, end, version=self.version
+        )
 
     def committed_frames(self):
         """Frames whose batch the writing filter actually committed.
@@ -57,14 +116,71 @@ class Segment:
         """
         if self.sealed:
             return self.iter_frames()
-        frames = list(self.iter_frames())
-        last_marker = None
-        for index, (__, __mask, payload) in enumerate(frames):
-            if is_batch_marker(payload):
-                last_marker = index
-        if last_marker is None:
-            return iter(frames)
-        return iter(frames[: last_marker + 1])
+        return iter(_commit_truncate(list(self.iter_frames())))
+
+    def committed_salvage(self):
+        """The salvage-mode analogue of :meth:`committed_frames`:
+        returns (frames, gaps) where gaps is a list of quarantined
+        (start, end) byte ranges.  Torn-tail items are expected loss
+        and are not treated as gaps."""
+        frames, gaps = [], []
+        for item in self.salvage_frames():
+            if item[0] == "frame":
+                frames.append(item[1:])
+            elif item[0] == "gap":
+                gaps.append((item[1], item[2]))
+        if not self.sealed:
+            frames = _commit_truncate(frames)
+        return frames, gaps
+
+    def verify(self):
+        """Classify this segment's integrity without decoding records.
+
+        Returns a dict: ``status`` (one of the class constants above),
+        ``version``, ``sealed``, ``frames``/``markers`` verified,
+        ``committed_bytes``, ``torn_bytes`` (clean torn tail),
+        ``quarantined_bytes`` (unverifiable, non-tail), and ``error``
+        (header error text, when status is bad-header/foreign).
+        """
+        report = {
+            "path": self.path,
+            "status": SEALED_CLEAN,
+            "version": self.version,
+            "sealed": self.sealed,
+            "frames": 0,
+            "markers": 0,
+            "committed_bytes": 0,
+            "torn_bytes": 0,
+            "quarantined_bytes": 0,
+            "error": None,
+        }
+        if not self.valid:
+            report["status"] = (
+                FOREIGN if self.header_error.foreign else BAD_HEADER
+            )
+            report["error"] = str(self.header_error)
+            report["quarantined_bytes"] = len(self.data)
+            return report
+        for item in self.salvage_frames():
+            if item[0] == "frame":
+                payload = item[3]
+                report["frames"] += 1
+                if is_batch_marker(payload):
+                    report["markers"] += 1
+                report["committed_bytes"] += (
+                    len(payload) + sformat.frame_overhead(self.version)
+                )
+            elif item[0] == "torn":
+                report["torn_bytes"] += item[2] - item[1]
+            else:
+                report["quarantined_bytes"] += item[2] - item[1]
+        if report["quarantined_bytes"]:
+            report["status"] = CORRUPT_FRAME
+        elif report["torn_bytes"]:
+            report["status"] = TORN_TAIL
+        elif not self.sealed:
+            report["status"] = OPEN_CLEAN
+        return report
 
     def host_names(self):
         if not self.sealed:
@@ -75,22 +191,55 @@ class Segment:
         }
 
 
+def _commit_truncate(frames):
+    """Drop unsealed-tail frames after the last batch marker (see
+    :meth:`Segment.committed_frames`); marker-free lists pass whole."""
+    last_marker = None
+    for index, entry in enumerate(frames):
+        payload = entry[2]
+        if is_batch_marker(payload):
+            last_marker = index
+    if last_marker is None:
+        return frames
+    return frames[: last_marker + 1]
+
+
 class ScanStats:
-    """What one scan actually touched (the pushdown evidence)."""
+    """What one scan actually touched (the pushdown evidence), plus the
+    loss ledger: everything a scan could not verify is counted here,
+    never silently dropped."""
 
     def __init__(self):
         self.segments_total = 0
         self.segments_scanned = 0
         self.segments_skipped = 0
         self.segments_recovered = 0
+        #: Segments whose header failed to parse (skipped, not fatal).
+        self.segments_bad_header = 0
         self.bytes_scanned = 0
         self.records_decoded = 0
         self.records_yielded = 0
+        #: Corrupt frames / quarantined byte ranges survived in salvage
+        #: mode (strict mode raises instead of counting).
+        self.frames_corrupt = 0
+        self.bytes_quarantined = 0
+        #: Records recovered from segments that contained damage.
+        self.records_salvaged = 0
+        #: (path, reason) for every segment-level problem encountered.
+        self.segment_errors = []
+
+    def loss_free(self):
+        """True when nothing was quarantined or skipped as damaged."""
+        return (
+            self.segments_bad_header == 0
+            and self.frames_corrupt == 0
+            and self.bytes_quarantined == 0
+        )
 
     def __repr__(self):
-        return (
+        text = (
             "ScanStats(scanned={0}/{1}, skipped={2}, recovered={3}, "
-            "bytes={4}, decoded={5}, yielded={6})".format(
+            "bytes={4}, decoded={5}, yielded={6}".format(
                 self.segments_scanned,
                 self.segments_total,
                 self.segments_skipped,
@@ -100,6 +249,17 @@ class ScanStats:
                 self.records_yielded,
             )
         )
+        if not self.loss_free():
+            text += (
+                ", bad_header={0}, corrupt_frames={1}, quarantined={2}B, "
+                "salvaged={3}".format(
+                    self.segments_bad_header,
+                    self.frames_corrupt,
+                    self.bytes_quarantined,
+                    self.records_salvaged,
+                )
+            )
+        return text + ")"
 
 
 class StoreReader:
@@ -127,7 +287,9 @@ class StoreReader:
 
     @classmethod
     def from_fs(cls, fs, base, host_names=None):
-        """From a simulated machine filesystem, host-side."""
+        """From a simulated machine filesystem, host-side.  A segment
+        with a damaged header is kept (flagged invalid) so the rest of
+        the store stays readable."""
         prefix = base + SEGMENT_SUFFIX
         segments = [
             Segment(path, fs.node(path).data)
@@ -140,7 +302,9 @@ class StoreReader:
 
     @classmethod
     def from_files(cls, base, host_names=None):
-        """From real files (the CLI): ``<base>.seg*`` siblings."""
+        """From real files (the CLI): ``<base>.seg*`` siblings.  A
+        damaged or foreign file among them is kept (flagged invalid)
+        instead of aborting the whole store."""
         import glob
 
         paths = sorted(glob.glob(base + SEGMENT_SUFFIX + "*"))
@@ -158,10 +322,16 @@ class StoreReader:
         """(path, footer-or-None) per segment, for inspect."""
         return [(segment.path, segment.footer) for segment in self.segments]
 
+    def integrity(self):
+        """Per-segment :meth:`Segment.verify` reports (inspect/fsck)."""
+        return [segment.verify() for segment in self.segments]
+
     def record_count(self):
         """Total records, from footers where sealed, scans otherwise."""
         total = 0
         for segment in self.segments:
+            if not segment.valid:
+                continue
             if segment.sealed:
                 total += segment.footer["records"]
             else:
@@ -173,7 +343,7 @@ class StoreReader:
         return total
 
     def scan(self, machines=None, pids=None, events=None, t_min=None,
-             t_max=None):
+             t_max=None, salvage=False):
         """Stream matching records as decoded dicts (the exact shape
         ``parse_trace`` yields from a text log).
 
@@ -181,6 +351,15 @@ class StoreReader:
         match is skipped without touching its data region; only its
         footer/trailer bytes are read.  The residual predicate is then
         applied per record, and masked (discarded) fields are dropped.
+
+        Integrity: strict by default -- a corrupt frame raises
+        :class:`CorruptSegmentError` rather than yielding a record
+        stream that silently differs from what was written.  With
+        ``salvage=True`` the scan skips to the next verifiable frame,
+        quarantines the damaged range, and accounts the loss in
+        :attr:`last_stats` (``bytes_quarantined``, ``frames_corrupt``).
+        Segments with unreadable headers are skipped and counted in
+        either mode.
         """
         stats = self.last_stats = ScanStats()
         stats.segments_total = len(self.segments)
@@ -188,6 +367,12 @@ class StoreReader:
         pid_set = set(pids) if pids is not None else None
         event_set = set(events) if events is not None else None
         for segment in self.segments:
+            if not segment.valid:
+                stats.segments_bad_header += 1
+                stats.segment_errors.append(
+                    (segment.path, str(segment.header_error))
+                )
+                continue
             if segment.sealed:
                 if not sformat.footer_matches(
                     segment.footer,
@@ -203,14 +388,53 @@ class StoreReader:
                 stats.segments_recovered += 1
             stats.segments_scanned += 1
             stats.bytes_scanned += segment.data_bytes()
-            for __, mask, payload in segment.committed_frames():
+            if salvage:
+                frames, gaps = segment.committed_salvage()
+                for start, end in gaps:
+                    stats.frames_corrupt += 1
+                    stats.bytes_quarantined += end - start
+                if gaps:
+                    stats.segment_errors.append(
+                        (
+                            segment.path,
+                            "quarantined {0} byte(s) in {1} range(s)".format(
+                                sum(end - start for start, end in gaps),
+                                len(gaps),
+                            ),
+                        )
+                    )
+                damaged = bool(gaps)
+            else:
+                frames = segment.committed_frames()
+                damaged = False
+            for __, mask, payload in frames:
                 if is_batch_marker(payload):
                     continue  # delivery-protocol control frame
                 try:
                     record = self.codec.decode(payload)
-                except ValueError:
-                    continue  # damaged frame body: skip, keep scanning
+                except ValueError as err:
+                    # A frame that parses but whose payload is not a
+                    # meter message.  v2 frames are CRC-verified, so
+                    # this is real damage; v1 has no frame checksum to
+                    # consult.  Either way the loss is accounted (or,
+                    # strict, surfaced) -- never silently dropped.
+                    if salvage or segment.version == sformat.FORMAT_VERSION_V1:
+                        stats.frames_corrupt += 1
+                        stats.bytes_quarantined += len(payload) + (
+                            sformat.frame_overhead(segment.version)
+                        )
+                        stats.segment_errors.append(
+                            (segment.path, "undecodable frame: %s" % err)
+                        )
+                        damaged = True
+                        continue
+                    raise CorruptSegmentError(
+                        "undecodable frame payload: %s" % err,
+                        path=segment.path,
+                    )
                 stats.records_decoded += 1
+                if damaged:
+                    stats.records_salvaged += 1
                 if event_set is not None and record["event"] not in event_set:
                     continue
                 if machine_set is not None and record["machine"] not in machine_set:

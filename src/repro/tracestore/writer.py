@@ -50,8 +50,15 @@ class StoreWriter:
         start_index=0,
         host_names=None,
         auto_seal=True,
+        version=sformat.FORMAT_VERSION,
     ):
         self.base = base
+        #: Segment format version to write.  Defaults to the current
+        #: (v2, per-frame CRC32); v1 exists for compatibility tests and
+        #: for producing stores an old reader must accept.
+        if version not in sformat.SUPPORTED_VERSIONS:
+            raise ValueError("unsupported segment version %r" % (version,))
+        self.version = version
         #: With auto_seal off, a full segment is sealed only when the
         #: caller says so (:meth:`maybe_seal`), letting the standard
         #: filter keep seals on batch-commit boundaries so a sealed
@@ -87,7 +94,7 @@ class StoreWriter:
             # Every Appendix-A body starts with the pid long.
             pid = struct.unpack_from(">i", payload, messages.HEADER_BYTES)[0]
         self._stats.add(event, machine, pid, cpu_time, self._offset)
-        frame = sformat.encode_frame(payload, mask)
+        frame = sformat.encode_frame(payload, mask, self.version)
         self._offset += len(frame)
         self._buffer.append(frame)
         self._buffered += len(frame)
@@ -104,7 +111,7 @@ class StoreWriter:
         ``records_appended``, and readers skip them."""
         if self._path is None:
             self._begin_segment()
-        frame = sformat.encode_frame(payload, 0)
+        frame = sformat.encode_frame(payload, 0, self.version)
         self._offset += len(frame)
         self._buffer.append(frame)
         self._buffered += len(frame)
@@ -140,7 +147,7 @@ class StoreWriter:
         self._stats = sformat.SegmentStats(self.host_names)
         self._offset = sformat.SEGMENT_HEADER_BYTES
         self._ops.append(("open", self._path))
-        self._ops.append(("write", self._path, sformat.segment_header()))
+        self._ops.append(("write", self._path, sformat.segment_header(self.version)))
 
     def _drain_buffer(self):
         if self._buffer:
@@ -150,7 +157,9 @@ class StoreWriter:
 
     def _seal_segment(self):
         self._drain_buffer()
-        footer = self._stats.footer(sformat.SEGMENT_HEADER_BYTES, self._offset)
+        footer = self._stats.footer(
+            sformat.SEGMENT_HEADER_BYTES, self._offset, self.version
+        )
         self._ops.append(("write", self._path, sformat.encode_footer(footer)))
         self._ops.append(("close", self._path))
         self.segments_sealed += 1

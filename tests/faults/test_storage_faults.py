@@ -1,0 +1,235 @@
+"""Storage fault injection: the FaultyWriter seam and medium faults."""
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.faults import FaultInjector, FaultPlan, FaultyWriter, StorageFaultPlan
+from repro.faults.storage import flip_bit, flip_random_bits
+from repro.metering.messages import MessageCodec
+from repro.net.addresses import InternetName
+from repro.tracestore import (
+    CorruptSegmentError,
+    StoreReader,
+    StoreWriter,
+    collect_ops,
+)
+
+HOSTS = {1: "red", 2: "green", 3: "blue"}
+
+
+def _wire(n):
+    codec = MessageCodec(HOSTS)
+    out = []
+    for i in range(n):
+        machine = (i % 3) + 1
+        dest = InternetName(HOSTS[machine], 6000, machine)
+        out.append(
+            codec.encode(
+                "send",
+                machine=machine,
+                cpu_time=i * 5,
+                proc_time=10,
+                pid=100,
+                pc=i,
+                sock=4,
+                msgLength=64,
+                destName=dest,
+                **codec.name_lengths(destName=dest)
+            )
+        )
+    return out
+
+
+def _faulty_store(plan, n=12, **writer_kw):
+    """Write n records through a FaultyWriter; returns (store, faulty)."""
+    writer_kw.setdefault("host_names", HOSTS)
+    writer_kw.setdefault("flush_bytes", 1)  # one write op per append
+    faulty = FaultyWriter(StoreWriter("/t/s.store", **writer_kw), plan)
+    sink = {}
+    for raw in _wire(n):
+        faulty.append(raw)
+        collect_ops(sink, faulty)
+    faulty.close()
+    collect_ops(sink, faulty)
+    return {path: bytes(data) for path, data in sink.items()}, faulty
+
+
+# ----------------------------------------------------------------------
+# Primitives
+# ----------------------------------------------------------------------
+
+
+def test_flip_bit_is_a_self_inverse_xor():
+    data = b"\x00\xff\x10"
+    once = flip_bit(data, 1, 3)
+    assert once != data
+    assert flip_bit(once, 1, 3) == data
+
+
+def test_flip_random_bits_is_seed_deterministic():
+    data = bytes(range(64))
+    a, flips_a = flip_random_bits(data, 5, seed=42)
+    b, flips_b = flip_random_bits(data, 5, seed=42)
+    c, __ = flip_random_bits(data, 5, seed=43)
+    assert a == b and flips_a == flips_b
+    assert c != a
+
+
+# ----------------------------------------------------------------------
+# FaultyWriter at the driver seam
+# ----------------------------------------------------------------------
+
+
+def test_no_faults_is_byte_transparent():
+    clean_sink = {}
+    writer = StoreWriter("/t/s.store", host_names=HOSTS, flush_bytes=1)
+    for raw in _wire(12):
+        writer.append(raw)
+    writer.close()
+    collect_ops(clean_sink, writer)
+    store, faulty = _faulty_store(StorageFaultPlan())
+    assert store == {p: bytes(d) for p, d in clean_sink.items()}
+    assert faulty.bytes_delivered == faulty.bytes_intended
+    assert faulty.applied == []
+
+
+def test_torn_write_cuts_the_stream_and_kills_the_medium():
+    store, faulty = _faulty_store(StorageFaultPlan().torn_write(200))
+    assert faulty.dead
+    assert faulty.bytes_delivered == 200
+    assert faulty.bytes_intended > 200  # the writer kept believing
+    assert any("torn_write" in entry for entry in faulty.applied)
+    # What landed before the cut is still a readable prefix.
+    reader = StoreReader.from_bytes(store, host_names=HOSTS)
+    records = reader.records(salvage=True)
+    baseline = [MessageCodec(HOSTS).decode(raw) for raw in _wire(12)]
+    assert records == baseline[: len(records)]
+
+
+def test_bit_flip_lands_on_the_intended_stream_offset():
+    plan = StorageFaultPlan().bit_flip(150, bit=2)
+    store, faulty = _faulty_store(plan)
+    clean, __ = _faulty_store(StorageFaultPlan())
+    (path,) = store
+    assert store[path] != clean[path]
+    assert store[path][150] == clean[path][150] ^ (1 << 2)
+    assert sum(a != b for a, b in zip(store[path], clean[path])) == 1
+    # Strict read refuses the damaged frame; salvage quantifies it.
+    reader = StoreReader.from_bytes(store, host_names=HOSTS)
+    with pytest.raises(CorruptSegmentError):
+        reader.records()
+    reader.records(salvage=True)
+    assert not reader.last_stats.loss_free()
+
+
+def test_short_write_loses_a_mid_stream_range():
+    plan = StorageFaultPlan().short_write(100, 30)
+    store, faulty = _faulty_store(plan)
+    clean, __ = _faulty_store(StorageFaultPlan())
+    (path,) = store
+    assert len(store[path]) == len(clean[path]) - 30
+    assert faulty.bytes_delivered == faulty.bytes_intended - 30
+    # Later bytes still landed (shifted): the tail of both streams match.
+    assert store[path][-40:] == clean[path][-40:]
+
+
+def test_drop_flush_loses_exactly_one_write_op():
+    plan = StorageFaultPlan().drop_flush(3)
+    store, faulty = _faulty_store(plan)
+    clean, __ = _faulty_store(StorageFaultPlan())
+    (path,) = store
+    lost = len(clean[path]) - len(store[path])
+    assert lost > 0
+    assert faulty.applied and "drop_flush #3" in faulty.applied[0]
+    assert faulty.bytes_delivered == faulty.bytes_intended - lost
+
+
+def test_same_plan_same_seed_damages_identical_bytes():
+    def run():
+        plan = StorageFaultPlan(seed=9).scatter_bit_flips(4, 300).torn_write(500)
+        return _faulty_store(plan)
+
+    store_a, faulty_a = run()
+    store_b, faulty_b = run()
+    assert store_a == store_b
+    assert faulty_a.applied == faulty_b.applied
+    assert faulty_a.plan.describe() == faulty_b.plan.describe()
+
+
+def test_faulty_writer_proxies_the_inner_writer():
+    faulty = FaultyWriter(
+        StoreWriter("/t/s.store", host_names=HOSTS), StorageFaultPlan()
+    )
+    for raw in _wire(3):
+        faulty.append(raw)
+    assert faulty.records_appended == 3  # attribute reaches the writer
+
+
+# ----------------------------------------------------------------------
+# Medium-level faults on a simulated machine's filesystem
+# ----------------------------------------------------------------------
+
+
+def _seed_fs_store(fs, base="/usr/tmp/f1.store"):
+    writer = StoreWriter(base, host_names=HOSTS, flush_bytes=1)
+    for raw in _wire(10):
+        writer.append(raw)
+    sink = {}
+    collect_ops(sink, writer)  # unsealed tail, as a live filter leaves it
+    for path, data in sink.items():
+        node = fs.create(path, 0)
+        node.data[:] = data
+    return base
+
+
+def test_fault_plan_storage_events_fire_on_the_simulated_disk():
+    cluster = Cluster(seed=3)
+    fs = cluster.machine("red").fs
+    base = _seed_fs_store(fs)
+    before = bytes(fs.node(base + ".seg00000").data)
+    plan = (
+        FaultPlan()
+        .storage_torn_write(10.0, "red", base, drop_bytes=5)
+        .storage_bit_rot(20.0, "red", base, flips=2, seed=11)
+    )
+    injector = FaultInjector(cluster, plan).arm()
+    cluster.run(until_ms=50.0)
+    after = bytes(fs.node(base + ".seg00000").data)
+    assert len(after) == len(before) - 5
+    assert after != before[:-5]  # the bit rot landed too
+    applied = injector.describe_applied()
+    assert any("storage_torn_write" in line for line in applied)
+    assert any("flipped 2 bit(s)" in line for line in applied)
+    # The damaged tail still reads as a salvageable store.
+    reader = StoreReader.from_fs(fs, base, host_names=HOSTS)
+    records = reader.records(salvage=True)
+    baseline = [MessageCodec(HOSTS).decode(raw) for raw in _wire(10)]
+    assert all(record in baseline for record in records)
+
+
+def test_storage_bit_rot_is_seed_deterministic_across_runs():
+    def run():
+        cluster = Cluster(seed=3)
+        fs = cluster.machine("red").fs
+        base = _seed_fs_store(fs)
+        plan = FaultPlan().storage_bit_rot(5.0, "red", base, flips=3, seed=7)
+        FaultInjector(cluster, plan).arm()
+        cluster.run(until_ms=10.0)
+        return bytes(fs.node(base + ".seg00000").data)
+
+    assert run() == run()
+
+
+def test_drop_flush_event_arms_a_one_shot_medium_lie():
+    cluster = Cluster(seed=3)
+    machine = cluster.machine("red")
+    fs = machine.fs
+    plan = FaultPlan().storage_drop_flush(1.0, "red", "/usr/tmp/f1")
+    FaultInjector(cluster, plan).arm()
+    cluster.run(until_ms=5.0)
+    assert fs.write_fault is not None
+    # The hook eats exactly one matching write, then disarms.
+    node = fs.create("/usr/tmp/f1.store.seg00000", 0)
+    kept = fs.write_fault("/usr/tmp/f1.store.seg00000", b"hello")
+    assert kept == b""
+    assert fs.write_fault is None

@@ -1,29 +1,50 @@
-"""``python -m repro`` -- demonstrations and trace-store tools.
+"""``python -m repro`` -- demonstrations, trace tools, and offline
+analysis.
 
 Without arguments, replays the paper's Appendix B session.  With an
-example name, runs that example; the ``trace`` subcommands work on
-trace files on the real filesystem:
-
-    python -m repro                 # quickstart (Appendix B)
-    python -m repro tsp_study       # the TSP debugging study
-    python -m repro --list
-    python -m repro trace pack f1.log f1.store    # text log -> store
-    python -m repro trace inspect f1.store        # segment footers
-    python -m repro trace cat f1.store --event send --machine 2
+example name, runs that example; the other subcommands work on trace
+files on the real filesystem (see ``python -m repro --help``).
 """
 
 import importlib.util
+import json
 import pathlib
 import sys
 
-from repro.filtering.records import format_record
+from repro.filtering.records import format_record, parse_trace
 from repro.metering.messages import record_fields
+from repro.streaming.engine import format_firing, format_snapshot
+from repro.streaming.queries import QUERY_KINDS
+from repro.streaming.twins import replay_engine
 from repro.tracestore import StoreReader, pack_text
 from repro.tracestore.fsck import format_report, fsck_store, repair_store
 from repro.tracestore.format import DEFAULT_SEGMENT_BYTES
 from repro.tracestore.writer import flush_to_files
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent.parent / "examples"
+
+USAGE = """\
+usage: python -m repro [<example> | --list | trace ... | stats ... | watch ...]
+
+Examples (simulated monitor sessions; default: quickstart):
+  python -m repro                 # quickstart (Appendix B)
+  python -m repro tsp_study       # the TSP debugging study
+  python -m repro --list          # every available example
+
+Trace-store tools (trace files on the real filesystem):
+  python -m repro trace pack <logfile> <storebase>     text log -> store
+  python -m repro trace inspect <storebase>            segment footers
+  python -m repro trace cat <storebase> [--event send] [--salvage yes]
+  python -m repro trace fsck <storebase> [--repair yes]
+
+Offline analysis (replay a finished trace through the streaming engine):
+  python -m repro stats <log-or-storebase> [--window MS] [--digest yes]
+  python -m repro watch <log-or-storebase> <kind> [--window MS] [--rule R]
+                        [--count N] [--threshold N] [--event NAME]
+                        query kinds: undelivered pattern quiet rate
+
+Inside a live session the controller commands `stats` and `watch` ask
+the running filter's engine the same questions (see docs/USERS_MANUAL)."""
 
 TRACE_USAGE = """\
 usage: python -m repro trace <subcommand>
@@ -202,7 +223,20 @@ def _trace_cat(args):
         order = ["event"] + record_fields(record["event"])
         print(format_record(record, order))
     stats = reader.last_stats
-    if not stats.loss_free():
+    if predicates["salvage"]:
+        # A salvage run always reports its loss ledger, even when it
+        # turned out to be zero -- "salvaged everything" and "nothing
+        # was damaged" must be distinguishable from silence.
+        print(
+            "# salvage: {0} corrupt frame(s), {1} byte(s) quarantined, "
+            "{2} record(s) salvaged".format(
+                stats.frames_corrupt,
+                stats.bytes_quarantined,
+                stats.records_salvaged,
+            ),
+            file=sys.stderr,
+        )
+    elif not stats.loss_free():
         print(
             "# loss: {0} corrupt frame(s), {1} byte(s) quarantined, "
             "{2} bad-header segment(s)".format(
@@ -233,12 +267,96 @@ def trace_main(args):
 
 
 # ----------------------------------------------------------------------
+# Offline streaming analysis: stats and watch over a finished trace
+# ----------------------------------------------------------------------
+
+
+def _load_records(path, salvage=False):
+    """Records from a text log file or a store base, in commit order --
+    exactly the stream the live engine folded."""
+    p = pathlib.Path(path)
+    if p.is_file():
+        return list(parse_trace(p.read_text(encoding="ascii")))
+    return list(StoreReader.from_files(path).scan(salvage=salvage))
+
+
+STATS_USAGE = """\
+usage: python -m repro stats <log-or-storebase> [--window MS] [--digest yes]
+                             [--salvage yes]"""
+
+
+def stats_main(args):
+    spec = {"window": float, "digest": str, "salvage": str}
+    positional, flags = _parse_flags(args, spec)
+    if len(positional) != 1:
+        print(STATS_USAGE)
+        return 1
+    truthy = ("yes", "true", "1", "on")
+    records = _load_records(
+        positional[0], salvage=flags.get("salvage", "").lower() in truthy
+    )
+    engine = replay_engine(records, window_ms=flags.get("window"))
+    engine.finalize()
+    if flags.get("digest", "").lower() in truthy:
+        print(json.dumps(engine.digest(), sort_keys=True))
+    else:
+        for line in format_snapshot(engine.snapshot()):
+            print(line)
+    return 0
+
+
+WATCH_USAGE = """\
+usage: python -m repro watch <log-or-storebase> <kind> [--window MS]
+                             [--rule R] [--count N] [--threshold N]
+                             [--event NAME] [--salvage yes]
+  query kinds: {0}""".format(" ".join(QUERY_KINDS))
+
+
+def watch_main(args):
+    spec_flags = {
+        "window": float,
+        "rule": str,
+        "count": int,
+        "threshold": int,
+        "event": str,
+        "salvage": str,
+    }
+    positional, flags = _parse_flags(args, spec_flags)
+    if len(positional) != 2 or positional[1] not in QUERY_KINDS:
+        print(WATCH_USAGE)
+        return 1
+    path, kind = positional
+    salvage = flags.pop("salvage", "").lower() in ("yes", "true", "1", "on")
+    spec = {"kind": kind}
+    spec.update(flags)
+    engine = replay_engine(
+        _load_records(path, salvage=salvage), specs=[(1, spec)]
+    )
+    engine.finalize(advance_queries=True)
+    firings = engine.poll(0)["firings"]
+    for firing in firings:
+        print(format_firing(firing))
+    print("{0} firing(s)".format(len(firings)))
+    return 0
+
+
+# ----------------------------------------------------------------------
 
 
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("-h", "--help", "help"):
+        print(USAGE)
+        return 0
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] in ("stats", "watch"):
+        handler = stats_main if argv[0] == "stats" else watch_main
+        try:
+            return handler(argv[1:])
+        except (FileNotFoundError, ValueError) as err:
+            print("{0}: {1}".format(argv[0], err))
+            return 1
     names = _available()
     if argv and argv[0] in ("--list", "-l"):
         print("available examples:")

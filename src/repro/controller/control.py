@@ -6,6 +6,8 @@ meterdaemons, and reports asynchronous state changes ("DONE: process B
 in job 'foo' terminated: reason: normal").
 """
 
+import json
+
 from repro import guestlib
 from repro.controller import health, journal, states
 from repro.controller.model import FilterInfo, Job, ProcessRecord
@@ -14,6 +16,8 @@ from repro.daemon.meterdaemon import METERDAEMON_PORT
 from repro.kernel import defs
 from repro.kernel.errno import SyscallError, errno_name
 from repro.metering import flags as mflags
+from repro.streaming.engine import format_firing, format_snapshot
+from repro.streaming.queries import QUERY_KINDS
 
 PROMPT = "<Control> "
 
@@ -27,6 +31,10 @@ MAX_SOURCE_DEPTH = 16
 _PARAM_CHARS = set(
     "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ/.-_*"
 )
+
+#: The live-analysis commands additionally take rule/comparison
+#: characters (watch specifications such as ``rule=type=send,msgLength>=400``).
+_WATCH_PARAM_CHARS = _PARAM_CHARS | set("=<>!,:")
 
 HELP_TEXT = """\
 Commands:
@@ -49,6 +57,14 @@ Commands:
                                                  process' standard input
   stdinfile <jobname> <procname> <filename>      redirect a file into a
                                                  process' standard input
+  stats [<filtername>] [digest]                  live statistics from the
+                                                 filter's streaming engine
+  watch add [<filtername>] <kind> [<k>=<v>...]   register a continuous
+                                                 query (kinds: undelivered
+                                                 pattern quiet rate)
+  watch [poll]                                   report new watch firings
+  watch list                                     list registered watches
+  watch rm <id>                                  remove a watch
   resume [<journalfile>]                         rebuild the session of a
                                                  crashed controller
   die                                            exit the controller
@@ -86,6 +102,11 @@ class ControllerState:
         self.next_job_number = 1
         self.input_stack = []
         self.sink_fd = None  # output file fd, or None for the terminal
+        #: Continuous queries: watch id -> {"filtername", "spec"}, plus
+        #: per-filter poll cursors into the engine's firing sequence.
+        self.watches = {}
+        self.next_watch_id = 1
+        self.watch_seqs = {}
         #: Session journal (opened lazily; -1 means unavailable).
         self.journal_fd = None
         self.die_warned = False
@@ -326,6 +347,7 @@ def _on_filter_restart(sys, state, body):
         ),
     )
     yield from _repoint_filter(sys, state, info, [old_port])
+    yield from _reregister_watches(sys, state, info)
 
 
 # ----------------------------------------------------------------------
@@ -642,6 +664,7 @@ def _respawn_filter(sys, state, info):
         ),
     )
     yield from _repoint_filter(sys, state, info, [old_port])
+    yield from _reregister_watches(sys, state, info)
 
 
 def _repoint_filter(sys, state, info, old_ports):
@@ -709,8 +732,8 @@ def _remeter_machine(sys, state, info, machine, records, old_ports):
 # ----------------------------------------------------------------------
 
 
-def _valid_params(tokens):
-    return all(set(token) <= _PARAM_CHARS for token in tokens)
+def _valid_params(tokens, allowed=_PARAM_CHARS):
+    return all(set(token) <= allowed for token in tokens)
 
 
 #: Commands whose line is journaled write-ahead (they mutate session
@@ -728,6 +751,7 @@ _JOURNALED_COMMANDS = frozenset(
         "removejob",
         "rmjob",
         "removeprocess",
+        "watch",
         "resume",
         "die",
         "exit",
@@ -744,7 +768,10 @@ def _dispatch(sys, state, line):
     args = tokens[1:]
     if command != "die":
         state.die_warned = False
-    if not _valid_params(args):
+    allowed = (
+        _WATCH_PARAM_CHARS if command in ("watch", "stats") else _PARAM_CHARS
+    )
+    if not _valid_params(args, allowed):
         yield from _emit(sys, state, "bad parameter characters in command")
         return
     handler = _COMMANDS.get(command)
@@ -1457,6 +1484,251 @@ def cmd_sink(sys, state, args):
         state.sink_fd = yield sys.open(args[0], "w")
 
 
+# ----------------------------------------------------------------------
+# Live analysis: stats and watch (repro.streaming)
+# ----------------------------------------------------------------------
+
+
+def _resolve_filter(sys, state, name):
+    """``name`` (or the default filter when None); emits the error."""
+    if name is not None:
+        info = state.filters.get(name)
+        if info is None:
+            yield from _emit(sys, state, "no filter '{0}'".format(name))
+        return info
+    info = state.default_filter()
+    if info is None:
+        yield from _emit(sys, state, "no filters")
+    return info
+
+
+def _stream_query(sys, state, info, req_type, query):
+    """One live-analysis RPC: controller -> daemon -> filter engine.
+    Returns (engine reply dict, None) or (None, error text)."""
+    reply_type, body = yield from _rpc(
+        sys, state, info.machine, req_type, filtername=info.name, query=query
+    )
+    expected = protocol.REPLY_FOR.get(req_type)
+    if reply_type != expected or not protocol.is_ok(body):
+        return None, str(body.get("status"))
+    result = body.get("result") or {}
+    if result.get("status") != "ok":
+        return None, str(result.get("reason", "engine error"))
+    return result, None
+
+
+def cmd_stats(sys, state, args):
+    """Live statistics snapshot (or digest) from a filter's engine."""
+    args = list(args)
+    want_digest = bool(args) and args[-1] == "digest"
+    if want_digest:
+        args.pop()
+    info = yield from _resolve_filter(sys, state, args[0] if args else None)
+    if info is None:
+        return
+    query = {"op": "digest" if want_digest else "stats"}
+    result, err = yield from _stream_query(
+        sys, state, info, protocol.STATS_REQ, query
+    )
+    if result is None:
+        yield from _emit(sys, state, "stats failed: {0}".format(err))
+        return
+    if want_digest:
+        # One canonical JSON line: scriptable, and what the benchmark
+        # diffs against the post-mortem twins.
+        yield from _emit(
+            sys, state, json.dumps(result.get("result"), sort_keys=True)
+        )
+        return
+    for line in format_snapshot(result.get("result") or {}):
+        yield from _emit(sys, state, line)
+
+
+def _coerce_param(value):
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def _watch_add(sys, state, args):
+    args = list(args)
+    name = None
+    if args and args[0] in state.filters:
+        name = args.pop(0)
+    if not args or args[0] not in QUERY_KINDS:
+        yield from _emit(
+            sys,
+            state,
+            "usage: watch add [<filtername>] <kind> [<k>=<v>...]   "
+            "kinds: {0}".format(" ".join(QUERY_KINDS)),
+        )
+        return
+    kind = args.pop(0)
+    spec = {"kind": kind}
+    for token in args:
+        key, eq, value = token.partition("=")
+        if not eq or not key:
+            yield from _emit(
+                sys, state, "bad watch parameter '{0}' (want k=v)".format(token)
+            )
+            return
+        spec[key] = _coerce_param(value)
+    info = yield from _resolve_filter(sys, state, name)
+    if info is None:
+        return
+    wid = state.next_watch_id
+    result, err = yield from _stream_query(
+        sys,
+        state,
+        info,
+        protocol.WATCH_REQ,
+        {"op": "add", "id": wid, "spec": spec},
+    )
+    if result is None:
+        yield from _emit(sys, state, "watch not registered: {0}".format(err))
+        return
+    state.next_watch_id = wid + 1
+    state.watches[wid] = {"filtername": info.name, "spec": spec}
+    yield from _journal(
+        sys, state, "watch", wid=wid, filtername=info.name, spec=spec
+    )
+    yield from _emit(
+        sys,
+        state,
+        "watch W{0} [{1}] registered on filter '{2}'".format(
+            wid, kind, info.name
+        ),
+    )
+
+
+def _watch_rm(sys, state, args):
+    try:
+        wid = int(args[0].lstrip("W")) if args else None
+    except ValueError:
+        wid = None
+    if wid is None:
+        yield from _emit(sys, state, "usage: watch rm <id>")
+        return
+    watch = state.watches.pop(wid, None)
+    if watch is None:
+        yield from _emit(sys, state, "no watch W{0}".format(wid))
+        return
+    yield from _journal(sys, state, "watch-rm", wid=wid)
+    info = state.filters.get(watch["filtername"])
+    if info is not None:
+        yield from _stream_query(
+            sys, state, info, protocol.WATCH_REQ, {"op": "remove", "id": wid}
+        )
+    yield from _emit(sys, state, "watch W{0} removed".format(wid))
+
+
+def _watch_list(sys, state):
+    if not state.watches:
+        yield from _emit(sys, state, "no watches")
+        return
+    for wid in sorted(state.watches):
+        watch = state.watches[wid]
+        yield from _emit(
+            sys,
+            state,
+            "W{0} on '{1}': {2}".format(
+                wid,
+                watch["filtername"],
+                json.dumps(watch["spec"], sort_keys=True),
+            ),
+        )
+
+
+def _watch_poll(sys, state):
+    if not state.watches:
+        yield from _emit(sys, state, "no watches")
+        return
+    fired = 0
+    names = sorted({w["filtername"] for w in state.watches.values()})
+    for name in names:
+        info = state.filters.get(name)
+        if info is None:
+            continue
+        result, err = yield from _stream_query(
+            sys,
+            state,
+            info,
+            protocol.WATCH_REQ,
+            {"op": "poll", "since": state.watch_seqs.get(name, 0)},
+        )
+        if result is None:
+            yield from _emit(
+                sys, state, "watch poll failed on '{0}': {1}".format(name, err)
+            )
+            continue
+        state.watch_seqs[name] = result.get("seq", 0)
+        for firing in result.get("firings", []):
+            fired += 1
+            yield from _emit(sys, state, format_firing(firing))
+    if not fired:
+        yield from _emit(sys, state, "no new firings")
+
+
+def cmd_watch(sys, state, args):
+    """Continuous queries over the live record stream."""
+    sub = args[0].lower() if args else "poll"
+    rest = args[1:]
+    if sub == "add":
+        yield from _watch_add(sys, state, rest)
+    elif sub in ("rm", "remove"):
+        yield from _watch_rm(sys, state, rest)
+    elif sub == "list":
+        yield from _watch_list(sys, state)
+    elif sub == "poll":
+        yield from _watch_poll(sys, state)
+    else:
+        yield from _emit(
+            sys, state, "usage: watch [add|poll|list|rm] ..."
+        )
+
+
+def _reregister_watches(sys, state, info, only_missing=False):
+    """Re-subscribe this filter's watches to its engine.
+
+    After a filter relaunch the replacement's engine replayed the log
+    but has no queries and a fresh firing sequence, so every watch is
+    re-added and the poll cursor rewound.  After a controller resume
+    the engine may have survived intact; ``only_missing`` then asks it
+    what it still holds and re-adds only what is gone (replacing a live
+    query would discard its accumulated state)."""
+    watched = {
+        wid: w
+        for wid, w in state.watches.items()
+        if w["filtername"] == info.name
+    }
+    if not watched:
+        return
+    existing = set()
+    if only_missing:
+        result, __ = yield from _stream_query(
+            sys, state, info, protocol.WATCH_REQ, {"op": "list"}
+        )
+        if result is not None:
+            existing = {q.get("id") for q in result.get("queries", [])}
+    else:
+        state.watch_seqs[info.name] = 0
+    for wid in sorted(watched):
+        if wid in existing:
+            continue
+        yield from _stream_query(
+            sys,
+            state,
+            info,
+            protocol.WATCH_REQ,
+            {"op": "add", "id": wid, "spec": watched[wid]["spec"]},
+        )
+
+
 def cmd_resume(sys, state, args):
     """Rebuild a crashed controller's session from its journal.
 
@@ -1489,6 +1761,8 @@ def cmd_resume(sys, state, args):
     state.filter_order = replayed.filter_order
     state.jobs = replayed.jobs
     state.next_job_number = replayed.next_job_number
+    state.watches = replayed.watches
+    state.next_watch_id = replayed.next_watch_id
     yield from _journal(sys, state, "resume")
     yield from _emit(
         sys,
@@ -1499,6 +1773,13 @@ def cmd_resume(sys, state, args):
     )
     for machine in sorted(_watched_machines(state)):
         yield from _reconcile_machine(sys, state, machine)
+    # Filters that survived the controller crash still hold their
+    # queries; respawned ones were re-subscribed above.  Fill only the
+    # gaps (and leave live query state alone).
+    for name in list(state.filter_order):
+        info = state.filters.get(name)
+        if info is not None:
+            yield from _reregister_watches(sys, state, info, only_missing=True)
 
 
 def cmd_die(sys, state, args):
@@ -1546,6 +1827,8 @@ _COMMANDS = {
     "sink": cmd_sink,
     "input": cmd_input,
     "stdinfile": cmd_stdinfile,
+    "stats": cmd_stats,
+    "watch": cmd_watch,
     "resume": cmd_resume,
     "die": cmd_die,
     "exit": cmd_die,

@@ -59,6 +59,8 @@ class ReplayedState:
         self.filter_order = []
         self.jobs = {}
         self.next_job_number = 1
+        self.watches = {}
+        self.next_watch_id = 1
         self.clean_exit = False
 
 
@@ -150,4 +152,13 @@ def replay(entries):
                     job.processes.remove(record)
         elif op == "removejob":
             state.jobs.pop(entry["name"], None)
+        elif op == "watch":
+            wid = int(entry["wid"])
+            state.watches[wid] = {
+                "filtername": entry["filtername"],
+                "spec": entry.get("spec", {}),
+            }
+            state.next_watch_id = max(state.next_watch_id, wid + 1)
+        elif op == "watch-rm":
+            state.watches.pop(int(entry["wid"]), None)
     return state

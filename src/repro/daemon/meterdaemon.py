@@ -17,6 +17,7 @@ from repro.filtering.standard import log_path_for
 from repro.kernel import defs
 from repro.kernel.errno import SyscallError
 from repro.metering import flags as mflags
+from repro.streaming import protocol as streamproto
 
 #: Well-known port every meterdaemon listens on.
 METERDAEMON_PORT = 3425
@@ -653,6 +654,56 @@ def _handle_adopt(sys, state, body):
     )
 
 
+#: How long the daemon waits for the filter engine's reply before
+#: reporting the query failed (the filter answers between meter waits,
+#: so this only expires when the filter is wedged or dying).
+QUERY_REPLY_TIMEOUT_MS = 2000.0
+
+
+def _find_filter_spec(state, filtername):
+    for spec in state.filters.values():
+        if spec["filtername"] == filtername:
+            return spec
+    return None
+
+
+def _filter_query(sys, state, body):
+    """Relay one live-analysis query to the named filter's streaming
+    engine, over the filter's own meter port (so the query reaches
+    exactly the incarnation currently committing records)."""
+    spec = _find_filter_spec(state, body.get("filtername"))
+    if spec is None:
+        raise SyscallError(
+            3, "no filter named %r on this machine" % body.get("filtername")
+        )
+    hostname = yield sys.hostname()
+    fd = yield from _connect_meter_socket(sys, hostname, spec["meter_port"])
+    try:
+        yield sys.write(fd, streamproto.encode_query(body.get("query") or {}))
+        payload = yield from guestlib.recv_frame_timeout(
+            sys, fd, QUERY_REPLY_TIMEOUT_MS
+        )
+    finally:
+        yield sys.close(fd)
+    return streamproto.parse_reply(payload)
+
+
+def _handle_stats(sys, state, body):
+    """Type 39: live statistics snapshot / digest from a filter."""
+    result = yield from _filter_query(sys, state, body)
+    return protocol.encode(
+        protocol.STATS_REPLY, status=protocol.OK, result=result
+    )
+
+
+def _handle_watch(sys, state, body):
+    """Type 41: continuous-query management (add/remove/poll/list)."""
+    result = yield from _filter_query(sys, state, body)
+    return protocol.encode(
+        protocol.WATCH_REPLY, status=protocol.OK, result=result
+    )
+
+
 _HANDLERS = {
     protocol.CREATE_REQ: _handle_create,
     protocol.CREATE_FILTER_REQ: _handle_create_filter,
@@ -666,4 +717,6 @@ _HANDLERS = {
     protocol.STATUS_REQ: _handle_status,
     protocol.REMETER_REQ: _handle_remeter,
     protocol.ADOPT_REQ: _handle_adopt,
+    protocol.STATS_REQ: _handle_stats,
+    protocol.WATCH_REQ: _handle_watch,
 }

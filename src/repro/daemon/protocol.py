@@ -56,6 +56,13 @@ TERMINATION_NOTIFY = 30
 OUTPUT_NOTIFY = 31
 FILTER_RESTART_NOTIFY = 38  # a supervised filter was relaunched
 
+# Live-analysis requests: the daemon relays a query to the streaming
+# engine inside a local filter (repro.streaming) and returns its reply.
+STATS_REQ = 39
+WATCH_REQ = 41
+STATS_REPLY = 40
+WATCH_REPLY = 42
+
 REPLY_FOR = {
     CREATE_REQ: CREATE_REPLY,
     CREATE_FILTER_REQ: CREATE_FILTER_REPLY,
@@ -69,6 +76,8 @@ REPLY_FOR = {
     STATUS_REQ: STATUS_REPLY,
     REMETER_REQ: REMETER_REPLY,
     ADOPT_REQ: ADOPT_REPLY,
+    STATS_REQ: STATS_REPLY,
+    WATCH_REQ: WATCH_REPLY,
 }
 
 OK = "ok"

@@ -13,7 +13,12 @@ filter body.
 """
 
 from repro.kernel.errno import SyscallError
-from repro.metering.messages import HEADER_BYTES, peek_size
+from repro.metering.messages import (
+    HEADER_BYTES,
+    STREAM_QUERY_TYPE,
+    peek_size,
+    peek_trace_type,
+)
 
 #: Any framed size outside these bounds means the connection is not
 #: speaking the meter protocol at all; it is closed, not parsed.
@@ -53,6 +58,14 @@ class MeterInbox:
         self.last_seq = dict(recovered_seqs or {})
         self.batches_accepted = 0
         self.batches_deduped = 0
+        #: (fd, raw frame) of live-analysis query messages (traceType
+        #: STREAM_QUERY_TYPE), diverted out of the record path.  A
+        #: connection is classified by its *first* complete message --
+        #: meters never send queries, queriers never send records -- so
+        #: the per-message framing loop stays check-free.
+        self.pending_queries = []
+        self._query_fds = set()
+        self._unclassified = set()
 
     def accept_batch(self, machine, pid, seq):
         """At-least-once delivery -> exactly-once acceptance.
@@ -70,6 +83,13 @@ class MeterInbox:
         self.last_seq[key] = seq
         self.batches_accepted += 1
         return True
+
+    def take_queries(self):
+        """Drain diverted query frames: [(conn fd, raw frame), ...].
+        The caller answers on the same fd (see repro.streaming)."""
+        queries = self.pending_queries
+        self.pending_queries = []
+        return queries
 
     def fds(self):
         return [self.listen_fd] + list(self.buffers)
@@ -90,6 +110,7 @@ class MeterInbox:
             if fd == self.listen_fd:
                 conn, __ = yield sys.accept(self.listen_fd)
                 self.buffers[conn] = b""
+                self._unclassified.add(conn)
                 self.connections_accepted += 1
                 continue
             try:
@@ -101,16 +122,21 @@ class MeterInbox:
                 data = b""
             if not data:
                 yield sys.close(fd)
-                del self.buffers[fd]
+                self._drop(fd)
                 continue
             corrupt = self._feed(fd, data, raw_messages)
             if corrupt:
                 # Not the meter protocol: drop the connection rather
                 # than loop over garbage framing.
                 yield sys.close(fd)
-                del self.buffers[fd]
+                self._drop(fd)
         self.messages_received += len(raw_messages)
         return raw_messages
+
+    def _drop(self, fd):
+        del self.buffers[fd]
+        self._query_fds.discard(fd)
+        self._unclassified.discard(fd)
 
     def _feed(self, fd, data, raw_messages):
         """Frame newly read bytes, appending complete messages to
@@ -125,6 +151,16 @@ class MeterInbox:
         leftover = self.buffers[fd]
         if leftover:
             data = leftover + data
+        if fd in self._query_fds:
+            return self._feed_queries(fd, data)
+        if fd in self._unclassified:
+            if len(data) < HEADER_BYTES:
+                self.buffers[fd] = data
+                return False
+            self._unclassified.discard(fd)
+            if peek_trace_type(data) == STREAM_QUERY_TYPE:
+                self._query_fds.add(fd)
+                return self._feed_queries(fd, data)
         end = len(data)
         offset = 0
         while True:
@@ -148,4 +184,22 @@ class MeterInbox:
             self.buffers[fd] = data[offset:]
         else:
             self.buffers[fd] = data
+        return False
+
+    def _feed_queries(self, fd, data):
+        """Framing for a query connection: same size-delimited frames,
+        routed to :attr:`pending_queries` instead of the record path."""
+        end = len(data)
+        offset = 0
+        while True:
+            size = peek_size(data, offset)
+            if size is None:
+                break
+            if size < HEADER_BYTES or size > MAX_METER_MESSAGE:
+                return True
+            if end - offset < size:
+                break
+            self.pending_queries.append((fd, data[offset : offset + size]))
+            offset += size
+        self.buffers[fd] = data[offset:] if offset != end else b""
         return False

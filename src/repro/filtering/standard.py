@@ -30,13 +30,16 @@ concurrent sessions on one machine keep separate logs.
 from repro import guestlib
 from repro.filtering.descriptions import parse_descriptions
 from repro.filtering.filterlib import MeterInbox
-from repro.filtering.records import format_record
+from repro.filtering.records import format_record, parse_trace
 from repro.filtering.rules import RuleSet, parse_rules
+from repro.kernel.errno import SyscallError
 from repro.metering.messages import (
     is_batch_marker,
     parse_batch_marker,
     record_fields,
 )
+from repro.streaming import protocol as streamproto
+from repro.streaming.engine import StreamEngine, serve_query
 from repro.tracestore import (
     StoreWriter,
     discard_mask,
@@ -44,6 +47,7 @@ from repro.tracestore import (
     next_segment_index,
     zero_masked_bytes,
 )
+from repro.tracestore.format import masked_fields
 from repro.tracestore.reader import Segment
 from repro.tracestore.writer import segment_path
 
@@ -116,11 +120,16 @@ def recover_text_seqs(text):
     return recovered
 
 
-def recover_store_seqs(sys, base):
+def recover_store_seqs(sys, base, on_record=None):
     """(machine, pid) -> last committed batch seq, from marker frames
     in a store's existing segments -- including an unsealed tail, which
     is recovered by frame scan (a marker on disk means its whole batch
-    precedes it on disk)."""
+    precedes it on disk).
+
+    ``on_record(mask, payload)``, if given, sees every committed
+    non-marker frame in commit order along the way -- how a relaunched
+    filter replays its log into a fresh streaming engine in the same
+    single pass."""
     recovered = {}
     index = 0
     while True:
@@ -134,9 +143,11 @@ def recover_store_seqs(sys, base):
         if not segment.valid:
             continue  # damaged header: nothing recoverable here
         frames, __gaps = segment.committed_salvage()
-        for __, __mask, payload in frames:
+        for __, mask, payload in frames:
             marker = parse_batch_marker(payload)
             if marker is None:
+                if on_record is not None:
+                    on_record(mask, payload)
                 continue
             machine, pid, seq = marker
             key = (machine, pid)
@@ -158,6 +169,13 @@ def standard_filter(sys, argv):
     host_names = yield sys.hosttable()
 
     store_mode = log_path.endswith(STORE_SUFFIX)
+    # The live analysis engine folds exactly the records this filter
+    # commits, in commit order.  A relaunched incarnation replays the
+    # previous incarnation's committed log into a fresh engine before
+    # accepting new traffic, and the inbox's batch dedup rejects
+    # retransmissions of replayed batches -- so online answers always
+    # equal a post-mortem fold over the finished log (the twin oracle).
+    engine = StreamEngine()
     if store_mode:
         # A relaunched filter continues after the segments an earlier
         # incarnation flushed; it never rewrites them.  Sequence
@@ -165,7 +183,20 @@ def standard_filter(sys, argv):
         # for committed batch markers, and auto_seal is off so a
         # segment never seals inside a half-committed batch.
         start = yield from next_segment_index(sys, log_path)
-        recovered = yield from recover_store_seqs(sys, log_path)
+
+        def replay_frame(mask, payload):
+            try:
+                record = descriptions.decode_message(payload, host_names)
+            except (ValueError, KeyError):
+                return  # mirror the live path: malformed frames drop
+            if mask:
+                for name in masked_fields(record["event"], mask):
+                    record.pop(name, None)
+            engine.update(record)
+
+        recovered = yield from recover_store_seqs(
+            sys, log_path, on_record=replay_frame
+        )
         writer = StoreWriter(
             log_path, start_index=start, host_names=host_names, auto_seal=False
         )
@@ -174,12 +205,16 @@ def standard_filter(sys, argv):
         writer = None
         existing = yield from guestlib.read_optional_file(sys, log_path)
         recovered = recover_text_seqs(existing) if existing else {}
+        if existing:
+            for record in parse_trace(existing):
+                engine.update(record)
         log_fd = yield sys.open(log_path, "a")
 
     inbox = MeterInbox(recovered_seqs=recovered)
-    #: (machine, pid) -> the in-flight batch's accepted items (text
-    #: lines, or (payload, mask) pairs in store mode); committed or
-    #: discarded when the batch's trailing marker arrives.
+    #: (machine, pid) -> the in-flight batch's accepted items; the
+    #: last element of every item is the saved record dict, fed to the
+    #: streaming engine at commit.  Committed or discarded when the
+    #: batch's trailing marker arrives.
     open_batches = {}
     pending = []  # committed text lines buffered across wait batches
     pending_bytes = 0
@@ -200,13 +235,15 @@ def standard_filter(sys, argv):
                 if not inbox.accept_batch(machine_id, pid, seq):
                     continue  # retransmitted batch already in the log
                 if store_mode:
-                    for payload, mask in batch:
+                    for payload, mask, __ in batch:
                         writer.append(payload, mask)
                     writer.append_marker(raw)
                     writer.maybe_seal()
                 else:
-                    lines.extend(batch)
+                    lines.extend(item[0] for item in batch)
                     lines.append(format_batch_line(machine_id, pid, seq))
+                for item in batch:
+                    engine.update(item[-1])
                 continue
             try:
                 record = descriptions.decode_message(raw, host_names)
@@ -223,12 +260,22 @@ def standard_filter(sys, argv):
                     event,
                     {name for name in record_fields(event) if name not in saved},
                 )
-                item = (zero_masked_bytes(raw, event, mask), mask)
+                item = (zero_masked_bytes(raw, event, mask), mask, saved)
             else:
                 order = descriptions.field_order(record["event"])
-                item = format_record(saved, order)
+                item = (format_record(saved, order), saved)
             key = (record["machine"], record.get("pid", 0))
             open_batches.setdefault(key, []).append(item)
+        for query_fd, raw_query in inbox.take_queries():
+            # A live-analysis query on the meter port: answer from the
+            # engine on the same connection, one JSON frame.
+            reply = serve_query(engine, streamproto.parse_query(raw_query))
+            try:
+                yield from guestlib.send_frame(
+                    sys, query_fd, streamproto.encode_reply(reply)
+                )
+            except SyscallError:
+                pass  # asker gone; engine state is unaffected
         if not raw_messages and open_batches:
             # Idle with batches still open: a markerless sender (tests,
             # hand-built meter streams).  Flush what we have without
@@ -236,11 +283,13 @@ def standard_filter(sys, argv):
             for key in list(open_batches):
                 batch = open_batches.pop(key)
                 if store_mode:
-                    for payload, mask in batch:
+                    for payload, mask, __ in batch:
                         writer.append(payload, mask)
                     writer.maybe_seal()
                 else:
-                    lines.extend(batch)
+                    lines.extend(item[0] for item in batch)
+                for item in batch:
+                    engine.update(item[-1])
         if store_mode:
             # Bounded buffering: whatever this batch left in the
             # writer's buffer goes to disk before we block again.

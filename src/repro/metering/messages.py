@@ -51,6 +51,13 @@ EVENT_NAMES = {value: name for name, value in EVENT_TYPES.items()}
 #: only know types 1-10 can recognise and skip it.
 BATCH_MARKER_TYPE = 99
 
+#: Trace type of a live-analysis query frame: a request sent *to* a
+#: filter's meter port (standard header framing, JSON body) asking its
+#: streaming engine for stats, a digest, or a continuous-query change.
+#: Like the batch marker it sits outside the Appendix-A event range;
+#: framing carries it, old consumers can skip it.
+STREAM_QUERY_TYPE = 98
+
 #: Body field tables: (field name, kind) where kind is "long" or "name".
 #: Order matches the Appendix-A struct declarations.
 BODY_FIELDS = {
@@ -360,6 +367,14 @@ def peek_size(raw, offset=0):
     if len(raw) - offset < 4:
         return None
     return struct.unpack_from(">i", raw, offset)[0]
+
+
+def peek_trace_type(raw, offset=0):
+    """Read the ``traceType`` header field of the message at ``offset``
+    without a full decode, or None if the header is incomplete."""
+    if len(raw) - offset < HEADER_BYTES:
+        return None
+    return struct.unpack_from(">i", raw, offset + 20)[0]
 
 
 def decode_stream(raw, codec):

@@ -1,0 +1,34 @@
+"""Streaming online analysis: folds over the live record stream.
+
+The batch analyses in :mod:`repro.analysis` replay a finished trace;
+this package runs the same computations *while the session runs*, as
+folds (`Generic Program Monitoring by Trace Analysis`, Jahier &
+Ducasse): one ``update(record)`` per analysis, bounded state via
+window eviction, and -- because every fold consumes exactly the
+committed record stream the filter logs -- a post-mortem twin that the
+online answer can be diffed against record for record.
+
+:class:`~repro.streaming.engine.StreamEngine` is the composition: live
+vector clocks, online send/receive matching, windowed communication
+statistics, and a continuous-query layer whose firings quantify -- via
+the drift benchmark -- how much clock skew costs in precision/recall
+(Yingchareonthawornchai et al.).
+"""
+
+from repro.streaming.engine import (
+    DEFAULT_WINDOW_MS,
+    StreamEngine,
+    digest_add,
+    format_firing,
+    format_snapshot,
+    serve_query,
+)
+
+__all__ = [
+    "DEFAULT_WINDOW_MS",
+    "StreamEngine",
+    "digest_add",
+    "format_firing",
+    "format_snapshot",
+    "serve_query",
+]

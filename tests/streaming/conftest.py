@@ -1,0 +1,50 @@
+"""Shared builders for the streaming-analysis tests."""
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.programs import install_all
+
+#: Every event kind the workloads below can produce -- so the stream
+#: exercises clocks, stream matching, and datagram matching at once.
+ALL_FLAGS = (
+    "send receive receivecall socket dup destsocket fork accept connect termproc"
+)
+
+
+def build_session(seed=21, log_format="text", clock_skew=None):
+    cluster = Cluster(seed=seed, clock_skew=clock_skew)
+    session = MeasurementSession(
+        cluster, control_machine="yellow", log_format=log_format
+    )
+    install_all(session)
+    return session
+
+
+def start_mixed_job(session, dgram_count=30, rounds=20):
+    """One job mixing datagram and stream traffic across machines."""
+    session.command("filter f1 blue")
+    session.command("newjob j")
+    session.command(
+        "addprocess j red dgramconsumer 6001 {0} 4000".format(dgram_count)
+    )
+    session.command(
+        "addprocess j green dgramproducer red 6001 {0} 64 5".format(dgram_count)
+    )
+    session.command("addprocess j red pingpongserver 5100 {0}".format(rounds))
+    session.command(
+        "addprocess j blue pingpongclient red 5100 {0}".format(rounds)
+    )
+    session.command("setflags j " + ALL_FLAGS)
+    session.command("startjob j")
+
+
+def stats_digest(session, filtername="f1"):
+    """The filter engine's live digest, via the controller command."""
+    import json
+
+    out = session.command("stats {0} digest".format(filtername))
+    for line in out.splitlines():
+        line = line.strip()
+        if line.startswith("{"):
+            return json.loads(line)
+    raise AssertionError("no digest line in output:\n" + out)

@@ -135,12 +135,15 @@ def test_cli_fsck_verify_damage_and_repair(tmp_path, capsys, log_text):
     assert "quarantined" in capsys.readouterr().out
 
     # Strict cat refuses the damaged store; salvage degrades with a
-    # quantified loss note on stderr.
+    # quantified loss ledger on stderr (corrupt frames, quarantined
+    # bytes, AND how many records survived the damaged segments).
     assert main(["trace", "cat", base]) == 1
     assert "trace cat" in capsys.readouterr().out
     assert main(["trace", "cat", base, "--salvage", "yes"]) == 0
     err = capsys.readouterr().err
-    assert "# loss:" in err and "quarantined" in err
+    assert "# salvage:" in err and "quarantined" in err
+    assert "1 corrupt frame(s)" in err
+    assert "record(s) salvaged" in err
 
     # Repair writes a clean copy; the source stays damaged (offline tool).
     assert main(["trace", "fsck", base, "--repair", "yes"]) == 1

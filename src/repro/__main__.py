@@ -10,13 +10,16 @@ import importlib.util
 import json
 import pathlib
 import sys
+import time
 
 from repro.filtering.records import format_record, parse_trace
+from repro.filtering.rules import parse_rules
 from repro.metering.messages import record_fields
 from repro.streaming.engine import format_firing, format_snapshot
 from repro.streaming.queries import QUERY_KINDS
 from repro.streaming.twins import replay_engine
-from repro.tracestore import StoreReader, pack_text
+from repro.tracestore import StoreReader, pack_text, scan_fast, select
+from repro.tracestore.errors import StoreError
 from repro.tracestore.fsck import format_report, fsck_store, repair_store
 from repro.tracestore.format import DEFAULT_SEGMENT_BYTES
 from repro.tracestore.writer import flush_to_files
@@ -32,9 +35,10 @@ Examples (simulated monitor sessions; default: quickstart):
   python -m repro --list          # every available example
 
 Trace-store tools (trace files on the real filesystem):
-  python -m repro trace pack <logfile> <storebase>     text log -> store
+  python -m repro trace pack <logfile> <storebase> [--compress yes]
   python -m repro trace inspect <storebase>            segment footers
   python -m repro trace cat <storebase> [--event send] [--salvage yes]
+  python -m repro trace bench <storebase> [--rules FILE]
   python -m repro trace fsck <storebase> [--repair yes]
 
 Offline analysis (replay a finished trace through the streaming engine):
@@ -48,17 +52,25 @@ the running filter's engine the same questions (see docs/USERS_MANUAL)."""
 
 TRACE_USAGE = """\
 usage: python -m repro trace <subcommand>
-  pack <logfile> <storebase> [--segment-bytes N]
-                     convert a text trace log into a segmented store
+  pack <logfile> <storebase> [--segment-bytes N] [--compress yes]
+                     convert a text trace log into a segmented store;
+                     --compress stores each sealed segment's data
+                     region as one zlib blob
   inspect <storebase>
-                     show per-segment index footers + integrity status
+                     show per-segment index footers, integrity status,
+                     compression ratios, and verify/scan cost
   cat <storebase> [--machine N] [--pid N] [--event NAME]
                   [--since T] [--until T] [--salvage yes]
                      stream selected records as log lines
+  bench <storebase> [--rules FILE] [--repeat N]
+                     time the interpreted scan against the batch fast
+                     lane (and rule selection, with --rules)
   fsck <storebase> [--repair yes] [--out BASE]
                      verify every segment (exit 1 if damaged); with
                      --repair, write a clean copy at BASE (default
                      <storebase>.repaired) keeping only verified frames"""
+
+_TRUTHY = ("yes", "true", "1", "on")
 
 
 def _available():
@@ -93,27 +105,32 @@ def _parse_flags(args, spec):
 
 
 def _trace_pack(args):
-    positional, flags = _parse_flags(args, {"segment-bytes": int})
+    positional, flags = _parse_flags(args, {"segment-bytes": int, "compress": str})
     if len(positional) != 2:
         print(TRACE_USAGE)
         return 1
     logfile, base = positional
     text = pathlib.Path(logfile).read_text(encoding="ascii")
+    compress = flags.get("compress", "").lower() in _TRUTHY
     __, writer = pack_text(
         text,
         base,
         segment_bytes=flags.get("segment-bytes", DEFAULT_SEGMENT_BYTES),
         writer_driver=flush_to_files,
+        compress=compress,
     )
     print(
-        "packed {0} records into {1} segment(s) at {2}.seg*".format(
-            writer.records_appended, writer.segments_sealed, base
+        "packed {0} records into {1}{2} segment(s) at {3}.seg*".format(
+            writer.records_appended,
+            writer.segments_sealed,
+            " compressed" if compress else "",
+            base,
         )
     )
     return 0
 
 
-def _integrity_suffix(report):
+def _integrity_suffix(report, segment=None, verify_ms=None):
     """One-line integrity summary for a segment (inspect output)."""
     parts = ["v{0}".format(report["version"] or "?"), report["status"]]
     parts.append("{0}B committed".format(report["committed_bytes"]))
@@ -121,6 +138,16 @@ def _integrity_suffix(report):
         parts.append("{0}B torn".format(report["torn_bytes"]))
     if report["quarantined_bytes"]:
         parts.append("{0}B quarantined".format(report["quarantined_bytes"]))
+    if segment is not None and segment.compressed:
+        raw = segment.data_bytes()
+        stored = segment.stored_data_bytes()
+        parts.append(
+            "zlib {0}B/{1}B ({2:.0f}%)".format(
+                stored, raw, 100.0 * stored / raw if raw else 100.0
+            )
+        )
+    if verify_ms is not None:
+        parts.append("verify {0:.1f}ms".format(verify_ms))
     return ", ".join(parts)
 
 
@@ -129,7 +156,14 @@ def _trace_inspect(args):
         print(TRACE_USAGE)
         return 1
     reader = StoreReader.from_files(args[0])
-    integrity = {report["path"]: report for report in reader.integrity()}
+    # Time each segment's integrity pass individually: for compressed
+    # segments this is the inflate + frame-walk cost a scan pays.
+    integrity, verify_ms = {}, {}
+    for segment in reader.segments:
+        began = time.perf_counter()
+        report = segment.verify()
+        verify_ms[segment.path] = (time.perf_counter() - began) * 1000.0
+        integrity[report["path"]] = report
     for segment in reader.segments:
         path, footer = segment.path, segment.footer
         report = integrity[path]
@@ -140,10 +174,11 @@ def _trace_inspect(args):
                 )
             )
             continue
+        suffix = _integrity_suffix(report, segment, verify_ms[path])
         if footer is None:
             print(
                 "{0}: open segment (no footer; recovered by scan) [{1}]".format(
-                    path, _integrity_suffix(report)
+                    path, suffix
                 )
             )
             continue
@@ -158,10 +193,23 @@ def _trace_inspect(args):
         print(
             "{0}: {1} records, t=[{2}, {3}], {4}; {5} [{6}]".format(
                 path, footer["records"], footer["t_min"], footer["t_max"],
-                machines, events, _integrity_suffix(report),
+                machines, events, suffix,
             )
         )
     print("total records: {0}".format(reader.record_count()))
+    print("verify cost: {0:.1f}ms".format(sum(verify_ms.values())))
+    began = time.perf_counter()
+    try:
+        scanned = sum(1 for __ in scan_fast(reader))
+    except StoreError as err:
+        print("scan cost: n/a (strict scan failed: {0})".format(err))
+    else:
+        elapsed = time.perf_counter() - began
+        print(
+            "scan cost: {0:.1f}ms ({1:.0f} records/s, batch fast lane)".format(
+                elapsed * 1000.0, scanned / elapsed if elapsed else 0.0
+            )
+        )
     return 0
 
 
@@ -212,14 +260,14 @@ def _trace_cat(args):
         "events": [flags["event"]] if "event" in flags else None,
         "t_min": flags.get("since"),
         "t_max": flags.get("until"),
-        "salvage": flags.get("salvage", "").lower() in ("yes", "true", "1", "on"),
+        "salvage": flags.get("salvage", "").lower() in _TRUTHY,
     }
     if "pid" in flags:
         if "machine" not in flags:
             print("--pid needs --machine (pids are per-machine)")
             return 1
         predicates["pids"] = [(flags["machine"], flags["pid"])]
-    for record in reader.scan(**predicates):
+    for record in scan_fast(reader, **predicates):
         order = ["event"] + record_fields(record["event"])
         print(format_record(record, order))
     stats = reader.last_stats
@@ -249,11 +297,71 @@ def _trace_cat(args):
     return 0
 
 
+def _bench_lane(run, repeat):
+    """Best-of-``repeat`` wall time for one scan lane; ``run`` returns
+    the records it produced.  Returns (records, seconds)."""
+    best = None
+    count = 0
+    for __ in range(repeat):
+        began = time.perf_counter()
+        count = run()
+        elapsed = time.perf_counter() - began
+        if best is None or elapsed < best:
+            best = elapsed
+    return count, best
+
+
+def _trace_bench(args):
+    positional, flags = _parse_flags(args, {"rules": str, "repeat": int})
+    if len(positional) != 1:
+        print(TRACE_USAGE)
+        return 1
+    reader = StoreReader.from_files(positional[0])
+    repeat = max(1, flags.get("repeat", 3))
+    lanes = [
+        ("interpreted scan", lambda: sum(1 for __ in reader.scan())),
+        ("fast scan", lambda: sum(1 for __ in scan_fast(reader))),
+    ]
+    if "rules" in flags:
+        rules = parse_rules(
+            pathlib.Path(flags["rules"]).read_text(encoding="ascii")
+        )
+        lanes.append(
+            (
+                "interpreted select",
+                lambda: sum(
+                    1 for r in reader.scan() if rules.apply(r) is not None
+                ),
+            )
+        )
+        lanes.append(("fast select", lambda: len(select(reader, rules))))
+    total = None
+    baseline = None
+    for label, run in lanes:
+        count, seconds = _bench_lane(run, repeat)
+        if total is None:
+            total = count  # every lane walks the whole store
+        # Rate is records *scanned* per second -- selection lanes
+        # process the full store and output a subset.
+        eps = total / seconds if seconds else 0.0
+        if baseline is None:
+            baseline = eps
+        print(
+            "{0:<18} {1:>9} records out  {2:>8.1f}ms  {3:>9.0f} ev/s  "
+            "({4:.2f}x)".format(
+                label, count, seconds * 1000.0, eps,
+                eps / baseline if baseline else 0.0,
+            )
+        )
+    return 0
+
+
 def trace_main(args):
     handlers = {
         "pack": _trace_pack,
         "inspect": _trace_inspect,
         "cat": _trace_cat,
+        "bench": _trace_bench,
         "fsck": _trace_fsck,
     }
     if not args or args[0] not in handlers:
@@ -277,7 +385,7 @@ def _load_records(path, salvage=False):
     p = pathlib.Path(path)
     if p.is_file():
         return list(parse_trace(p.read_text(encoding="ascii")))
-    return list(StoreReader.from_files(path).scan(salvage=salvage))
+    return list(scan_fast(StoreReader.from_files(path), salvage=salvage))
 
 
 STATS_USAGE = """\

@@ -118,9 +118,17 @@ class Trace:
         verifiable frame and ``reader.last_stats`` quantifies the loss
         (``bytes_quarantined`` / ``frames_corrupt``) -- answers with
         error bars instead of a crash or a lie.
+
+        Decoding goes through the batch fast lane
+        (:func:`~repro.tracestore.scan_fast`), which is record-for-
+        record identical to ``reader.scan`` -- trace construction is
+        the all-records scan the fused decoder was built for.
         """
+        from repro.tracestore import scan_fast
+
         return cls(
-            reader.scan(
+            scan_fast(
+                reader,
                 machines=machines,
                 pids=pids,
                 events=events,
@@ -134,10 +142,10 @@ class Trace:
     def from_stores(cls, *readers, **predicates):
         """One trace from several filters' stores, interleaved by the
         k-way (cpuTime, machine) merge of :func:`~repro.tracestore.
-        merge_scan` (the streaming analogue of :meth:`merge`)."""
-        from repro.tracestore import merge_scan
+        merge_scan_fast` (the streaming analogue of :meth:`merge`)."""
+        from repro.tracestore import merge_scan_fast
 
-        return cls(merge_scan(readers, **predicates))
+        return cls(merge_scan_fast(readers, **predicates))
 
     @classmethod
     def merge(cls, *traces):

@@ -244,6 +244,33 @@ def parse_descriptions(text, compiled=True):
     return DescriptionSet(header_fields, events, compiled=compiled)
 
 
+def matches_appendix_a(descriptions):
+    """True when this description set describes every Appendix-A event
+    exactly as the codec tables do -- standard header, same type
+    codes, event names, field names, offsets, lengths and bases.
+
+    This is the precondition for installing column-level screens
+    (:func:`repro.tracestore.batchscan.message_screen`) compiled
+    against the codec layouts: a filter running with *edited*
+    descriptions decodes differently, so it must not pre-reject on the
+    codec's idea of the wire format.  Extra non-Appendix-A event types
+    are fine -- a screen passes through types it was not compiled for.
+    """
+    if tuple(descriptions.header_fields) != tuple(HEADER_FIELDS):
+        return False
+    for event, type_code in messages.EVENT_TYPES.items():
+        desc = descriptions.by_type.get(type_code)
+        if desc is None or desc.event.lower() != event:
+            return False
+        fields = [
+            (field.name, field.offset, field.length, field.base)
+            for field in desc.fields
+        ]
+        if fields != messages.field_layout(event):
+            return False
+    return True
+
+
 def default_descriptions_text():
     """Generate the canonical description file from the codec tables."""
     lines = ["HEADER " + " ".join(HEADER_FIELDS)]

@@ -31,7 +31,7 @@ as the semantic reference for the property tests and as the
 
 import operator
 
-from repro.metering.messages import EVENT_TYPES
+from repro.metering.messages import EVENT_NAMES, EVENT_TYPES
 
 _OPERATORS = ("<=", ">=", "!=", "<", ">", "=")
 
@@ -224,9 +224,13 @@ class _CompiledRule:
     gets a closure walking the checks.
     """
 
-    __slots__ = ("checks", "discards", "accepts_all", "matches")
+    __slots__ = ("checks", "discards", "accepts_all", "matches", "rule")
 
     def __init__(self, rule):
+        #: The source :class:`Rule`, kept so column-oriented planners
+        #: (the trace store's batch pre-screen) can recompile the same
+        #: conditions against a record layout instead of a dict.
+        self.rule = rule
         self.discards = frozenset(rule.discard_fields())
         wildcard_only = all(cond.is_wildcard for cond in rule.conditions)
         self.accepts_all = (
@@ -313,6 +317,25 @@ class RuleSet:
         for key, entries in pinned.items():
             merged = sorted(entries + generic, key=lambda pair: pair[0])
             self._dispatch[key] = tuple(compiled for __, compiled in merged)
+
+    def candidates(self, trace_type):
+        """The compiled rules :meth:`apply` would consult for a record
+        of ``trace_type``, in first-match order.  This is the dispatch
+        the batch pre-screen compiles column programs from, so screen
+        and apply can never disagree about rule order."""
+        return self._dispatch.get(trace_type, self._generic)
+
+    def pinned_events(self):
+        """Event names that could ever be accepted, or None when a
+        generic (unpinned) rule exists -- segment pushdown for rule
+        scans.  An empty rule set accepts everything: also None."""
+        if not self.rules or not self.compiled or self._generic:
+            return None
+        return {
+            EVENT_NAMES[key]
+            for key in self._dispatch
+            if isinstance(key, int) and key in EVENT_NAMES
+        }
 
     def apply(self, record):
         if not self.compiled:

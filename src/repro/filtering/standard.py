@@ -29,7 +29,7 @@ concurrent sessions on one machine keep separate logs.
 
 from repro import guestlib
 from repro.filtering.descriptions import parse_descriptions
-from repro.filtering.filterlib import MeterInbox
+from repro.filtering.filterlib import MeterInbox, build_record_screen
 from repro.filtering.records import format_record, parse_trace
 from repro.filtering.rules import RuleSet, parse_rules
 from repro.kernel.errno import SyscallError
@@ -167,6 +167,12 @@ def standard_filter(sys, argv):
     templates_text = yield from guestlib.read_optional_file(sys, templates_path)
     rules = parse_rules(templates_text) if templates_text is not None else RuleSet([])
     host_names = yield sys.hosttable()
+    # With the shipped (Appendix-A) descriptions, the rule set compiles
+    # to a columnar screen that drops unselectable messages before any
+    # record decoding; it never rejects anything rules.apply would
+    # accept, so output is identical either way (see filterlib).  The
+    # host table lets NAME conditions screen on the wire bytes too.
+    screen = build_record_screen(rules, descriptions, host_names)
 
     store_mode = log_path.endswith(STORE_SUFFIX)
     # The live analysis engine folds exactly the records this filter
@@ -245,6 +251,8 @@ def standard_filter(sys, argv):
                 for item in batch:
                     engine.update(item[-1])
                 continue
+            if screen is not None and not screen(raw):
+                continue  # provably unselectable: skip the decode
             try:
                 record = descriptions.decode_message(raw, host_names)
             except (ValueError, KeyError):

@@ -37,6 +37,21 @@ def replay_engine(records, window_ms=None, specs=None):
     return engine
 
 
+def replay_store(reader, window_ms=None, specs=None, salvage=False):
+    """Replay twin fed straight from a binary store.
+
+    Store-mode filters commit records in frame order, so folding a
+    :func:`~repro.tracestore.scan_fast` of the finished store through a
+    fresh engine is the same oracle :func:`replay_engine` computes from
+    a text log -- but decoded on the batch fast lane, which matters
+    when the twin check runs over a multi-million-record store."""
+    from repro.tracestore import scan_fast
+
+    return replay_engine(
+        scan_fast(reader, salvage=salvage), window_ms=window_ms, specs=specs
+    )
+
+
 def batch_clock_digest(trace):
     """Digest the batch HappensBefore clocks exactly as the online fold
     digests its own: sparse (nonzero-component) clocks, commutative."""

@@ -36,6 +36,12 @@ from repro.tracestore.format import (
     masked_fields,
     zero_masked_bytes,
 )
+from repro.tracestore.batchscan import (
+    merge_scan_fast,
+    message_screen,
+    scan_fast,
+    select,
+)
 from repro.tracestore.convert import pack_records, pack_text
 from repro.tracestore.errors import (
     BadSegmentHeaderError,
@@ -74,6 +80,10 @@ __all__ = [
     "Segment",
     "StoreReader",
     "merge_scan",
+    "merge_scan_fast",
+    "message_screen",
+    "scan_fast",
+    "select",
     "StoreWriter",
     "collect_ops",
     "flush_to_files",

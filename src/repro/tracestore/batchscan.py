@@ -1,0 +1,859 @@
+"""Batch fast lane: fused decode + columnar rule pre-screen.
+
+:meth:`StoreReader.scan` is the *oracle*: one codec decode per frame,
+one dict per record, predicates and rules interpreted over dicts.  At
+~200k events/s that is the whole cost of an interactive query loop, so
+this module compiles the same semantics down to batch-shaped work:
+
+- **Fused frame decode.**  Frames of one payload length share one
+  precompiled ``struct.Struct`` covering frame header + message header
+  + the body's long prefix (every Appendix-A body is longs first, then
+  16-byte NAME blobs), so splitting a frame and decoding its integer
+  columns is a single ``unpack_from``.  Stores are bursty -- runs of
+  frames share a length and a traceType -- so the walk speculatively
+  reuses the previous frame's layout and re-resolves only on change.
+- **Columnar rule pre-screen.**  For each traceType the candidate rule
+  list (:meth:`RuleSet.candidates`, the exact dispatch ``apply`` uses)
+  is compiled to one generated function over the unpacked tuple.  It
+  returns an accept token (carrying a discard-specialized record
+  materializer), ``None`` (no rule can match: the record dict is never
+  built), or a candidate index when a condition needs a decoded NAME
+  field -- then, and only then, the full dict path runs.  A discard
+  mask hides a field from the rules, so every inline condition is
+  guarded by a required-field bitmask test against the frame's mask.
+- **Lazy record materialization.**  Accepted records are built by a
+  generated dict-literal function in exactly the codec's key order;
+  NAME blobs decode through a per-scan cache keyed on their raw bytes.
+- **Checksum hoisting.**  Segments whose footer carries ``data_crc32``
+  are verified with one CRC32 sweep over the whole frame region
+  instead of one per frame; a mismatch falls back to the per-frame
+  oracle walk so the error surfaces at the exact offset.
+
+Anything the fused path cannot prove equivalent -- unsealed tails
+(commit truncation), salvage mode, frames whose length or size field
+does not match a known message layout, damaged regions -- drops to the
+oracle (per frame or per segment), so the fast lane is record-identical
+to ``scan`` + ``RuleSet.apply`` on v1, v2, compressed and mixed stores.
+One documented difference: the fast lane buffers a sealed segment's
+records before yielding them, so in strict mode a corruption error in
+segment N surfaces *before* N's earlier records instead of after them
+(the record stream up to the raise differs only in that suffix).
+
+:func:`message_screen` reuses the rule compiler for the live filter:
+a screen over raw wire messages (no frame header, no masks) that can
+only ever *definitively reject*, never wrongly accept -- anything
+unusual passes through to the full decode path.
+"""
+
+import heapq
+import struct
+import zlib
+
+from repro.filtering.rules import _ALIASES
+from repro.metering.messages import (
+    BATCH_MARKER_TYPE,
+    BODY_FIELDS,
+    EVENT_TYPES,
+    HEADER_BYTES,
+    is_batch_marker,
+    message_length,
+    record_fields,
+)
+from repro.net.addresses import decode_name
+from repro.tracestore import format as sformat
+from repro.tracestore.errors import CorruptFrameError, CorruptSegmentError
+from repro.tracestore.reader import ScanStats
+
+_U32 = struct.Struct(">I")
+
+#: Tuple index of the message header's ``size`` field per frame
+#: version: v2 frames prefix (length, mask, crc32), v1 (length, mask),
+#: version 0 is a bare wire message (the live filter's screen).
+_BASE = {0: 0, 1: 2, 2: 3}
+_PREFIX = {0: ">", 1: ">II", 2: ">III"}
+_OVERHEADS = {0: 0, 1: sformat.FRAME_OVERHEAD_BYTES_V1,
+              2: sformat.FRAME_OVERHEAD_BYTES}
+
+_OP_TEXT = {"=": "==", "!=": "!=", "<": "<", ">": ">", "<=": "<=", ">=": ">="}
+
+_LAYOUTS = {}
+_INFOS = {}
+_MATS = {}
+
+
+def _name_lookup(host_names):
+    """A cached raw-NAME-bytes -> display-string decoder (one cache per
+    scan: stores repeat a small set of socket names endlessly)."""
+    cache = {}
+
+    def look(raw):
+        text = cache.get(raw)
+        if text is None:
+            decoded = decode_name(raw, host_names)
+            text = cache[raw] = decoded.display() if decoded is not None else ""
+        return text
+
+    return look
+
+
+def _materializer(version, event, discards):
+    """Generate ``mat(t, buf, noff, look) -> record dict`` with keys in
+    exactly the codec's order, omitting ``discards`` so an accepted
+    record never needs a second dict pass."""
+    key = (version, event, discards)
+    mat = _MATS.get(key)
+    if mat is not None:
+        return mat
+    base = _BASE[version]
+    parts = []
+    for offset, name in enumerate(
+        ("size", "machine", "cpuTime", "procTime", "traceType")
+    ):
+        if name not in discards:
+            parts.append("%r: t[%d]" % (name, base + offset))
+    if "event" not in discards:
+        parts.append("'event': %r" % event)
+    long_i = name_i = 0
+    for name, kind in BODY_FIELDS[event]:
+        if kind == "long":
+            if name not in discards:
+                parts.append("%r: t[%d]" % (name, base + 5 + long_i))
+            long_i += 1
+        else:
+            if name not in discards:
+                parts.append(
+                    "%r: look(buf[noff + %d : noff + %d])"
+                    % (name, 16 * name_i, 16 * name_i + 16)
+                )
+            name_i += 1
+    source = "def mat(t, buf, noff, look):\n    return {%s}\n" % ", ".join(parts)
+    namespace = {}
+    exec(source, namespace)
+    mat = _MATS[key] = namespace["mat"]
+    return mat
+
+
+class _Accept:
+    """Screen accept token: carries the rule's discard-specialized
+    materializer (``screen(t) is an _Accept`` means "this rule matched
+    on columns alone; build the reduced record directly")."""
+
+    __slots__ = ("mat",)
+
+    def __init__(self, mat):
+        self.mat = mat
+
+
+class _EventInfo:
+    """Column layout of one (frame version, event) pair."""
+
+    __slots__ = (
+        "event", "type_code", "long_index", "name_set", "name_index",
+        "field_bits", "names_offset", "pid_index", "mat", "_mask_cache",
+    )
+
+    def __init__(self, version, event):
+        base = _BASE[version]
+        longs = [n for n, kind in BODY_FIELDS[event] if kind == "long"]
+        self.event = event
+        self.type_code = EVENT_TYPES[event]
+        index = {
+            "size": base, "machine": base + 1, "cpuTime": base + 2,
+            "procTime": base + 3, "traceType": base + 4,
+        }
+        for i, name in enumerate(longs):
+            index[name] = base + 5 + i
+        self.long_index = index
+        self.name_set = frozenset(
+            n for n, kind in BODY_FIELDS[event] if kind == "name"
+        )
+        #: NAME field -> slot among the body's trailing 16-byte blobs.
+        self.name_index = {
+            n: i
+            for i, n in enumerate(
+                n for n, kind in BODY_FIELDS[event] if kind == "name"
+            )
+        }
+        #: Bit of each field in the discard mask (the writer's bitmap
+        #: is over ``record_fields`` order).
+        self.field_bits = {
+            name: i for i, name in enumerate(record_fields(event))
+        }
+        self.names_offset = _OVERHEADS[version] + HEADER_BYTES + 4 * len(longs)
+        self.pid_index = index.get("pid")
+        self.mat = _materializer(version, event, frozenset())
+        self._mask_cache = {}
+
+    def masked(self, mask):
+        names = self._mask_cache.get(mask)
+        if names is None:
+            names = self._mask_cache[mask] = sformat.masked_fields(
+                self.event, mask
+            )
+        return names
+
+
+def _event_info(version, event):
+    key = (version, event)
+    info = _INFOS.get(key)
+    if info is None:
+        info = _INFOS[key] = _EventInfo(version, event)
+    return info
+
+
+def _layout(version, length):
+    """(fused unpack_from, {traceType: _EventInfo}) for frames whose
+    payload is ``length`` bytes; (None, None) when the payload cannot
+    even hold a message header (per-frame oracle fallback)."""
+    key = (version, length)
+    entry = _LAYOUTS.get(key)
+    if entry is not None:
+        return entry
+    if length < HEADER_BYTES:
+        entry = _LAYOUTS[key] = (None, None)
+        return entry
+    native = [e for e in BODY_FIELDS if message_length(e) == length]
+    shapes = set()
+    for event in native:
+        kinds = [kind for __, kind in BODY_FIELDS[event]]
+        nlongs = kinds.count("long")
+        if kinds[:nlongs] != ["long"] * nlongs:
+            shapes = None  # body is not longs-then-names: no fused layout
+            break
+        shapes.add(nlongs)
+    if shapes is None or len(shapes) > 1:
+        nlongs, infos = 0, {}
+    else:
+        nlongs = shapes.pop() if shapes else 0
+        infos = {EVENT_TYPES[e]: _event_info(version, e) for e in native}
+    fused = struct.Struct(
+        _PREFIX[version] + "ih2xi4xii" + "i" * nlongs
+    )
+    entry = _LAYOUTS[key] = (fused.unpack_from, infos)
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Condition compilation (column expressions over the unpacked tuple)
+# ----------------------------------------------------------------------
+
+
+def _name_col(slot):
+    """The decoded-display-string expression for NAME slot ``slot``
+    (``noff`` is the record's first NAME byte; ``look`` the per-scan
+    raw -> display cache, so a repeated name costs one dict hit)."""
+    return "look(buf[noff + %d : noff + %d])" % (16 * slot, 16 * slot + 16)
+
+
+def _cmp_expr(cond, op, actual, expected):
+    """Python expression (or const "True"/"False") comparing two
+    operands, each ("const", value), ("long", tuple index) or
+    ("name", NAME slot), with :meth:`Condition._compare`'s type rules:
+    int/int numeric, anything else as strings."""
+    actual_kind, actual_val = actual
+    expected_kind, expected_val = expected
+    if actual_kind == "const" and expected_kind == "const":
+        return "True" if cond._compare(actual_val, expected_val) else "False"
+    if actual_kind == "long" and expected_kind == "long":
+        return "(t[%d] %s t[%d])" % (actual_val, op, expected_val)
+    if actual_kind == "name" or expected_kind == "name":
+        # A NAME column is a display string, so this is _compare's
+        # string branch: coerce the other operand to str.
+        if actual_kind == "name":
+            left = _name_col(actual_val)
+        elif actual_kind == "long":
+            left = "str(t[%d])" % actual_val
+        else:
+            left = repr(str(actual_val))
+        if expected_kind == "name":
+            right = _name_col(expected_val)
+        elif expected_kind == "long":
+            right = "str(t[%d])" % expected_val
+        else:
+            right = repr(str(expected_val))
+        return "(%s %s %s)" % (left, op, right)
+    if actual_kind == "long":
+        if isinstance(expected_val, int):
+            return "(t[%d] %s %d)" % (actual_val, op, expected_val)
+        return "(str(t[%d]) %s %r)" % (actual_val, op, str(expected_val))
+    if isinstance(actual_val, int):
+        return "(%d %s t[%d])" % (actual_val, op, expected_val)
+    return "(%r %s str(t[%d]))" % (str(actual_val), op, expected_val)
+
+
+def _finish(cond, op, actual, expected, refbit, bits, version,
+            masked_expected=None):
+    present = _cmp_expr(cond, op, actual, expected)
+    if refbit and masked_expected is not None and version != 0:
+        # A masked cross-field reference falls back to the literal
+        # string (Condition.matches: absent ref -> literal).
+        masked = _cmp_expr(cond, op, actual, masked_expected)
+        if masked != present:
+            present = "((%s) if not (m & %d) else (%s))" % (
+                present, refbit, masked
+            )
+    if present == "True":
+        return ("inline", True, bits)
+    if present == "False":
+        return ("never", None, 0)
+    return ("inline", present, bits)
+
+
+def _condition_expr(cond, info, version, names_ok=True):
+    """Lower one condition against an event layout.
+
+    Returns (kind, expr, required_bits): kind "inline" with expr a
+    Python expression over ``t``/``m``/``buf``/``noff``/``look`` (or
+    True when the presence guard alone decides), "defer" when a
+    decoded NAME field is needed but ``names_ok`` is off (no host
+    table: display strings cannot be computed, so the dict path must
+    decide), or "never" when no record of this type can satisfy it.
+    ``required_bits`` are the mask bits that must be *clear* (a masked
+    field is absent, and an absent field fails every condition).
+    """
+    field = cond.field
+    field_bit = info.field_bits.get(field)
+    bits = (1 << field_bit) if field_bit is not None else 0
+    if field == "event":
+        actual = ("const", info.event)
+    elif field == "traceType":
+        # Within one screen the traceType is a known constant.
+        actual = ("const", info.type_code)
+    elif field in info.long_index:
+        actual = ("long", info.long_index[field])
+    elif field in info.name_set:
+        actual = ("name", info.name_index[field]) if names_ok else None
+    else:
+        return ("never", None, 0)  # field never present on this event
+    if cond.is_wildcard:
+        return ("inline", True, bits)
+    if actual is None:
+        return ("defer", None, bits)
+    op = _OP_TEXT[cond.op]
+    if not cond.is_field_ref:
+        return _finish(cond, op, actual, ("const", cond.value), 0, bits,
+                       version)
+    ref = _ALIASES.get(cond.value, cond.value)
+    literal = ("const", cond.value)
+    if ref == "event":
+        return _finish(cond, op, actual, ("const", info.event), 0, bits,
+                       version)
+    if ref == "traceType":
+        return _finish(cond, op, actual, ("const", info.type_code),
+                       1 << info.field_bits["traceType"], bits, version,
+                       masked_expected=literal)
+    if ref in info.long_index:
+        return _finish(cond, op, actual, ("long", info.long_index[ref]),
+                       1 << info.field_bits[ref], bits, version,
+                       masked_expected=literal)
+    if ref in info.name_set:
+        if not names_ok:
+            return ("defer", None, bits)
+        return _finish(cond, op, actual, ("name", info.name_index[ref]),
+                       1 << info.field_bits[ref], bits, version,
+                       masked_expected=literal)
+    # Reference to a field this event never carries: literal string.
+    return _finish(cond, op, actual, literal, 0, bits, version)
+
+
+def _compile_screen(candidates, version, info, names_ok=True):
+    """Generate ``screen(t, buf, noff, look)`` for one traceType: the
+    first-match walk over ``candidates`` (the exact list
+    ``RuleSet.apply`` consults), evaluated on columns -- NAME columns
+    read straight out of ``buf`` at ``noff`` and displayed via
+    ``look`` when ``names_ok``.  Returns an :class:`_Accept`, a
+    candidate index to resume the dict-path walk from (a NAME
+    condition that could not be compiled), or None (no rule can match
+    -- the record is never materialized)."""
+    body = []
+    namespace = {}
+    for index, crule in enumerate(candidates):
+        if crule.accepts_all:
+            # apply() accepts without any check (even masked fields).
+            token = "A%d" % index
+            namespace[token] = _Accept(
+                _materializer(version, info.event, crule.discards)
+            )
+            body.append("    return %s" % token)
+            break
+        parts = []
+        required = 0
+        deferred = impossible = False
+        for cond in crule.rule.conditions:
+            kind, expr, bits = _condition_expr(cond, info, version,
+                                               names_ok)
+            if kind == "never":
+                impossible = True
+                break
+            required |= bits
+            if kind == "defer":
+                deferred = True
+            elif expr is not True:
+                parts.append(expr)
+        if impossible:
+            continue
+        if required and version != 0:
+            parts.insert(0, "not (m & %d)" % required)
+        if deferred:
+            result = str(index)
+        else:
+            token = "A%d" % index
+            namespace[token] = _Accept(
+                _materializer(version, info.event, crule.discards)
+            )
+            result = token
+        if parts:
+            body.append("    if %s:" % " and ".join(parts))
+            body.append("        return %s" % result)
+        else:
+            body.append("    return %s" % result)
+            break
+    body.append("    return None")
+    lines = ["def screen(t, buf, noff, look):"]
+    if any("(m & " in line for line in body):
+        lines.append("    m = t[1]")
+    lines.extend(body)
+    exec("\n".join(lines) + "\n", namespace)
+    return namespace["screen"]
+
+
+class _Program:
+    """Per-(frame version, rule set) compilation state: layouts plus
+    per-traceType screens, resolved lazily by payload length.
+
+    ``names`` says whether screens may compile NAME conditions to
+    columnar display-string compares: only safe when the caller's host
+    table is the one the records will be decoded with (store scans use
+    the store's own codec table, so always true there)."""
+
+    __slots__ = ("version", "ruleset", "by_length", "names")
+
+    def __init__(self, version, ruleset, names=True):
+        self.version = version
+        self.ruleset = ruleset
+        self.by_length = {}
+        self.names = names
+
+    def entry(self, length):
+        unpack, infos = _layout(self.version, length)
+        if unpack is None:
+            entry = (None, None)
+        else:
+            typedisp = {}
+            for type_code, info in infos.items():
+                if self.ruleset is None:
+                    typedisp[type_code] = (info, None, None)
+                else:
+                    cands = self.ruleset.candidates(type_code)
+                    typedisp[type_code] = (
+                        info,
+                        _compile_screen(cands, self.version, info,
+                                        self.names),
+                        cands,
+                    )
+            entry = (unpack, typedisp)
+        self.by_length[length] = entry
+        return entry
+
+
+# ----------------------------------------------------------------------
+# The segment walk
+# ----------------------------------------------------------------------
+
+
+def _walk_segment(path, buf, start, end, out_append, program, ruleset,
+                  codec, look, stats, check_crc, machine_set, pid_set,
+                  event_set, t_min, t_max):
+    """Walk one sealed segment's frame region, appending final records
+    (predicates, masks and rules applied) to ``out_append``.  Exactly
+    :meth:`StoreReader._segment_records` + ``RuleSet.apply``, lowered.
+    """
+    version = program.version
+    overhead = _OVERHEADS[version]
+    base = _BASE[version]
+    size_ix, machine_ix, cpu_ix, tt_ix = base, base + 1, base + 2, base + 4
+    filtered = not (
+        machine_set is None and pid_set is None and event_set is None
+        and t_min is None and t_max is None
+    )
+    u32 = _U32.unpack_from
+    frame_crc = sformat.frame_crc
+    struct_error = struct.error
+    by_length = program.by_length
+    resolve = program.entry
+    marker_type = BATCH_MARKER_TYPE
+    decoded = yielded = prescreened = salvaged = 0
+    damaged = False
+
+    def fallback(off, nxt):
+        """Per-frame oracle: the codec decodes (or faults on) frames
+        the fused path cannot prove it understands."""
+        nonlocal decoded, yielded, salvaged, damaged
+        payload = buf[off + overhead : nxt]
+        if is_batch_marker(payload):
+            return
+        mask = u32(buf, off + 4)[0]
+        try:
+            record = codec.decode(payload)
+        except ValueError as err:
+            # v2 frames are CRC-verified, so this is real damage (the
+            # strict scan raises); v1 has no checksum to consult, so
+            # the loss is counted, exactly like the oracle.
+            if version == sformat.FORMAT_VERSION_V1:
+                stats.frames_corrupt += 1
+                stats.bytes_quarantined += len(payload) + overhead
+                stats.segment_errors.append(
+                    (path, "undecodable frame: %s" % err)
+                )
+                damaged = True
+                return
+            raise CorruptSegmentError(
+                "undecodable frame payload: %s" % err, path=path
+            )
+        decoded += 1
+        if damaged:
+            salvaged += 1
+        if event_set is not None and record["event"] not in event_set:
+            return
+        if machine_set is not None and record["machine"] not in machine_set:
+            return
+        if pid_set is not None:
+            if (record["machine"], record.get("pid")) not in pid_set:
+                return
+        time = record["cpuTime"]
+        if t_min is not None and time < t_min:
+            return
+        if t_max is not None and time > t_max:
+            return
+        if mask:
+            for name in sformat.masked_fields(record["event"], mask):
+                record.pop(name, None)
+        yielded += 1
+        if ruleset is not None:
+            record = ruleset.apply(record)
+            if record is None:
+                return
+        out_append(record)
+
+    off = start
+    cur_len = -1
+    unpack = typedisp = None
+    last_tt = last_trio = None
+    while off + overhead <= end:
+        t = None
+        if unpack is not None:
+            # Speculate: reuse the previous frame's layout (t[0] is the
+            # real length word, so a stale layout can never stick).
+            try:
+                t = unpack(buf, off)
+            except struct_error:
+                t = None
+            else:
+                if t[0] != cur_len:
+                    t = None
+        if t is None:
+            length = u32(buf, off)[0]
+            if length != cur_len:
+                entry = by_length.get(length)
+                if entry is None:
+                    entry = resolve(length)
+                unpack, typedisp = entry
+                cur_len = length
+                last_tt = last_trio = None
+            nxt = off + overhead + cur_len
+            if nxt > end:
+                raise CorruptFrameError(
+                    "frame at offset %d overruns the sealed data region"
+                    % off,
+                    path=path, offset=off,
+                )
+            if unpack is None:
+                fallback(off, nxt)  # shorter than a message header
+                off = nxt
+                continue
+            t = unpack(buf, off)
+        else:
+            nxt = off + overhead + cur_len
+            if nxt > end:
+                raise CorruptFrameError(
+                    "frame at offset %d overruns the sealed data region"
+                    % off,
+                    path=path, offset=off,
+                )
+        if check_crc and frame_crc(
+            cur_len, t[1], buf[off + overhead : nxt]
+        ) != t[2]:
+            raise CorruptFrameError(
+                "frame CRC mismatch at offset %d" % off,
+                path=path, offset=off,
+            )
+        tt = t[tt_ix]
+        if tt != last_tt:
+            last_tt = tt
+            last_trio = typedisp.get(tt)
+        trio = last_trio
+        if trio is None or t[size_ix] > cur_len:
+            if tt == marker_type:
+                off = nxt  # delivery-protocol control frame
+                continue
+            fallback(off, nxt)
+            off = nxt
+            continue
+        info = trio[0]
+        decoded += 1
+        if damaged:
+            salvaged += 1
+        if filtered:
+            if event_set is not None and info.event not in event_set:
+                off = nxt
+                continue
+            if machine_set is not None and t[machine_ix] not in machine_set:
+                off = nxt
+                continue
+            if pid_set is not None:
+                pid_ix = info.pid_index
+                pid = t[pid_ix] if pid_ix is not None else None
+                if (t[machine_ix], pid) not in pid_set:
+                    off = nxt
+                    continue
+            time = t[cpu_ix]
+            if t_min is not None and time < t_min:
+                off = nxt
+                continue
+            if t_max is not None and time > t_max:
+                off = nxt
+                continue
+        mask = t[1]
+        handler = trio[1]
+        if handler is None:
+            record = info.mat(t, buf, off + info.names_offset, look)
+            if mask:
+                for name in info.masked(mask):
+                    record.pop(name, None)
+            yielded += 1
+            out_append(record)
+            off = nxt
+            continue
+        res = handler(t, buf, off + info.names_offset, look)
+        if res is None:
+            yielded += 1
+            prescreened += 1
+            off = nxt
+            continue
+        if res.__class__ is _Accept:
+            record = res.mat(t, buf, off + info.names_offset, look)
+            if mask:
+                for name in info.masked(mask):
+                    record.pop(name, None)
+            yielded += 1
+            out_append(record)
+            off = nxt
+            continue
+        # A NAME-field condition: materialize and resume the exact
+        # first-match walk from the deferring candidate.
+        record = info.mat(t, buf, off + info.names_offset, look)
+        if mask:
+            for name in info.masked(mask):
+                record.pop(name, None)
+        yielded += 1
+        for crule in trio[2][res:]:
+            if crule.accepts_all or crule.matches(record):
+                discards = crule.discards
+                if discards:
+                    record = {
+                        key: value
+                        for key, value in record.items()
+                        if key not in discards
+                    }
+                out_append(record)
+                break
+        off = nxt
+    stats.records_decoded += decoded
+    stats.records_yielded += yielded
+    stats.records_prescreened += prescreened
+    stats.records_salvaged += salvaged
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+def _iter_fast(reader, ruleset, machines, pids, events, t_min, t_max):
+    stats = reader.last_stats = ScanStats()
+    stats.segments_total = len(reader.segments)
+    machine_set = set(machines) if machines is not None else None
+    pid_set = set(pids) if pids is not None else None
+    event_set = set(events) if events is not None else None
+    #: Rule-event pushdown: a sealed segment holding only events no
+    #: rule can ever accept is skipped on its footer alone.  Guarded to
+    #: segments whose footer names only decodable event types, so a
+    #: strict scan's corruption errors are not skipped along with it.
+    rule_events = ruleset.pinned_events() if ruleset is not None else None
+    codec = reader.codec
+    look = _name_lookup(codec.host_names)
+    programs = {}
+    for segment in reader.segments:
+        if not segment.valid:
+            stats.segments_bad_header += 1
+            stats.segment_errors.append(
+                (segment.path, str(segment.header_error))
+            )
+            continue
+        if segment.sealed:
+            footer = segment.footer
+            if not sformat.footer_matches(
+                footer, machines=machine_set, pids=pid_set,
+                events=event_set, t_min=t_min, t_max=t_max,
+            ):
+                stats.segments_skipped += 1
+                continue
+            if rule_events is not None:
+                keys = footer["events"]
+                if all(key in EVENT_TYPES for key in keys) and not any(
+                    key in rule_events for key in keys
+                ):
+                    stats.segments_skipped += 1
+                    continue
+        else:
+            stats.segments_recovered += 1
+        stats.segments_scanned += 1
+        stats.bytes_scanned += segment.data_bytes()
+        if not segment.sealed:
+            # Unsealed tails need marker-based commit truncation: the
+            # oracle walk is authoritative (and tails are small).
+            for record in reader._segment_records(
+                segment, stats, machine_set, pid_set, event_set,
+                t_min, t_max, False,
+            ):
+                if ruleset is not None:
+                    record = ruleset.apply(record)
+                    if record is None:
+                        continue
+                yield record
+            continue
+        version = segment.version
+        program = programs.get(version)
+        if program is None:
+            program = programs[version] = _Program(version, ruleset)
+        buf, start, end = segment.frame_region()
+        check_crc = False
+        if version == sformat.FORMAT_VERSION:
+            region_crc = segment.footer.get("data_crc32")
+            if region_crc is None:
+                check_crc = True  # old v2 segment: verify per frame
+            elif zlib.crc32(
+                memoryview(buf)[start:end]
+            ) & 0xFFFFFFFF != region_crc:
+                # One region sweep failed: re-walk with the oracle so
+                # the error carries the exact frame offset.
+                for record in reader._segment_records(
+                    segment, stats, machine_set, pid_set, event_set,
+                    t_min, t_max, False,
+                ):
+                    if ruleset is not None:
+                        record = ruleset.apply(record)
+                        if record is None:
+                            continue
+                    yield record
+                continue
+        out = []
+        _walk_segment(
+            segment.path, buf, start, end, out.append, program, ruleset,
+            codec, look, stats, check_crc, machine_set, pid_set,
+            event_set, t_min, t_max,
+        )
+        yield from out
+
+
+def scan_fast(reader, machines=None, pids=None, events=None, t_min=None,
+              t_max=None, salvage=False):
+    """Drop-in fast :meth:`StoreReader.scan`: same records, same order,
+    same strict-mode errors (modulo the buffering note above), same
+    ``reader.last_stats`` accounting.  Salvage mode needs the oracle's
+    resynchronization machinery and delegates to it wholesale."""
+    if salvage:
+        yield from reader.scan(
+            machines=machines, pids=pids, events=events,
+            t_min=t_min, t_max=t_max, salvage=True,
+        )
+        return
+    yield from _iter_fast(reader, None, machines, pids, events, t_min, t_max)
+
+
+def select(reader, ruleset=None, machines=None, pids=None, events=None,
+           t_min=None, t_max=None, salvage=False):
+    """Scan + rule selection in one fused pass; returns the list of
+    accepted (reduced) records -- exactly
+    ``[ruleset.apply(r) for r in reader.scan(...)]`` minus the Nones.
+    Interpreted (``compiled=False``) rule sets and salvage scans run
+    the oracle directly."""
+    if ruleset is not None and not ruleset.rules:
+        ruleset = None  # empty rule set accepts everything unreduced
+    if salvage or (ruleset is not None and not ruleset.compiled):
+        out = []
+        for record in reader.scan(
+            machines=machines, pids=pids, events=events,
+            t_min=t_min, t_max=t_max, salvage=salvage,
+        ):
+            if ruleset is not None:
+                record = ruleset.apply(record)
+                if record is None:
+                    continue
+            out.append(record)
+        return out
+    return list(
+        _iter_fast(reader, ruleset, machines, pids, events, t_min, t_max)
+    )
+
+
+def merge_scan_fast(readers, **predicates):
+    """K-way merge of fast scans by (cpuTime, machine): the fast-lane
+    :func:`repro.tracestore.reader.merge_scan`."""
+    streams = [scan_fast(reader, **predicates) for reader in readers]
+    return heapq.merge(
+        *streams,
+        key=lambda record: (record.get("cpuTime", 0), record.get("machine", 0))
+    )
+
+
+def message_screen(ruleset, host_names=None):
+    """A raw-wire-message pre-screen for the live filter: returns
+    ``screen(raw) -> bool`` that is False only when *no* rule can
+    accept the decoded record, or None when the rule set cannot screen
+    (uncompiled or empty -- an empty set accepts everything).
+
+    The screen can only reject on evidence: messages of unknown type,
+    unusual length, or (without ``host_names``) rules needing NAME
+    fields all pass through (True) to the full decode + apply path.
+    Pass the filter's host table as ``host_names`` to let NAME
+    conditions screen columnar too -- only safe when it is the same
+    table the accepted records will be decoded with.  The caller is
+    responsible for only installing the screen when its record
+    descriptions match the Appendix-A layouts it compiles against."""
+    if ruleset is None or not ruleset.compiled or not ruleset.rules:
+        return None
+    program = _Program(0, ruleset, names=host_names is not None)
+    by_length = program.by_length
+    resolve = program.entry
+    struct_error = struct.error
+    look = _name_lookup(host_names or {})
+
+    def screen(raw):
+        length = len(raw)
+        entry = by_length.get(length)
+        if entry is None:
+            entry = resolve(length)
+        unpack = entry[0]
+        if unpack is None:
+            return True
+        try:
+            t = unpack(raw)
+        except struct_error:
+            return True
+        trio = entry[1].get(t[4])
+        if trio is None:
+            return True
+        return trio[1](t, raw, trio[0].names_offset, look) is not None
+
+    return screen

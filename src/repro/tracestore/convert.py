@@ -62,17 +62,21 @@ def wire_pairs(records, codec):
 
 
 def pack_records(records, base, segment_bytes=sformat.DEFAULT_SEGMENT_BYTES,
-                 host_names=None, writer_driver=None):
+                 host_names=None, writer_driver=None, compress=False):
     """Pack decoded records into a store.
 
     ``writer_driver(writer)`` applies the writer's ops to a medium
     (e.g. :func:`~repro.tracestore.writer.flush_to_files`); without
     one, returns a dict path -> bytes.  Returns (result, writer).
+    ``compress=True`` writes each sealed segment's data region as one
+    zlib blob (``trace pack --compress``: offline packing is the one
+    place the compressed writer's weaker crash-loss bound is free).
     """
     if host_names is None:
         host_names = host_names_from_records(records)
     codec = MessageCodec(host_names)
-    writer = StoreWriter(base, segment_bytes=segment_bytes, host_names=host_names)
+    writer = StoreWriter(base, segment_bytes=segment_bytes,
+                         host_names=host_names, compress=compress)
     sink = {} if writer_driver is None else None
     for payload, mask in wire_pairs(records, codec):
         writer.append(payload, mask)
@@ -89,7 +93,7 @@ def pack_records(records, base, segment_bytes=sformat.DEFAULT_SEGMENT_BYTES,
 
 
 def pack_text(text, base, segment_bytes=sformat.DEFAULT_SEGMENT_BYTES,
-              host_names=None, writer_driver=None):
+              host_names=None, writer_driver=None, compress=False):
     """Pack a legacy text log (the ``trace pack`` CLI)."""
     return pack_records(
         parse_trace(text),
@@ -97,4 +101,5 @@ def pack_text(text, base, segment_bytes=sformat.DEFAULT_SEGMENT_BYTES,
         segment_bytes=segment_bytes,
         host_names=host_names,
         writer_driver=writer_driver,
+        compress=compress,
     )

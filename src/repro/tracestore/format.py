@@ -13,7 +13,8 @@ Each segment is::
     | header |  record frames (appended)  | footer | trailer |
     +--------+----------------------------+--------+---------+
 
-- header (8 bytes): magic "RTS1", version u16, flags u16;
+- header (8 bytes): magic "RTS1", version u16, flags u16 (bit 0:
+  the data region is one zlib-compressed blob, see below);
 - frame (version 2, the current format): payload length u32, discard
   mask u32, crc32 u32, payload -- the CRC covers length, mask, *and*
   payload, so a flipped bit anywhere in the frame (including its own
@@ -45,6 +46,24 @@ tail; only *unsealed* segments may legitimately end mid-frame.
 whose CRC verifies (v2) or whose payload is a structurally plausible
 meter message (v1), reporting every skipped byte range.
 
+A sealed segment's footer also carries ``data_crc32``: one CRC32 over
+the whole frame region as written.  One region checksum pass (C speed)
+replaces per-frame CRC verification on the batch scan's fast lane; a
+mismatch drops the segment back to the per-frame walk, which localizes
+the damage exactly as before.
+
+Compressed segments (header flag bit 0x1, ``trace pack --compress``):
+the data region on disk is a single zlib blob holding the frame bytes
+that would otherwise sit between header and footer.  The footer's
+``data_start``/``data_end`` describe the *uncompressed* frame region
+(in the same coordinates as an uncompressed segment: frames start
+right after the 8-byte header), ``raw_bytes``/``stored_bytes`` give
+both sizes, and ``data_crc32`` covers the uncompressed frame bytes.
+Predicate pushdown skips a compressed segment without ever inflating
+it.  Compression buffers a whole segment in memory until seal, so it
+trades the writer's bounded crash-loss guarantee for size -- it is for
+offline packing, not live filters.
+
 The discard mask is a bitmap over :func:`repro.metering.messages.
 record_fields`: bit *i* set means field *i* was discarded by a
 reduction rule (Figure 3.4's ``#`` prefix).  Masked field bytes are
@@ -74,6 +93,9 @@ FORMAT_VERSION = 2
 FORMAT_VERSION_V1 = 1
 SUPPORTED_VERSIONS = (FORMAT_VERSION_V1, FORMAT_VERSION)
 
+#: Header flag bit: the data region is one zlib-compressed blob.
+FLAG_COMPRESSED = 0x1
+
 _HEADER_STRUCT = struct.Struct(">4sHH")
 SEGMENT_HEADER_BYTES = _HEADER_STRUCT.size  # 8
 _FRAME_STRUCT_V1 = struct.Struct(">II")
@@ -100,8 +122,15 @@ _MASKABLE_HEADER_OFFSETS = {
 }
 
 
-def segment_header(version=FORMAT_VERSION):
-    return _HEADER_STRUCT.pack(SEGMENT_MAGIC, version, 0)
+def segment_header(version=FORMAT_VERSION, flags=0):
+    return _HEADER_STRUCT.pack(SEGMENT_MAGIC, version, flags)
+
+
+def segment_flags(data):
+    """The header flag word (0 when the header is unreadable)."""
+    if len(data) < SEGMENT_HEADER_BYTES:
+        return 0
+    return _HEADER_STRUCT.unpack_from(data, 0)[2]
 
 
 def parse_segment_header(data, path=None):
@@ -121,6 +150,11 @@ def parse_segment_header(data, path=None):
     if version not in SUPPORTED_VERSIONS:
         raise BadSegmentHeaderError(
             "unsupported segment version %d" % version, path=path
+        )
+    flags = _HEADER_STRUCT.unpack_from(data, 0)[2]
+    if flags & FLAG_COMPRESSED and version == FORMAT_VERSION_V1:
+        raise BadSegmentHeaderError(
+            "compressed data region requires format v2", path=path
         )
     return version
 
@@ -345,8 +379,9 @@ class SegmentStats:
         else:
             span[1] = offset
 
-    def footer(self, data_start, data_end, version=FORMAT_VERSION):
-        return {
+    def footer(self, data_start, data_end, version=FORMAT_VERSION,
+               data_crc32=None, stored_bytes=None):
+        footer = {
             "version": version,
             "records": self.records,
             "data_start": data_start,
@@ -359,6 +394,13 @@ class SegmentStats:
             "event_offsets": self.event_offsets,
             "hosts": {str(i): name for i, name in self.host_names.items()},
         }
+        if data_crc32 is not None:
+            footer["data_crc32"] = data_crc32
+        if stored_bytes is not None:
+            footer["compressed"] = True
+            footer["raw_bytes"] = data_end - data_start
+            footer["stored_bytes"] = stored_bytes
+        return footer
 
 
 def encode_footer(footer):
@@ -391,6 +433,43 @@ def parse_footer(data):
     if footer.get("version") not in SUPPORTED_VERSIONS:
         return None
     return footer
+
+
+def compress_region(frame_bytes, level=6):
+    """The on-disk blob for a compressed segment's data region."""
+    return zlib.compress(frame_bytes, level)
+
+
+def decompress_region(blob, raw_bytes=None):
+    """Inflate a compressed segment's data region.
+
+    With ``raw_bytes`` (from the footer of a sealed segment) the
+    output size is checked; a short or oversized result raises
+    :class:`CorruptFrameError`.  Without it (an unsealed compressed
+    segment: the writer died before seal, the blob may be truncated)
+    the decompressor keeps whatever prefix inflates cleanly -- the
+    frame walk then recovers records exactly as from a torn plain
+    tail.
+    """
+    if raw_bytes is None:
+        inflater = zlib.decompressobj()
+        pieces = []
+        for start in range(0, len(blob), 4096):
+            try:
+                pieces.append(inflater.decompress(bytes(blob[start : start + 4096])))
+            except zlib.error:
+                break  # inflated prefix is good; the rest is torn
+        return b"".join(pieces)
+    try:
+        raw = zlib.decompress(blob)
+    except zlib.error as err:
+        raise CorruptFrameError("compressed data region: %s" % err)
+    if len(raw) != raw_bytes:
+        raise CorruptFrameError(
+            "compressed data region inflated to %d bytes, footer says %d"
+            % (len(raw), raw_bytes)
+        )
+    return raw
 
 
 def footer_matches(footer, machines=None, pids=None, events=None,

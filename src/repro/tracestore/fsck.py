@@ -148,6 +148,8 @@ def format_report(report, verbose=True):
         ]
         if seg["version"] is not None:
             parts.append("v{0}".format(seg["version"]))
+        if seg.get("compressed"):
+            parts.append("zlib")
         parts.append("{0} record(s)".format(seg["records_recovered"]))
         if seg["markers"]:
             parts.append("{0} marker(s)".format(seg["markers"]))

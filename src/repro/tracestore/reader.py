@@ -52,6 +52,14 @@ FOREIGN = "foreign"
 class Segment:
     """One segment file, parsed lazily.
 
+    Construction touches only the 8-byte header and (for sealed
+    segments) the footer/trailer bytes; the data region is neither
+    copied nor inflated until a frame walk needs it.  ``data`` may be
+    ``bytes``, a ``bytearray`` (a live filesystem buffer -- snapshotted
+    to bytes on first use, so a scan never races the writing filter),
+    or an ``mmap`` (``StoreReader.from_files`` -- the OS pages frames
+    in on demand, and a pushdown-skipped segment costs two pages).
+
     A segment whose header fails to parse is still constructed --
     ``valid`` is False and ``header_error`` holds the typed error --
     so one damaged or foreign file can be reported and skipped instead
@@ -60,35 +68,107 @@ class Segment:
 
     def __init__(self, path, data):
         self.path = path
-        self.data = bytes(data)
+        self._raw = data
+        self._snapshot = data if not isinstance(data, bytearray) else None
+        self._region = None  # inflated frame region (compressed segments)
+        self._region_damaged = False
         self.header_error = None
         try:
-            self.version = sformat.parse_segment_header(self.data, path=path)
+            self.version = sformat.parse_segment_header(data, path=path)
         except BadSegmentHeaderError as err:
             self.version = None
             self.header_error = err
         self.valid = self.header_error is None
-        self.footer = sformat.parse_footer(self.data) if self.valid else None
+        self.compressed = bool(
+            self.valid
+            and sformat.segment_flags(data) & sformat.FLAG_COMPRESSED
+        )
+        self.footer = sformat.parse_footer(data) if self.valid else None
         self.sealed = self.footer is not None
+        if self.sealed:
+            # The footer is CRC-protected; the header flag byte is not.
+            # On a sealed segment the footer's own compression fields
+            # therefore outrank the flag, so a single flipped flag bit
+            # cannot make the reader inflate plain frames (or walk a
+            # deflate stream as frames).
+            self.compressed = bool(self.footer.get("compressed"))
+
+    @property
+    def data(self):
+        """The segment bytes (bytearray sources are snapshotted once)."""
+        if self._snapshot is None:
+            self._snapshot = bytes(self._raw)
+        return self._snapshot
+
+    def frame_region(self, best_effort=False):
+        """(buffer, start, end) of the frame bytes to walk.
+
+        Plain segments return the segment buffer itself (zero-copy);
+        compressed segments inflate their data region once and cache
+        it, with offsets matching the footer's uncompressed
+        coordinates (frames start right after the 8-byte header).  A
+        sealed compressed region that fails to inflate raises
+        :class:`CorruptFrameError`; with ``best_effort=True`` (salvage
+        and verify paths) it degrades to whatever prefix inflates.
+        """
+        if not self.valid:
+            return b"", 0, 0
+        if not self.compressed:
+            start, end = self.data_bounds()
+            return self.data, start, end
+        head = sformat.SEGMENT_HEADER_BYTES
+        if self._region is None:
+            data = self.data
+            if self.sealed:
+                blob = bytes(data[head : head + self.footer["stored_bytes"]])
+                try:
+                    raw = sformat.decompress_region(
+                        blob, self.footer["raw_bytes"]
+                    )
+                except CorruptSegmentError as err:
+                    if not best_effort:
+                        raise CorruptFrameError(str(err), path=self.path)
+                    self._region_damaged = True
+                    raw = sformat.decompress_region(blob, None)
+            else:
+                raw = sformat.decompress_region(bytes(data[head:]), None)
+            self._region = bytes(data[:head]) + raw
+        elif self._region_damaged and not best_effort:
+            raise CorruptFrameError(
+                "compressed data region is damaged", path=self.path
+            )
+        return self._region, head, len(self._region)
 
     def data_bounds(self):
         if not self.valid:
             return 0, 0
         if self.sealed:
             return self.footer["data_start"], self.footer["data_end"]
+        if self.compressed:
+            __, start, end = self.frame_region(best_effort=True)
+            return start, end
         return sformat.SEGMENT_HEADER_BYTES, len(self.data)
 
     def data_bytes(self):
         start, end = self.data_bounds()
         return end - start
 
+    def stored_data_bytes(self):
+        """On-disk size of the data region (inspect: what compression
+        actually saved; equals :meth:`data_bytes` when uncompressed)."""
+        if self.compressed and self.sealed:
+            return self.footer["stored_bytes"]
+        if self.compressed:
+            return max(len(self.data) - sformat.SEGMENT_HEADER_BYTES, 0)
+        return self.data_bytes()
+
     def iter_frames(self):
         """Strict frame walk: raises CorruptFrameError on damage."""
         if not self.valid:
             return iter(())
-        start, end = self.data_bounds()
+        data, start, end = self.frame_region()
         return sformat.iter_frames(
-            self.data, start, end,
+            data, start, end,
             version=self.version, sealed=self.sealed, path=self.path,
         )
 
@@ -97,9 +177,9 @@ class Segment:
         ("gap", start, end) / ("torn", start, end) items."""
         if not self.valid:
             return iter(())
-        start, end = self.data_bounds()
+        data, start, end = self.frame_region(best_effort=True)
         return sformat.salvage_frames(
-            self.data, start, end, version=self.version
+            data, start, end, version=self.version
         )
 
     def committed_frames(self):
@@ -147,6 +227,7 @@ class Segment:
             "status": SEALED_CLEAN,
             "version": self.version,
             "sealed": self.sealed,
+            "compressed": self.compressed,
             "frames": 0,
             "markers": 0,
             "committed_bytes": 0,
@@ -219,6 +300,11 @@ class ScanStats:
         self.bytes_scanned = 0
         self.records_decoded = 0
         self.records_yielded = 0
+        #: Records rejected by the batch fast lane's columnar rule
+        #: pre-screen without ever being materialized as dicts (always
+        #: 0 on the interpreted scan; counted toward records_yielded,
+        #: since the oracle yields them and the rules reject them).
+        self.records_prescreened = 0
         #: Corrupt frames / quarantined byte ranges survived in salvage
         #: mode (strict mode raises instead of counting).
         self.frames_corrupt = 0
@@ -287,9 +373,13 @@ class StoreReader:
 
     @classmethod
     def from_fs(cls, fs, base, host_names=None):
-        """From a simulated machine filesystem, host-side.  A segment
-        with a damaged header is kept (flagged invalid) so the rest of
-        the store stays readable."""
+        """From a simulated machine filesystem, host-side.  Segment
+        buffers are referenced, not copied: construction parses only
+        headers and footers, and a segment's bytes are snapshotted the
+        first time a scan actually touches it -- a pushdown query over
+        a large store materializes only the segments it reads.  A
+        segment with a damaged header is kept (flagged invalid) so the
+        rest of the store stays readable."""
         prefix = base + SEGMENT_SUFFIX
         segments = [
             Segment(path, fs.node(path).data)
@@ -302,10 +392,14 @@ class StoreReader:
 
     @classmethod
     def from_files(cls, base, host_names=None):
-        """From real files (the CLI): ``<base>.seg*`` siblings.  A
+        """From real files (the CLI): ``<base>.seg*`` siblings, memory-
+        mapped read-only so the OS pages frames in on demand -- a
+        pushdown-skipped segment costs its header and footer pages,
+        nothing else, and no segment is ever held in memory whole.  A
         damaged or foreign file among them is kept (flagged invalid)
         instead of aborting the whole store."""
         import glob
+        import mmap
 
         paths = sorted(glob.glob(base + SEGMENT_SUFFIX + "*"))
         if not paths:
@@ -313,7 +407,11 @@ class StoreReader:
         segments = []
         for path in paths:
             with open(path, "rb") as handle:
-                segments.append(Segment(path, handle.read()))
+                try:
+                    data = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+                except (ValueError, OSError):
+                    data = handle.read()  # empty file: nothing to map
+            segments.append(Segment(path, data))
         return cls(segments, host_names=host_names)
 
     # -- scanning -------------------------------------------------------
@@ -388,70 +486,81 @@ class StoreReader:
                 stats.segments_recovered += 1
             stats.segments_scanned += 1
             stats.bytes_scanned += segment.data_bytes()
-            if salvage:
-                frames, gaps = segment.committed_salvage()
-                for start, end in gaps:
+            yield from self._segment_records(
+                segment, stats, machine_set, pid_set, event_set,
+                t_min, t_max, salvage,
+            )
+
+    def _segment_records(self, segment, stats, machine_set, pid_set,
+                         event_set, t_min, t_max, salvage):
+        """Decode one segment's committed frames through the residual
+        predicate (the per-segment body of :meth:`scan`, shared with
+        the batch fast lane's slow path so both walk damage and apply
+        predicates with byte-identical semantics)."""
+        if salvage:
+            frames, gaps = segment.committed_salvage()
+            for start, end in gaps:
+                stats.frames_corrupt += 1
+                stats.bytes_quarantined += end - start
+            if gaps:
+                stats.segment_errors.append(
+                    (
+                        segment.path,
+                        "quarantined {0} byte(s) in {1} range(s)".format(
+                            sum(end - start for start, end in gaps),
+                            len(gaps),
+                        ),
+                    )
+                )
+            damaged = bool(gaps)
+        else:
+            frames = segment.committed_frames()
+            damaged = False
+        for __, mask, payload in frames:
+            if is_batch_marker(payload):
+                continue  # delivery-protocol control frame
+            try:
+                record = self.codec.decode(payload)
+            except ValueError as err:
+                # A frame that parses but whose payload is not a
+                # meter message.  v2 frames are CRC-verified, so
+                # this is real damage; v1 has no frame checksum to
+                # consult.  Either way the loss is accounted (or,
+                # strict, surfaced) -- never silently dropped.
+                if salvage or segment.version == sformat.FORMAT_VERSION_V1:
                     stats.frames_corrupt += 1
-                    stats.bytes_quarantined += end - start
-                if gaps:
+                    stats.bytes_quarantined += len(payload) + (
+                        sformat.frame_overhead(segment.version)
+                    )
                     stats.segment_errors.append(
-                        (
-                            segment.path,
-                            "quarantined {0} byte(s) in {1} range(s)".format(
-                                sum(end - start for start, end in gaps),
-                                len(gaps),
-                            ),
-                        )
+                        (segment.path, "undecodable frame: %s" % err)
                     )
-                damaged = bool(gaps)
-            else:
-                frames = segment.committed_frames()
-                damaged = False
-            for __, mask, payload in frames:
-                if is_batch_marker(payload):
-                    continue  # delivery-protocol control frame
-                try:
-                    record = self.codec.decode(payload)
-                except ValueError as err:
-                    # A frame that parses but whose payload is not a
-                    # meter message.  v2 frames are CRC-verified, so
-                    # this is real damage; v1 has no frame checksum to
-                    # consult.  Either way the loss is accounted (or,
-                    # strict, surfaced) -- never silently dropped.
-                    if salvage or segment.version == sformat.FORMAT_VERSION_V1:
-                        stats.frames_corrupt += 1
-                        stats.bytes_quarantined += len(payload) + (
-                            sformat.frame_overhead(segment.version)
-                        )
-                        stats.segment_errors.append(
-                            (segment.path, "undecodable frame: %s" % err)
-                        )
-                        damaged = True
-                        continue
-                    raise CorruptSegmentError(
-                        "undecodable frame payload: %s" % err,
-                        path=segment.path,
-                    )
-                stats.records_decoded += 1
-                if damaged:
-                    stats.records_salvaged += 1
-                if event_set is not None and record["event"] not in event_set:
+                    damaged = True
                     continue
-                if machine_set is not None and record["machine"] not in machine_set:
+                raise CorruptSegmentError(
+                    "undecodable frame payload: %s" % err,
+                    path=segment.path,
+                )
+            stats.records_decoded += 1
+            if damaged:
+                stats.records_salvaged += 1
+            if event_set is not None and record["event"] not in event_set:
+                continue
+            if machine_set is not None and record["machine"] not in machine_set:
+                continue
+            if pid_set is not None:
+                if (record["machine"], record.get("pid")) not in pid_set:
                     continue
-                if pid_set is not None:
-                    if (record["machine"], record.get("pid")) not in pid_set:
-                        continue
-                time = record["cpuTime"]
-                if t_min is not None and time < t_min:
-                    continue
-                if t_max is not None and time > t_max:
-                    continue
-                if mask:
-                    for name in sformat.masked_fields(record["event"], mask):
-                        record.pop(name, None)
-                stats.records_yielded += 1
-                yield record
+            time = record["cpuTime"]
+            if t_min is not None and time < t_min:
+                continue
+            if t_max is not None and time > t_max:
+                continue
+            if mask:
+                for name in sformat.masked_fields(record["event"], mask):
+                    record.pop(name, None)
+            stats.records_yielded += 1
+            yield record
 
     def records(self, **predicates):
         """Materialize a scan (convenience for small selections)."""

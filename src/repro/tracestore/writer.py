@@ -23,6 +23,7 @@ it already flushed.
 """
 
 import struct
+import zlib
 
 from repro.kernel import errno
 from repro.kernel.errno import SyscallError
@@ -51,6 +52,7 @@ class StoreWriter:
         host_names=None,
         auto_seal=True,
         version=sformat.FORMAT_VERSION,
+        compress=False,
     ):
         self.base = base
         #: Segment format version to write.  Defaults to the current
@@ -59,6 +61,14 @@ class StoreWriter:
         if version not in sformat.SUPPORTED_VERSIONS:
             raise ValueError("unsupported segment version %r" % (version,))
         self.version = version
+        #: Compressed segments hold their whole frame region in memory
+        #: until seal (one zlib blob per segment on disk), so the
+        #: bounded crash-loss guarantee does not apply: this mode is
+        #: for offline packing (``trace pack --compress``), not for a
+        #: live filter's log.
+        if compress and version != sformat.FORMAT_VERSION:
+            raise ValueError("compressed segments require format v2")
+        self.compress = compress
         #: With auto_seal off, a full segment is sealed only when the
         #: caller says so (:meth:`maybe_seal`), letting the standard
         #: filter keep seals on batch-commit boundaries so a sealed
@@ -76,6 +86,7 @@ class StoreWriter:
         self._path = None
         self._stats = None
         self._offset = 0  # next frame offset within the open segment
+        self._data_crc = 0  # running CRC32 over the open frame region
 
     # ------------------------------------------------------------------
 
@@ -96,6 +107,7 @@ class StoreWriter:
         self._stats.add(event, machine, pid, cpu_time, self._offset)
         frame = sformat.encode_frame(payload, mask, self.version)
         self._offset += len(frame)
+        self._data_crc = zlib.crc32(frame, self._data_crc)
         self._buffer.append(frame)
         self._buffered += len(frame)
         self.records_appended += 1
@@ -113,6 +125,7 @@ class StoreWriter:
             self._begin_segment()
         frame = sformat.encode_frame(payload, 0, self.version)
         self._offset += len(frame)
+        self._data_crc = zlib.crc32(frame, self._data_crc)
         self._buffer.append(frame)
         self._buffered += len(frame)
         if self._buffered >= self.flush_bytes:
@@ -146,19 +159,37 @@ class StoreWriter:
         self.next_index += 1
         self._stats = sformat.SegmentStats(self.host_names)
         self._offset = sformat.SEGMENT_HEADER_BYTES
+        self._data_crc = 0
+        flags = sformat.FLAG_COMPRESSED if self.compress else 0
         self._ops.append(("open", self._path))
-        self._ops.append(("write", self._path, sformat.segment_header(self.version)))
+        self._ops.append(
+            ("write", self._path, sformat.segment_header(self.version, flags))
+        )
 
     def _drain_buffer(self):
+        if self.compress:
+            return  # the whole frame region compresses as one blob at seal
         if self._buffer:
             self._ops.append(("write", self._path, b"".join(self._buffer)))
             self._buffer = []
             self._buffered = 0
 
     def _seal_segment(self):
-        self._drain_buffer()
+        stored_bytes = None
+        if self.compress:
+            blob = sformat.compress_region(b"".join(self._buffer))
+            self._buffer = []
+            self._buffered = 0
+            stored_bytes = len(blob)
+            self._ops.append(("write", self._path, blob))
+        else:
+            self._drain_buffer()
         footer = self._stats.footer(
-            sformat.SEGMENT_HEADER_BYTES, self._offset, self.version
+            sformat.SEGMENT_HEADER_BYTES,
+            self._offset,
+            self.version,
+            data_crc32=self._data_crc,
+            stored_bytes=stored_bytes,
         )
         self._ops.append(("write", self._path, sformat.encode_footer(footer)))
         self._ops.append(("close", self._path))

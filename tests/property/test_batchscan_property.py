@@ -1,0 +1,197 @@
+"""Property tests: the batch fast lane is the interpreted scan.
+
+For any record stream, any store flavour (v1, v2, v2-compressed), any
+predicate pushdown, and any compiled rule file,
+:func:`~repro.tracestore.scan_fast` / :func:`~repro.tracestore.select`
+must produce record-for-record (and key-order-for-key-order) exactly
+what :meth:`StoreReader.scan` + ``RuleSet.apply`` produce.  A damaged
+store must agree in salvage mode too.
+
+The corrupt-store x strict-scan combination is deliberately out of
+scope here: strict scans *raise* on damage in both lanes, but which
+frame the error names may differ (the fast lane hoists the region CRC
+check); the durability property suite owns that contract.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filtering.rules import parse_rules
+from repro.metering import messages
+from repro.metering.messages import EVENT_TYPES, MessageCodec
+from repro.net.addresses import InternetName, PairName, UnixName
+from repro.tracestore import (
+    FORMAT_VERSION_V1,
+    StoreReader,
+    StoreWriter,
+    collect_ops,
+    scan_fast,
+    select,
+)
+
+HOSTS = {1: "red", 2: "green", 3: "blue", 4: "yellow"}
+
+_names = st.one_of(
+    st.none(),
+    st.builds(
+        lambda host_id, port: InternetName(HOSTS[host_id], port, host_id),
+        host_id=st.sampled_from(sorted(HOSTS)),
+        port=st.integers(min_value=1, max_value=65535),
+    ),
+    st.builds(
+        UnixName,
+        path=st.text(alphabet="abcdefghij/._", min_size=1, max_size=14),
+    ),
+    st.builds(PairName, unique_id=st.integers(min_value=1, max_value=2**31 - 1)),
+)
+
+
+@st.composite
+def _wire_messages(draw):
+    event = draw(st.sampled_from(sorted(EVENT_TYPES)))
+    longs = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+    body, names = {}, {}
+    for field, kind in messages.BODY_FIELDS[event]:
+        if kind == "long":
+            if not field.endswith("NameLen"):
+                body[field] = draw(longs)
+        else:
+            names[field] = draw(_names)
+    codec = MessageCodec(HOSTS)
+    body.update(names)
+    body.update(codec.name_lengths(**names))
+    return codec.encode(
+        event,
+        machine=draw(st.sampled_from(sorted(HOSTS))),
+        cpu_time=draw(st.integers(min_value=0, max_value=10**6)),
+        proc_time=draw(st.integers(min_value=0, max_value=10**6)),
+        **body
+    )
+
+
+#: Condition fragments a rule line is assembled from: column compares,
+#: NAME compares (literal and cross-field), wildcards, discards, and a
+#: field no event carries.
+_CONDITIONS = [
+    "type=send",
+    "type=accept",
+    "type=fork",
+    "machine=2",
+    "machine!=3",
+    "pid>0",
+    "pid<=100",
+    "cpuTime>=500000",
+    "msgLength>1024",
+    "sock=newSock",
+    "pc=#*",
+    "cpuTime=#*",
+    "destName=*",
+    "destName=inet:green:7777",
+    "sockName=peerName",
+    "peerName!=sockName",
+    "nosuchfield=1",
+]
+
+_rule_lines = st.lists(
+    st.lists(st.sampled_from(_CONDITIONS), min_size=1, max_size=3)
+    .map(lambda conds: ", ".join(conds)),
+    min_size=0,
+    max_size=4,
+).map(lambda lines: "\n".join(lines) + "\n")
+
+_predicates = st.fixed_dictionaries(
+    {},
+    optional={
+        "machines": st.lists(
+            st.integers(min_value=1, max_value=5), min_size=1, max_size=2
+        ),
+        "events": st.lists(
+            st.sampled_from(sorted(EVENT_TYPES)), min_size=1, max_size=3
+        ),
+        "t_min": st.integers(min_value=0, max_value=10**6),
+        "t_max": st.integers(min_value=0, max_value=10**6),
+    },
+)
+
+_flavours = st.sampled_from(["v1", "v2", "zlib"])
+
+
+def _build(raws, flavour, segment_bytes):
+    kwargs = {"segment_bytes": segment_bytes}
+    if flavour == "v1":
+        kwargs["version"] = FORMAT_VERSION_V1
+    elif flavour == "zlib":
+        kwargs["compress"] = True
+    writer = StoreWriter("/p/s.store", host_names=HOSTS, **kwargs)
+    for raw in raws:
+        writer.append(raw)
+    writer.close()
+    sink = {}
+    collect_ops(sink, writer)
+    return {path: bytes(data) for path, data in sink.items()}
+
+
+@given(
+    raws=st.lists(_wire_messages(), min_size=1, max_size=30),
+    flavour=_flavours,
+    segment_bytes=st.sampled_from([400, 4096]),
+    predicates=_predicates,
+    rule_text=_rule_lines,
+)
+@settings(max_examples=120, deadline=None)
+def test_fast_lane_equals_interpreted_lane(
+    raws, flavour, segment_bytes, predicates, rule_text
+):
+    store = _build(raws, flavour, segment_bytes)
+    reader = StoreReader.from_bytes(store)
+
+    oracle_scan = list(reader.scan(**predicates))
+    fast_scan = list(scan_fast(reader, **predicates))
+    assert fast_scan == oracle_scan
+    assert [list(r) for r in fast_scan] == [list(r) for r in oracle_scan]
+
+    rules = parse_rules(rule_text)
+    oracle_sel = [
+        s
+        for s in (rules.apply(r) for r in reader.scan(**predicates))
+        if s is not None
+    ]
+    fast_sel = select(reader, rules, **predicates)
+    assert fast_sel == oracle_sel
+    assert [list(r) for r in fast_sel] == [list(r) for r in oracle_sel]
+
+
+@given(
+    raws=st.lists(_wire_messages(), min_size=4, max_size=30),
+    flavour=_flavours,
+    damage=st.tuples(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=7),
+    ),
+    rule_text=_rule_lines,
+)
+@settings(max_examples=80, deadline=None)
+def test_salvage_fast_lane_equals_interpreted_lane(
+    raws, flavour, damage, rule_text
+):
+    store = _build(raws, flavour, 400)
+    path = sorted(store)[len(store) // 2]
+    offset, bit = damage
+    blob = bytearray(store[path])
+    blob[offset % len(blob)] ^= 1 << bit
+    store[path] = bytes(blob)
+
+    reader = StoreReader.from_bytes(store)
+    oracle = list(reader.scan(salvage=True))
+    oracle_stats = repr(reader.last_stats)
+    fast = list(scan_fast(reader, salvage=True))
+    assert fast == oracle
+    assert repr(reader.last_stats) == oracle_stats
+
+    rules = parse_rules(rule_text)
+    oracle_sel = [
+        s
+        for s in (rules.apply(r) for r in reader.scan(salvage=True))
+        if s is not None
+    ]
+    assert select(reader, rules, salvage=True) == oracle_sel

@@ -27,7 +27,8 @@ from repro.tracestore.writer import flush_to_files
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent.parent / "examples"
 
 USAGE = """\
-usage: python -m repro [<example> | --list | trace ... | stats ... | watch ...]
+usage: python -m repro [<example> | --list | trace ... | stats ... | watch ...
+                        | chaos ...]
 
 Examples (simulated monitor sessions; default: quickstart):
   python -m repro                 # quickstart (Appendix B)
@@ -46,6 +47,12 @@ Offline analysis (replay a finished trace through the streaming engine):
   python -m repro watch <log-or-storebase> <kind> [--window MS] [--rule R]
                         [--count N] [--threshold N] [--event NAME]
                         query kinds: undelivered pattern quiet rate
+
+Chaos search (seed-derived fault schedules, oracles, shrinking):
+  python -m repro chaos run [--profile mixed] [--seeds 0:25]
+  python -m repro chaos soak [--schedules 25]
+  python -m repro chaos replay <artifact.json>
+  python -m repro chaos shrink <artifact.json>
 
 Inside a live session the controller commands `stats` and `watch` ask
 the running filter's engine the same questions (see docs/USERS_MANUAL)."""
@@ -458,6 +465,10 @@ def main(argv=None):
         return 0
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.chaos.cli import chaos_main
+
+        return chaos_main(argv[1:])
     if argv and argv[0] in ("stats", "watch"):
         handler = stats_main if argv[0] == "stats" else watch_main
         try:

@@ -1,0 +1,73 @@
+"""Chaos search engine: seed-derived fault-schedule fuzzing with
+invariant oracles and automatic shrinking.
+
+Three PRs built the fault machinery (deterministic injection,
+self-healing sessions, a durable store); this package turns them into
+an automated bug-finding instrument:
+
+- :mod:`repro.chaos.generator` derives a whole
+  :class:`~repro.faults.plan.FaultPlan` from ``(seed, profile)``, every
+  draw through one seeded ``random.Random`` -- the explored fault
+  space is as large as the seed space, not a handful of hand-written
+  schedules.
+- :mod:`repro.chaos.oracles` judges each run against the invariants
+  the earlier PRs proved one schedule at a time: record identity with
+  the fault-free baseline, accounted storage loss, replay==batch
+  streaming digests, fast-lane==interpreted scans, monotone vector
+  clocks, at-most-once death reporting.
+- :mod:`repro.chaos.shrink` delta-debugs any failing schedule down to
+  a minimal repro, emitted by :mod:`repro.chaos.artifact` as a
+  replayable JSON document (``python -m repro chaos replay``).
+- :mod:`repro.chaos.search` is the soak driver: profiles x seeds,
+  coverage counting, schedules/hour, verdicts.
+"""
+
+from repro.chaos.artifact import (
+    build_artifact,
+    load_artifact,
+    replay_artifact,
+    save_artifact,
+)
+from repro.chaos.generator import FaultSurface, generate_plan
+from repro.chaos.oracles import (
+    STANDARD_ORACLES,
+    format_verdict,
+    run_oracles,
+    violated_names,
+)
+from repro.chaos.profiles import PROFILES, ChaosProfile, get_profile
+from repro.chaos.scenario import (
+    SCENARIOS,
+    RunResult,
+    Scenario,
+    make_scenario,
+    run_scenario,
+)
+from repro.chaos.search import format_report, search
+from repro.chaos.shrink import ShrinkResult, is_subsequence, shrink_plan
+
+__all__ = [
+    "ChaosProfile",
+    "FaultSurface",
+    "PROFILES",
+    "RunResult",
+    "SCENARIOS",
+    "STANDARD_ORACLES",
+    "Scenario",
+    "ShrinkResult",
+    "build_artifact",
+    "format_report",
+    "format_verdict",
+    "generate_plan",
+    "get_profile",
+    "is_subsequence",
+    "load_artifact",
+    "make_scenario",
+    "replay_artifact",
+    "run_oracles",
+    "run_scenario",
+    "save_artifact",
+    "search",
+    "shrink_plan",
+    "violated_names",
+]

@@ -1,0 +1,162 @@
+"""Chaos profiles: weighted fault mixes the generator draws from.
+
+A profile is the *shape* of adversity -- which fault kinds appear, how
+often, and with what parameter ranges -- while the seed picks the
+concrete schedule.  Profiles name generator *moves*, not raw
+:mod:`repro.faults.plan` kinds: a move may expand to a pair of events
+(``daemon_outage`` is a kill **and** the later init restart;
+``machine_outage`` is a crash **and** the reboot), because an
+unrecovered outage would change what the workload computes and turn
+every oracle into noise.
+
+The built-in profiles partition the fault space so a search batch can
+claim coverage per dimension:
+
+- ``network``      partitions, loss bursts, latency spikes
+- ``processes``    filter kills, daemon outages
+- ``controlplane`` controller kill/restart, daemon outages, partitions
+- ``storage``      bit rot, dropped flushes, torn writes on the store
+- ``mixed``        everything above, weighted toward the common cases
+- ``destructive``  machine crash/reboot on top of the mixed faults
+  (baseline-equality oracles do not apply; the monitor must merely
+  stay truthful about what survived)
+"""
+
+#: Generator move names (see ChaosProfile.weights keys).
+KILL_FILTER = "kill_filter"
+DAEMON_OUTAGE = "daemon_outage"
+PARTITION = "partition"
+LOSS_BURST = "loss_burst"
+LATENCY_SPIKE = "latency_spike"
+CONTROLLER_OUTAGE = "controller_outage"
+STORAGE_BIT_ROT = "storage_bit_rot"
+STORAGE_DROP_FLUSH = "storage_drop_flush"
+STORAGE_TORN_WRITE = "storage_torn_write"
+MACHINE_OUTAGE = "machine_outage"
+
+ALL_MOVES = (
+    KILL_FILTER,
+    DAEMON_OUTAGE,
+    PARTITION,
+    LOSS_BURST,
+    LATENCY_SPIKE,
+    CONTROLLER_OUTAGE,
+    STORAGE_BIT_ROT,
+    STORAGE_DROP_FLUSH,
+    STORAGE_TORN_WRITE,
+    MACHINE_OUTAGE,
+)
+
+
+class ChaosProfile:
+    """Weights and parameter ranges for schedule generation.
+
+    ``moves`` bounds how many moves one schedule draws (paired moves
+    contribute two events).  ``horizon_ms`` is the fault window length,
+    measured from the moment the workload starts; recovery halves of
+    paired moves always land inside it, so a settled run ends healed.
+    """
+
+    def __init__(
+        self,
+        name,
+        weights,
+        moves=(4, 8),
+        horizon_ms=700.0,
+        min_gap_ms=40.0,
+        loss_range=(0.1, 0.6),
+        burst_duration_ms=(30.0, 150.0),
+        latency_extra_ms=(5.0, 40.0),
+        flips_range=(1, 4),
+        torn_bytes_range=(1, 160),
+        controller_outage_limit=1,
+    ):
+        for move in weights:
+            if move not in ALL_MOVES:
+                raise ValueError("unknown generator move {0!r}".format(move))
+        if not weights:
+            raise ValueError("profile needs at least one weighted move")
+        self.name = name
+        #: move name -> relative weight (insertion order is draw order).
+        self.weights = dict(weights)
+        self.moves = (int(moves[0]), int(moves[1]))
+        if not 0 < self.moves[0] <= self.moves[1]:
+            raise ValueError("moves must satisfy 0 < min <= max")
+        self.horizon_ms = float(horizon_ms)
+        self.min_gap_ms = float(min_gap_ms)
+        self.loss_range = loss_range
+        self.burst_duration_ms = burst_duration_ms
+        self.latency_extra_ms = latency_extra_ms
+        self.flips_range = flips_range
+        self.torn_bytes_range = torn_bytes_range
+        #: At most this many controller kill/restart pairs per schedule
+        #: (each pair costs one operator ``resume`` in the harness).
+        self.controller_outage_limit = int(controller_outage_limit)
+
+    def __repr__(self):
+        return "ChaosProfile({0!r}, moves={1})".format(self.name, self.moves)
+
+
+PROFILES = {
+    "mixed": ChaosProfile(
+        "mixed",
+        {
+            KILL_FILTER: 2.0,
+            DAEMON_OUTAGE: 2.0,
+            PARTITION: 2.0,
+            LOSS_BURST: 1.5,
+            LATENCY_SPIKE: 1.5,
+            CONTROLLER_OUTAGE: 1.0,
+            STORAGE_BIT_ROT: 0.8,
+            STORAGE_DROP_FLUSH: 0.5,
+            STORAGE_TORN_WRITE: 0.5,
+        },
+    ),
+    "network": ChaosProfile(
+        "network",
+        {PARTITION: 3.0, LOSS_BURST: 2.0, LATENCY_SPIKE: 2.0},
+        moves=(4, 9),
+    ),
+    "processes": ChaosProfile(
+        "processes",
+        {KILL_FILTER: 3.0, DAEMON_OUTAGE: 3.0},
+        moves=(3, 6),
+    ),
+    "controlplane": ChaosProfile(
+        "controlplane",
+        {CONTROLLER_OUTAGE: 2.0, DAEMON_OUTAGE: 2.0, PARTITION: 1.0},
+        moves=(3, 6),
+    ),
+    "storage": ChaosProfile(
+        "storage",
+        {
+            STORAGE_BIT_ROT: 2.0,
+            STORAGE_DROP_FLUSH: 1.5,
+            STORAGE_TORN_WRITE: 1.5,
+            KILL_FILTER: 1.0,
+        },
+        moves=(3, 6),
+    ),
+    "destructive": ChaosProfile(
+        "destructive",
+        {
+            MACHINE_OUTAGE: 2.0,
+            PARTITION: 1.5,
+            LOSS_BURST: 1.0,
+            KILL_FILTER: 1.0,
+            DAEMON_OUTAGE: 1.0,
+        },
+        moves=(3, 7),
+    ),
+}
+
+
+def get_profile(name):
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown chaos profile {0!r}; available: {1}".format(
+                name, ", ".join(sorted(PROFILES))
+            )
+        )

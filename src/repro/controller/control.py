@@ -99,6 +99,18 @@ class ControllerState:
         self.jobs = {}  # name -> Job
         #: Daemon liveness: heartbeats, degradation, recovery probes.
         self.health = health.HealthMonitor()
+        #: machine -> boot epoch from its last ping reply.  A changed
+        #: epoch means the daemon was restarted behind our back -- the
+        #: whole outage fit between two heartbeats, so no degraded
+        #: transition will ever fire for it.
+        self.daemon_boots = {}
+        #: machine -> {filtername: set of retired meter ports} for
+        #: REMETER exchanges that failed because the machine was
+        #: unreachable.  Its kernel may hold final batches spooled
+        #: under those ports, and only its daemon can drain them --
+        #: the debt keeps the machine on the heartbeat schedule until
+        #: a recovery pays it (see _settle_owed_remeters).
+        self.owed_remeters = {}
         self.next_job_number = 1
         self.input_stack = []
         self.sink_fd = None  # output file fd, or None for the terminal
@@ -132,12 +144,16 @@ class ControllerState:
 
 def _watched_machines(state):
     """Machines hosting a piece of the session (a filter or a live
-    process record): the heartbeat set."""
+    process record), plus machines owing a remeter: the heartbeat set.
+    A machine whose processes all died can still hold their final
+    batches spooled in its kernel -- it must stay probed until its
+    daemon comes back and the drain succeeds."""
     watched = {info.machine for info in state.filters.values()}
     for job in state.jobs.values():
         for record in job.processes:
             if record.state != states.KILLED:
                 watched.add(record.machine)
+    watched.update(state.owed_remeters)
     return watched
 
 
@@ -157,6 +173,24 @@ def _journal(sys, ctl, op, **fields):
         return
     entry = journal.encode_entry(op, **fields)
     yield sys.write(ctl.journal_fd, entry.encode("ascii"))
+
+
+def _journal_state(sys, ctl, job, record):
+    """Journal a process state change.  Entries carry machine and pid
+    besides the procname: two processes of one job may share a program
+    name (the paper's DONE lines name only the program), and a replay
+    that resolves by name alone can mark the wrong record -- the
+    resumed controller then re-reports a death it already reported."""
+    yield from _journal(
+        sys,
+        ctl,
+        "state",
+        jobname=job.name,
+        procname=record.procname,
+        machine=record.machine,
+        pid=record.pid,
+        state=record.state,
+    )
 
 
 def controller(sys, argv):
@@ -300,14 +334,7 @@ def _on_termination(sys, state, body):
         # and the reconcile path may already have reported this death.
         return
     record.state = states.KILLED
-    yield from _journal(
-        sys,
-        state,
-        "state",
-        jobname=job.name,
-        procname=record.procname,
-        state=states.KILLED,
-    )
+    yield from _journal_state(sys, state, job, record)
     yield from _emit(
         sys,
         state,
@@ -455,8 +482,13 @@ def _rpc(sys, state, machine, msg_type, **body):
             return protocol.ERROR_REPLY, {
                 "status": "daemon closed the connection"
             }
+        recovering = state.health.is_degraded(machine)
         yield from _note_success(sys, state, machine)
-        return protocol.decode(payload)
+        reply_type, reply_body = protocol.decode(payload)
+        yield from _observe_daemon_boot(
+            sys, state, machine, reply_body, suppress=recovering
+        )
+        return reply_type, reply_body
     yield from _note_failure(sys, state, machine)
     return protocol.ERROR_REPLY, {"status": last_status}
 
@@ -476,6 +508,7 @@ def _probe_machine(sys, state, machine):
     )
     fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
     ok = False
+    payload = None
     try:
         yield sys.connect(
             fd, (machine, METERDAEMON_PORT), health.PROBE_DEADLINE_MS
@@ -489,9 +522,42 @@ def _probe_machine(sys, state, machine):
         ok = False
     yield sys.close(fd)
     if ok:
+        recovering = state.health.is_degraded(machine)
         yield from _note_success(sys, state, machine)
+        try:
+            __, body = protocol.decode(payload)
+        except Exception:
+            body = {}
+        yield from _observe_daemon_boot(
+            sys, state, machine, body, suppress=recovering
+        )
     else:
         yield from _note_failure(sys, state, machine)
+
+
+def _observe_daemon_boot(sys, state, machine, body, suppress=False):
+    """Track the boot epoch every daemon reply carries.  An epoch that
+    changed on a machine we believed healthy means the daemon died and
+    was replaced entirely inside one heartbeat interval: _note_success
+    saw no degraded->healthy transition, so reconcile explicitly -- the
+    replacement daemon has empty state and must re-adopt this machine's
+    share of the session (and report any child that died in the gap).
+    ``suppress`` skips the reconcile when the normal recovery path just
+    handled this machine."""
+    boot = body.get("boot")
+    if boot is None:
+        return
+    known = state.daemon_boots.get(machine)
+    state.daemon_boots[machine] = boot
+    if suppress or known is None or boot == known:
+        return
+    yield from _emit(
+        sys,
+        state,
+        "WARNING: meterdaemon on '{0}' was restarted between "
+        "heartbeats; reconciling".format(machine),
+    )
+    yield from _reconcile_machine(sys, state, machine)
 
 
 # ----------------------------------------------------------------------
@@ -499,10 +565,46 @@ def _probe_machine(sys, state, machine):
 # ----------------------------------------------------------------------
 
 
+def _settle_owed_remeters(sys, state, machine):
+    """Pay the remeter debt recorded while ``machine`` was unreachable
+    during a filter relaunch: processes on it may have died with final
+    batches spooled under meter ports the relaunch retired, and only a
+    drain aimed at the filter's *current* address recovers them."""
+    owed = state.owed_remeters.get(machine)
+    if not owed:
+        return
+    for filtername in sorted(owed):
+        info = state.filters.get(filtername)
+        if info is None:
+            # The filter is gone from the session; there is nothing to
+            # aim a drain at any more.
+            owed.pop(filtername, None)
+            continue
+        records = []
+        for job in state.jobs.values():
+            if job.filtername != filtername:
+                continue
+            for record in job.processes:
+                if (
+                    record.machine == machine
+                    and record.state != states.KILLED
+                ):
+                    records.append(
+                        {"pid": record.pid, "flags": record.flags}
+                    )
+        ports = sorted(set(owed[filtername]) | set(info.past_ports))
+        yield from _remeter_machine(
+            sys, state, info, machine, records, ports
+        )
+    if not state.owed_remeters.get(machine):
+        state.owed_remeters.pop(machine, None)
+
+
 def _reconcile_machine(sys, state, machine):
     """A machine came back (healed partition or restarted daemon):
     have its daemon adopt the session's processes and filters, then
     square our records with what actually survived."""
+    yield from _settle_owed_remeters(sys, state, machine)
     children = []
     for job in state.jobs.values():
         for record in job.processes:
@@ -547,14 +649,7 @@ def _reconcile_machine(sys, state, machine):
         if record is None or record.state == states.KILLED:
             continue
         record.state = states.KILLED
-        yield from _journal(
-            sys,
-            state,
-            "state",
-            jobname=job.name,
-            procname=record.procname,
-            state=states.KILLED,
-        )
+        yield from _journal_state(sys, state, job, record)
         yield from _emit(
             sys,
             state,
@@ -704,20 +799,24 @@ def _remeter_machine(sys, state, info, machine, records, old_ports):
         old_ports=list(old_ports),
     )
     if reply_type != protocol.REMETER_REPLY or not protocol.is_ok(body):
+        # The machine's kernel may hold batches spooled under the old
+        # ports; remember the debt so recovery can drain them at
+        # whatever port the filter has by then.
+        state.owed_remeters.setdefault(machine, {}).setdefault(
+            info.name, set()
+        ).update(int(port) for port in old_ports)
         return
+    owed = state.owed_remeters.get(machine)
+    if owed is not None:
+        owed.pop(info.name, None)
+        if not owed:
+            state.owed_remeters.pop(machine, None)
     for pid in body.get("dead", []):
         job, record = state.find_record(machine, pid)
         if record is None or record.state == states.KILLED:
             continue
         record.state = states.KILLED
-        yield from _journal(
-            sys,
-            state,
-            "state",
-            jobname=job.name,
-            procname=record.procname,
-            state=states.KILLED,
-        )
+        yield from _journal_state(sys, state, job, record)
         yield from _emit(
             sys,
             state,
@@ -1114,14 +1213,7 @@ def cmd_startjob(sys, state, args):
             )
             if reply_type == protocol.SIGNAL_REPLY and protocol.is_ok(body):
                 record.state = states.RUNNING
-                yield from _journal(
-                    sys,
-                    state,
-                    "state",
-                    jobname=job.name,
-                    procname=record.procname,
-                    state=record.state,
-                )
+                yield from _journal_state(sys, state, job, record)
                 yield from _emit(sys, state, "'{0}' started.".format(record.procname))
             else:
                 yield from _emit(
@@ -1161,14 +1253,7 @@ def cmd_stopjob(sys, state, args):
             )
             if reply_type == protocol.SIGNAL_REPLY and protocol.is_ok(body):
                 record.state = states.STOPPED
-                yield from _journal(
-                    sys,
-                    state,
-                    "state",
-                    jobname=job.name,
-                    procname=record.procname,
-                    state=record.state,
-                )
+                yield from _journal_state(sys, state, job, record)
                 yield from _emit(sys, state, "'{0}' stopped.".format(record.procname))
             else:
                 yield from _emit(
@@ -1196,14 +1281,7 @@ def _remove_record(sys, state, job, record):
             sig=defs.SIGKILL,
         )
         record.state = states.KILLED
-        yield from _journal(
-            sys,
-            state,
-            "state",
-            jobname=job.name,
-            procname=record.procname,
-            state=record.state,
-        )
+        yield from _journal_state(sys, state, job, record)
     elif record.state == states.ACQUIRED:
         yield from _rpc(
             sys, state, record.machine, protocol.UNMETER_REQ, pid=record.pid
@@ -1268,6 +1346,8 @@ def cmd_removeprocess(sys, state, args):
         "removeprocess",
         jobname=job.name,
         procname=record.procname,
+        machine=record.machine,
+        pid=record.pid,
     )
 
 

@@ -64,6 +64,21 @@ class ReplayedState:
         self.clean_exit = False
 
 
+def _resolve_record(job, entry):
+    """Find the process record a journal entry names.  Entries written
+    with machine+pid resolve exactly -- a job may run two processes of
+    the same program name, and the name-only fallback (older journals)
+    can only pick the first of them."""
+    if "pid" in entry:
+        for record in job.processes:
+            if record.pid == entry["pid"] and record.machine == entry.get(
+                "machine", record.machine
+            ):
+                return record
+        return None
+    return job.find_process(entry["procname"])
+
+
 def replay(entries):
     """Fold effect entries into a :class:`ReplayedState`.
 
@@ -141,13 +156,13 @@ def replay(entries):
         elif op == "state":
             job = state.jobs.get(entry["jobname"])
             if job is not None:
-                record = job.find_process(entry["procname"])
+                record = _resolve_record(job, entry)
                 if record is not None:
                     record.state = entry["state"]
         elif op == "removeprocess":
             job = state.jobs.get(entry["jobname"])
             if job is not None:
-                record = job.find_process(entry["procname"])
+                record = _resolve_record(job, entry)
                 if record is not None:
                     job.processes.remove(record)
         elif op == "removejob":

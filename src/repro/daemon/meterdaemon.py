@@ -29,6 +29,18 @@ FILTER_RESTART_BUDGET = 3
 FILTER_RESTART_BACKOFF_MS = 50.0
 FILTER_RESTART_BACKOFF_CAP_MS = 400.0
 
+#: Meter redial: when the kernel reports a broken meter connection
+#: (select want_meter_loss) the daemon re-dials the filter so the
+#: kernel can pump its resend window and drain orphaned batches.  The
+#: path may still be severed, so attempts back off exponentially; the
+#: budget keeps a never-healing partition from scheduling forever
+#: (quiescence), and a controller REMETER can still close the gap
+#: later.
+METER_REDIAL_BUDGET = 8
+METER_REDIAL_BACKOFF_MS = 25.0
+METER_REDIAL_BACKOFF_CAP_MS = 400.0
+METER_REDIAL_CONNECT_TIMEOUT_MS = 250.0
+
 
 class _DaemonState:
     """Host-local bookkeeping for one meterdaemon."""
@@ -43,6 +55,15 @@ class _DaemonState:
         self.filters = {}
         #: [due time, spec] pairs for filters awaiting relaunch
         self.pending_restarts = []
+        #: pid -> redial job for a broken meter connection: the kernel
+        #: told us (select want_meter_loss) that a meter stream died
+        #: with batches parked; we re-dial the filter with backoff
+        #: until the path heals or the budget runs out.
+        self.pending_redials = {}
+        #: Boot epoch (sim time at startup), echoed in ping replies: a
+        #: controller that never saw this daemon down can still detect
+        #: that it was restarted behind its back and reconcile.
+        self.boot_ms = None
         self.requests_served = 0
 
 
@@ -50,24 +71,35 @@ def meterdaemon(sys, argv):
     """Guest main.  argv: optionally [port]."""
     port = int(argv[0]) if argv else METERDAEMON_PORT
     state = _DaemonState()
+    state.boot_ms = yield sys.gettimeofday()
 
     listen_fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
     yield sys.bind(listen_fd, ("", port))
     yield sys.listen(listen_fd, defs.SOMAXCONN)
 
+    # Startup reconciliation: a predecessor daemon may have died
+    # mid-episode, taking its redial bookkeeping with it while the
+    # kernel still holds broken meters or spooled orphan batches.  The
+    # kernel state, not the (lost) notification, is the ground truth.
+    yield from _sweep_meter_state(sys, state)
+
     while True:
-        # A filter awaiting relaunch puts a deadline on the select;
-        # otherwise the daemon blocks indefinitely (quiescence: an idle
-        # daemon schedules nothing).
+        # A filter awaiting relaunch or a meter awaiting redial puts a
+        # deadline on the select; otherwise the daemon blocks
+        # indefinitely (quiescence: an idle daemon schedules nothing).
+        deadlines = [when for when, __ in state.pending_restarts]
+        deadlines.extend(
+            job["due"] for job in state.pending_redials.values()
+        )
         timeout_ms = None
-        if state.pending_restarts:
+        if deadlines:
             now = yield sys.gettimeofday()
-            due = min(when for when, __ in state.pending_restarts)
-            timeout_ms = max(0.0, due - now)
-        ready, child_events = yield sys.select(
+            timeout_ms = max(0.0, min(deadlines) - now)
+        ready, events = yield sys.select(
             [listen_fd] + list(state.gateways),
             timeout_ms=timeout_ms,
             want_children=True,
+            want_meter_loss=True,
         )
         # Drain I/O gateways before handling terminations so a child's
         # final output is not lost with its gateway.
@@ -78,8 +110,11 @@ def meterdaemon(sys, argv):
                 yield sys.close(conn)
             elif fd in state.gateways:
                 yield from _forward_output(sys, state, fd)
-        for event in child_events:
-            yield from _report_termination(sys, state, event)
+        for event in events:
+            if event.get("meter_lost"):
+                yield from _note_meter_loss(sys, state, event)
+            else:
+                yield from _report_termination(sys, state, event)
         if state.pending_restarts:
             now = yield sys.gettimeofday()
             due_now = [
@@ -90,6 +125,12 @@ def meterdaemon(sys, argv):
             ]
             for __, spec in due_now:
                 yield from _relaunch_filter(sys, state, spec)
+        if state.pending_redials:
+            now = yield sys.gettimeofday()
+            for key in sorted(state.pending_redials, key=str):
+                job = state.pending_redials.get(key)
+                if job is not None and job["due"] <= now:
+                    yield from _redial_meter(sys, state, job)
 
 
 # ----------------------------------------------------------------------
@@ -238,6 +279,110 @@ def _relaunch_filter(sys, state, spec):
     yield from _notify_controller(sys, spec["control"], payload)
 
 
+# ----------------------------------------------------------------------
+# Meter-connection supervision (self-healing data path)
+# ----------------------------------------------------------------------
+
+
+def _arm_redial(state, now, key, pid, host, port):
+    state.pending_redials[key] = {
+        "key": key,
+        "pid": pid,
+        "host": host,
+        "port": port,
+        "attempts_left": METER_REDIAL_BUDGET,
+        "backoff_ms": METER_REDIAL_BACKOFF_MS,
+        "due": now + METER_REDIAL_BACKOFF_MS,
+    }
+
+
+def _note_meter_loss(sys, state, event):
+    """The kernel reports a dead meter connection.  The controller
+    cannot be relied on to notice: its health RPCs run over its own
+    paths, and a partition can sever kernel->filter while leaving
+    controller->daemon intact.  Queue a redial; a repeat loss for the
+    same pid re-targets and re-arms the existing job."""
+    now = yield sys.gettimeofday()
+    _arm_redial(
+        state, now, event["pid"], event["pid"], event["host"], event["port"]
+    )
+
+
+def _sweep_meter_state(sys, state):
+    """Seed redial jobs from kernel meter state: live processes on a
+    broken connection, plus destinations with undelivered orphan
+    batches (their process died; only a drain can ship them).  Run at
+    startup -- the notification for an episode in progress went to a
+    daemon that no longer exists."""
+    stats = yield sys.meterstat()
+    disconnected = stats.get("disconnected", {})
+    parked = stats.get("orphans_parked", {})
+    if not disconnected and not parked:
+        return
+    now = yield sys.gettimeofday()
+    covered = set()
+    for pid in sorted(disconnected):
+        host, port = disconnected[pid]
+        covered.add((host, port))
+        _arm_redial(state, now, pid, pid, host, port)
+    for key in sorted(parked):
+        host, __, port = key.rpartition(":")
+        if (host, int(port)) in covered:
+            continue
+        _arm_redial(state, now, "drain:" + key, None, host, int(port))
+
+
+def _redial_meter(sys, state, job):
+    """One redial attempt: if the kernel still wants this destination
+    (or holds orphan batches spooled for it), connect a fresh meter
+    socket, reinstall it with setmeter (the kernel then retransmits its
+    window; the filter dedups), and drain any orphans.  Transient
+    connect failures -- the partition has not healed yet -- reschedule
+    with backoff until the budget is spent."""
+    pid = job["pid"]
+    host, port = job["host"], job["port"]
+    stats = yield sys.meterstat()
+    still_wanted = (
+        pid is not None
+        and stats.get("disconnected", {}).get(pid) == [host, port]
+    )
+    parked = stats.get("orphans_parked", {}).get(
+        "{0}:{1}".format(host, port), 0
+    )
+    if not still_wanted and not parked:
+        # Re-aimed elsewhere (REMETER won the race) or nothing left to
+        # deliver: the episode is over.
+        state.pending_redials.pop(job["key"], None)
+        return
+    fd = yield sys.socket(defs.AF_INET, defs.SOCK_STREAM)
+    try:
+        yield sys.connect(fd, (host, port), METER_REDIAL_CONNECT_TIMEOUT_MS)
+    except SyscallError as err:
+        yield sys.close(fd)
+        job["attempts_left"] -= 1
+        if (
+            err.errno in guestlib.TRANSIENT_ERRNOS
+            and job["attempts_left"] > 0
+        ):
+            job["backoff_ms"] = min(
+                job["backoff_ms"] * 2.0, METER_REDIAL_BACKOFF_CAP_MS
+            )
+            now = yield sys.gettimeofday()
+            job["due"] = now + job["backoff_ms"]
+        else:
+            state.pending_redials.pop(job["key"], None)
+        return
+    if still_wanted:
+        try:
+            yield sys.setmeter(pid, mflags.NO_CHANGE, fd)
+        except SyscallError:
+            pass  # the process died in the gap; the drain below covers it
+    if parked:
+        yield sys.meterdrain(fd, [port])
+    yield sys.close(fd)
+    state.pending_redials.pop(job["key"], None)
+
+
 def _forward_output(sys, state, fd):
     """Relay a child's standard output to its controller (3.5.2)."""
     pid = state.gateways[fd]
@@ -280,6 +425,10 @@ def _serve_request(sys, state, conn):
         reply = protocol.error_reply(str(err))
     except Exception as err:  # malformed frame/body: survive it
         reply = protocol.error_reply("bad request: %s" % err)
+    # Every reply carries this daemon's boot epoch: the controller
+    # compares it across exchanges to catch a daemon that died and was
+    # replaced entirely between two of its heartbeats.
+    reply = protocol.stamp(reply, boot=state.boot_ms)
     try:
         yield from guestlib.send_frame(sys, conn, reply)
     except SyscallError:
@@ -497,9 +646,9 @@ def _handle_stdin(sys, state, body):
 
 def _handle_ping(sys, state, body):
     """Type 27: liveness probe (controller heartbeat).  Deliberately
-    does almost nothing; the reply carries enough state for the
-    controller to notice a daemon that was restarted behind its back
-    (requests_served resets to a small number)."""
+    does almost nothing; the serve loop stamps the reply with the boot
+    epoch, which is what lets the controller notice a daemon that was
+    restarted behind its back."""
     now = yield sys.gettimeofday()
     return protocol.encode(
         protocol.PING_REPLY,

@@ -98,5 +98,16 @@ def error_reply(reason):
     return encode(ERROR_REPLY, status=str(reason))
 
 
+def stamp(payload, **fields):
+    """Add body fields to an already-encoded message (existing fields
+    win).  Lets the daemon's serve loop annotate every reply -- e.g.
+    its boot epoch -- without threading the fields through each
+    handler."""
+    message = json.loads(payload.decode("ascii"))
+    for key, value in fields.items():
+        message["body"].setdefault(key, value)
+    return json.dumps(message).encode("ascii")
+
+
 def is_ok(body):
     return body.get("status") == OK

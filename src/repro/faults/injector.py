@@ -80,10 +80,17 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def _do_crash(self, machine):
-        self.cluster.machine(machine).crash()
+        target = self.cluster.machine(machine)
+        if target.crashed:
+            # Randomized schedules crash machines that are already down;
+            # record the no-op rather than double-crashing.
+            return "no-op: already crashed"
+        target.crash()
 
     def _do_reboot(self, machine, restart_daemon):
         target = self.cluster.machine(machine)
+        if not target.crashed:
+            return "no-op: not crashed"
         target.reboot()
         if restart_daemon and self.session is not None:
             from repro.daemon.meterdaemon import meterdaemon
@@ -104,6 +111,8 @@ class FaultInjector:
         return "severed {0} channels".format(broken) if broken else None
 
     def _do_heal(self):
+        if not self.cluster.network.partition_active:
+            return "no-op: no partition active"
         self.cluster.network.heal_partition()
 
     def _do_loss_burst(self, duration_ms, loss):
@@ -173,11 +182,15 @@ class FaultInjector:
 
     def _do_kill_process(self, machine, program):
         target = self.cluster.machine(machine)
+        if target.crashed:
+            return "no-op: machine crashed"
         victims = [
             proc
             for proc in target.active_procs()
             if proc.program_name == program
         ]
+        if not victims:
+            return "no-op: no live {0!r} process".format(program)
         for proc in victims:
             target.post_signal(proc, defs.SIGKILL)
         return "killed {0}".format(len(victims))
@@ -188,6 +201,13 @@ class FaultInjector:
         from repro.daemon.meterdaemon import meterdaemon
 
         target = self.cluster.machine(machine)
+        if target.crashed:
+            return "no-op: machine crashed"
+        if any(
+            proc.program_name == "meterdaemon"
+            for proc in target.active_procs()
+        ):
+            return "no-op: meterdaemon already running"
         self.session.daemons[machine] = target.create_process(
             main=meterdaemon, uid=0, program_name="meterdaemon"
         )
@@ -208,5 +228,12 @@ class FaultInjector:
             raise RuntimeError(
                 "restart_controller needs a session on the injector"
             )
+        if self.cluster.machine(self.session.control_machine).crashed:
+            return "no-op: control machine crashed"
+        if self.session.controller_alive():
+            # The recovery half of a kill/restart pair: with nothing to
+            # recover from, restarting would just discard live session
+            # state.
+            return "no-op: controller alive"
         self.session.restart_controller(wait=False)
         return None

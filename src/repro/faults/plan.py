@@ -11,7 +11,18 @@ Builder methods chain::
             .heal(at_ms=400.0)
             .crash(at_ms=500.0, machine="red")
             .reboot(at_ms=800.0, machine="red"))
+
+Every builder validates its arguments at call time -- a bad machine
+name (when the plan was built with ``machines=...``), a negative time,
+or a nonsense parameter (``flips <= 0``, ``loss`` outside [0, 1]) is a
+``ValueError`` here, not a failure deep inside the injector mid-run.
+Plans round-trip through JSON (:meth:`to_jsonable` /
+:meth:`from_jsonable` / :meth:`to_json`), which is what the chaos
+search engine stores in its replayable artifacts.
 """
+
+import json
+import math
 
 # Fault kinds.
 CRASH = "crash"
@@ -28,6 +39,14 @@ STORAGE_TORN_WRITE = "storage_torn_write"
 STORAGE_DROP_FLUSH = "storage_drop_flush"
 STORAGE_BIT_ROT = "storage_bit_rot"
 
+#: Kinds that damage the storage medium (weakens trace-equality oracles).
+STORAGE_KINDS = frozenset(
+    (STORAGE_TORN_WRITE, STORAGE_DROP_FLUSH, STORAGE_BIT_ROT)
+)
+#: Kinds that destroy computation state the self-healing machinery does
+#: not promise to recover (a crashed machine's processes are gone).
+DESTRUCTIVE_KINDS = frozenset((CRASH, REBOOT))
+
 
 class FaultEvent:
     """One scheduled fault: a kind, an absolute time, and arguments."""
@@ -35,6 +54,8 @@ class FaultEvent:
     __slots__ = ("at_ms", "kind", "args")
 
     def __init__(self, at_ms, kind, **args):
+        if not isinstance(at_ms, (int, float)) or not math.isfinite(at_ms):
+            raise ValueError("fault time must be a finite number, got %r" % (at_ms,))
         if at_ms < 0:
             raise ValueError("fault time must be >= 0, got %r" % at_ms)
         self.at_ms = float(at_ms)
@@ -50,6 +71,15 @@ class FaultEvent:
             self.at_ms, self.kind, " " + details if details else ""
         )
 
+    def to_jsonable(self):
+        """JSON-native form: ``{"at_ms": ..., "kind": ..., <args>}``."""
+        entry = {"at_ms": self.at_ms, "kind": self.kind}
+        for key, value in self.args.items():
+            if key == "groups":
+                value = [list(group) for group in value]
+            entry[key] = value
+        return entry
+
     def __repr__(self):
         return "FaultEvent({0!r}, at={1}, {2})".format(
             self.kind, self.at_ms, self.args
@@ -57,10 +87,28 @@ class FaultEvent:
 
 
 class FaultPlan:
-    """An ordered schedule of faults on the simulator clock."""
+    """An ordered schedule of faults on the simulator clock.
 
-    def __init__(self):
+    ``machines``, when given, is the set of valid machine names: every
+    builder call naming a machine outside it raises ``ValueError``
+    immediately.  Without it the check still happens, but only when the
+    :class:`~repro.faults.injector.FaultInjector` arms the plan.
+    """
+
+    def __init__(self, machines=None):
         self.events = []
+        self.machines = frozenset(machines) if machines is not None else None
+
+    def _check_machine(self, machine):
+        machine = str(machine)
+        if not machine:
+            raise ValueError("machine name must be non-empty")
+        if self.machines is not None and machine not in self.machines:
+            raise ValueError(
+                "fault plan names unknown machine {0!r} (plan allows: "
+                "{1})".format(machine, ", ".join(sorted(self.machines)))
+            )
+        return machine
 
     def _add(self, at_ms, kind, **args):
         self.events.append(FaultEvent(at_ms, kind, **args))
@@ -71,14 +119,17 @@ class FaultPlan:
     def crash(self, at_ms, machine):
         """Power the machine off: processes die unflushed, peers see
         connection resets, in-flight traffic is destroyed."""
-        return self._add(at_ms, CRASH, machine=str(machine))
+        return self._add(at_ms, CRASH, machine=self._check_machine(machine))
 
     def reboot(self, at_ms, machine, restart_daemon=True):
         """Bring a crashed machine back with a cold kernel.  With
         ``restart_daemon`` (and a session armed on the injector) a fresh
         meterdaemon is spawned, as init would."""
         return self._add(
-            at_ms, REBOOT, machine=str(machine), restart_daemon=bool(restart_daemon)
+            at_ms,
+            REBOOT,
+            machine=self._check_machine(machine),
+            restart_daemon=bool(restart_daemon),
         )
 
     # -- network ---------------------------------------------------------
@@ -88,7 +139,23 @@ class FaultPlan:
         names); traffic crosses no group boundary and in-flight reliable
         traffic across the cut is destroyed.  Hosts in no group share
         one implicit group."""
-        frozen = tuple(tuple(str(name) for name in group) for group in groups)
+        frozen = tuple(
+            tuple(self._check_machine(name) for name in group)
+            for group in groups
+        )
+        if not frozen:
+            raise ValueError("partition needs at least one group")
+        if any(not group for group in frozen):
+            raise ValueError("partition groups must be non-empty")
+        seen = set()
+        for group in frozen:
+            for name in group:
+                if name in seen:
+                    raise ValueError(
+                        "machine {0!r} appears in two partition "
+                        "groups".format(name)
+                    )
+                seen.add(name)
         return self._add(at_ms, PARTITION, groups=frozen)
 
     def heal(self, at_ms):
@@ -99,26 +166,40 @@ class FaultPlan:
     def loss_burst(self, at_ms, duration_ms, loss):
         """Add ``loss`` (0..1) datagram loss probability on remote links
         for ``duration_ms``."""
-        return self._add(
-            at_ms, LOSS_BURST, duration_ms=float(duration_ms), loss=float(loss)
-        )
+        duration_ms, loss = float(duration_ms), float(loss)
+        if duration_ms <= 0:
+            raise ValueError("loss_burst duration must be > 0, got %r" % duration_ms)
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError("loss probability must be in [0, 1], got %r" % loss)
+        return self._add(at_ms, LOSS_BURST, duration_ms=duration_ms, loss=loss)
 
     def latency_spike(self, at_ms, duration_ms, extra_ms):
         """Add ``extra_ms`` one-way latency on remote links for
         ``duration_ms``."""
+        duration_ms, extra_ms = float(duration_ms), float(extra_ms)
+        if duration_ms <= 0:
+            raise ValueError(
+                "latency_spike duration must be > 0, got %r" % duration_ms
+            )
+        if extra_ms <= 0:
+            raise ValueError(
+                "latency_spike extra_ms must be > 0, got %r" % extra_ms
+            )
         return self._add(
-            at_ms,
-            LATENCY_SPIKE,
-            duration_ms=float(duration_ms),
-            extra_ms=float(extra_ms),
+            at_ms, LATENCY_SPIKE, duration_ms=duration_ms, extra_ms=extra_ms
         )
 
     # -- processes -------------------------------------------------------
 
     def kill_process(self, at_ms, machine, program):
         """SIGKILL every live process named ``program`` on ``machine``."""
+        if not str(program):
+            raise ValueError("kill_process needs a program name")
         return self._add(
-            at_ms, KILL_PROCESS, machine=str(machine), program=str(program)
+            at_ms,
+            KILL_PROCESS,
+            machine=self._check_machine(machine),
+            program=str(program),
         )
 
     def kill_daemon(self, at_ms, machine):
@@ -134,7 +215,9 @@ class FaultPlan:
         """Spawn a fresh meterdaemon on ``machine`` (init restarting a
         crashed daemon; pair with :meth:`kill_daemon`).  Requires a
         session armed on the injector."""
-        return self._add(at_ms, RESTART_DAEMON, machine=str(machine))
+        return self._add(
+            at_ms, RESTART_DAEMON, machine=self._check_machine(machine)
+        )
 
     # -- storage ---------------------------------------------------------
 
@@ -144,12 +227,17 @@ class FaultPlan:
         platter).  Pair with :meth:`crash` at the same instant for a
         realistic power-fail torn write; a trace-store segment damaged
         this way reads back as a torn tail / salvageable segment."""
+        drop_bytes = int(drop_bytes)
+        if drop_bytes <= 0:
+            raise ValueError(
+                "storage_torn_write drop_bytes must be > 0, got %r" % drop_bytes
+            )
         return self._add(
             at_ms,
             STORAGE_TORN_WRITE,
-            machine=str(machine),
-            path_prefix=str(path_prefix),
-            drop_bytes=int(drop_bytes),
+            machine=self._check_machine(machine),
+            path_prefix=self._check_path_prefix(path_prefix),
+            drop_bytes=drop_bytes,
         )
 
     def storage_drop_flush(self, at_ms, machine, path_prefix):
@@ -160,22 +248,32 @@ class FaultPlan:
         return self._add(
             at_ms,
             STORAGE_DROP_FLUSH,
-            machine=str(machine),
-            path_prefix=str(path_prefix),
+            machine=self._check_machine(machine),
+            path_prefix=self._check_path_prefix(path_prefix),
         )
 
     def storage_bit_rot(self, at_ms, machine, path_prefix, flips=1, seed=0):
         """Flip ``flips`` seed-chosen bits across the at-rest bytes of
         every file matching ``path_prefix`` on ``machine`` (bit rot /
         post-crash corruption).  Deterministic: same seed, same bits."""
+        flips = int(flips)
+        if flips <= 0:
+            raise ValueError("storage_bit_rot flips must be > 0, got %r" % flips)
         return self._add(
             at_ms,
             STORAGE_BIT_ROT,
-            machine=str(machine),
-            path_prefix=str(path_prefix),
-            flips=int(flips),
+            machine=self._check_machine(machine),
+            path_prefix=self._check_path_prefix(path_prefix),
+            flips=flips,
             seed=int(seed),
         )
+
+    @staticmethod
+    def _check_path_prefix(path_prefix):
+        path_prefix = str(path_prefix)
+        if not path_prefix:
+            raise ValueError("storage fault needs a non-empty path_prefix")
+        return path_prefix
 
     # -- the controller ---------------------------------------------------
 
@@ -203,5 +301,72 @@ class FaultPlan:
         """Human-readable schedule, one line per fault."""
         return [event.describe() for __, event in self.sorted_events()]
 
+    def kinds(self):
+        """The set of fault kinds this plan schedules."""
+        return {event.kind for event in self.events}
+
+    def has_kind(self, kind):
+        return any(event.kind == kind for event in self.events)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_jsonable(self):
+        """The schedule as a JSON-native list, in declaration order."""
+        return [event.to_jsonable() for event in self.events]
+
+    def to_json(self):
+        """Canonical serialized form: byte-identical for identical
+        plans (the chaos generator's determinism contract)."""
+        return json.dumps(
+            self.to_jsonable(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_jsonable(cls, entries, machines=None):
+        """Rebuild a plan from :meth:`to_jsonable` output.  Every entry
+        passes back through its builder method, so deserialization
+        applies the same validation as construction."""
+        plan = cls(machines=machines)
+        for entry in entries:
+            args = dict(entry)
+            try:
+                at_ms = args.pop("at_ms")
+                kind = args.pop("kind")
+            except KeyError as err:
+                raise ValueError("fault entry missing {0}".format(err))
+            builder = getattr(plan, kind, None)
+            if builder is None or kind not in _BUILDER_KINDS:
+                raise ValueError("unknown fault kind {0!r}".format(kind))
+            builder(at_ms, **args)
+        return plan
+
+    def shifted(self, delta_ms):
+        """A copy with every time moved by ``delta_ms`` (used to pin a
+        relative schedule to the moment a workload starts)."""
+        entries = self.to_jsonable()
+        for entry in entries:
+            entry["at_ms"] = entry["at_ms"] + delta_ms
+        return type(self).from_jsonable(entries, machines=self.machines)
+
     def __len__(self):
         return len(self.events)
+
+
+#: Kinds reachable through from_jsonable (method name == kind).
+_BUILDER_KINDS = frozenset(
+    (
+        CRASH,
+        REBOOT,
+        PARTITION,
+        HEAL,
+        LOSS_BURST,
+        LATENCY_SPIKE,
+        KILL_PROCESS,
+        RESTART_DAEMON,
+        STORAGE_TORN_WRITE,
+        STORAGE_DROP_FLUSH,
+        STORAGE_BIT_ROT,
+        KILL_CONTROLLER,
+        RESTART_CONTROLLER,
+    )
+)

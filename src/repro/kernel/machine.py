@@ -225,6 +225,9 @@ class Machine(SocketCalls, FileCalls, ProcessCalls):
         self.inet_ports.clear()
         self.unix_names.clear()
         self.endpoints.clear()
+        # Pending meter-loss notifications die with the daemon that
+        # would have read them.
+        self.meter.lost_meters.clear()
         self.console.append("[{0:10.3f}] panic: machine crashed".format(self.sim.now))
 
     def _crash_proc(self, proc):

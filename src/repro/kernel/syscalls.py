@@ -118,14 +118,25 @@ class Sys:
     def unlink(self, path):
         return Request("unlink", (path,))
 
-    def select(self, read_fds, timeout_ms=None, want_children=False):
+    def select(
+        self,
+        read_fds,
+        timeout_ms=None,
+        want_children=False,
+        want_meter_loss=False,
+    ):
         """Block until a descriptor is readable, a child changes state
-        (if requested), or the timeout expires.
+        (if requested), a meter connection on this machine breaks (if
+        requested; root only), or the timeout expires.
 
-        Returns ``(ready_fds, child_events)`` where child_events is a
-        list of dicts with keys pid/status/reason.
+        Returns ``(ready_fds, events)``: child events are dicts with
+        keys pid/status/reason; meter-loss events carry
+        ``meter_lost=True`` plus pid/host/port.
         """
-        return Request("select", (tuple(read_fds), timeout_ms, want_children))
+        return Request(
+            "select",
+            (tuple(read_fds), timeout_ms, want_children, want_meter_loss),
+        )
 
     # -- processes ---------------------------------------------------------
 

@@ -172,7 +172,11 @@ class ProcessCalls:
         return self.block(proc, request, [])
 
     def sys_select(self, proc, request):
-        read_fds, timeout_ms, want_children = request.args
+        read_fds, timeout_ms, want_children, want_meter_loss = request.args
+        if want_meter_loss and proc.uid != 0:
+            raise SyscallError(
+                errno.EPERM, "select(want_meter_loss) is root-only"
+            )
         state = proc.syscall_state
         if timeout_ms is not None and "deadline" not in state:
             state["deadline"] = self.sim.now + timeout_ms
@@ -182,12 +186,15 @@ class ProcessCalls:
         ready = [
             fd for fd, entry in entries if self._entry_readable(entry)
         ]
-        child_events = []
+        events = []
         if want_children:
             while proc.child_events:
-                child_events.append(proc.child_events.popleft())
-        if ready or child_events:
-            return (ready, child_events)
+                events.append(proc.child_events.popleft())
+        if want_meter_loss:
+            while self.meter.lost_meters:
+                events.append(self.meter.lost_meters.popleft())
+        if ready or events:
+            return (ready, events)
         if timeout_ms is not None and self.sim.now + 1e-9 >= state["deadline"]:
             return ([], [])
 
@@ -195,6 +202,8 @@ class ProcessCalls:
         queues = [queue for queue in queues if queue is not None]
         if want_children:
             queues.append(proc.child_wait)
+        if want_meter_loss:
+            queues.append(self.meter.lost_wait)
         return self.block(proc, request, queues)
 
     @staticmethod

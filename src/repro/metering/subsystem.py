@@ -20,6 +20,7 @@ from collections import deque
 from repro.kernel import defs as kdefs
 from repro.kernel import errno
 from repro.kernel.errno import SyscallError
+from repro.kernel.waitq import WaitQueue
 from repro.metering import flags as mflags
 from repro.metering.messages import MessageCodec, encode_batch_marker
 from repro.net.addresses import InternetName
@@ -89,6 +90,15 @@ class MeterSubsystem:
         #: process has exited; drained to a reconnecting filter by
         #: meterdrain(2).
         self.orphans = {}
+        #: Broken-meter notifications for the local meterdaemon
+        #: (``select(want_meter_loss=True)``): the kernel knows the
+        #: instant a meter connection dies, and the daemon on this
+        #: machine is the only agent guaranteed to share its side of
+        #: any partition -- the controller's health view runs over a
+        #: different path and can stay green while meter data silently
+        #: stops flowing.
+        self.lost_meters = deque()
+        self.lost_wait = WaitQueue("meter-loss")
 
     # ------------------------------------------------------------------
     # setmeter(2)
@@ -280,10 +290,20 @@ class MeterSubsystem:
 
     def _disconnect(self, proc, sock):
         """The meter connection is dead: remember where it pointed so a
-        replacement connection can pick the window up, then drop it."""
+        replacement connection can pick the window up, drop it, and
+        tell the local meterdaemon so it can redial."""
         dest = self._dest_of(sock)
         if dest is not None:
             proc.meter_pending_dest = dest
+            self.lost_meters.append(
+                {
+                    "meter_lost": True,
+                    "pid": proc.pid,
+                    "host": dest[0],
+                    "port": dest[1],
+                }
+            )
+            self.lost_wait.wake_all()
         self._drop_meter_socket(proc)
 
     def _stamp_batch(self, proc, sent):
@@ -463,15 +483,38 @@ class MeterSubsystem:
 
     def sys_meterstat(self, proc, request):
         """Machine-wide metering statistics (root only): loss totals,
-        the per-pid split, and how many orphan batches are parked."""
+        the per-pid split, how many orphan batches are parked (and
+        where), and which live processes sit on a broken meter
+        connection (the redial worklist)."""
         if proc.uid != 0:
             raise SyscallError(errno.EPERM, "meterstat is root-only")
+        disconnected = {}
+        for other in self.machine.procs.values():
+            if (
+                other.state != kdefs.PROC_ZOMBIE
+                and other.meter_pending_dest is not None
+            ):
+                disconnected[other.pid] = list(other.meter_pending_dest)
         return {
             "events_recorded": self.events_recorded,
             "events_dropped": self.events_dropped,
             "wire_sends": self.wire_sends,
             "dropped_by_pid": dict(self.dropped_by_pid),
             "orphan_batches": sum(len(q) for q in self.orphans.values()),
+            # Only never-delivered batches count: a spool of delivered
+            # leftovers needs no redial (a drain would just be deduped).
+            "orphans_parked": {
+                key: count
+                for key, count in (
+                    (
+                        "{0}:{1}".format(host, port),
+                        sum(1 for entry in spool if not entry[3]),
+                    )
+                    for (host, port), spool in self.orphans.items()
+                )
+                if count
+            },
+            "disconnected": disconnected,
         }
 
     def sys_meterdrain(self, proc, request):

@@ -118,6 +118,11 @@ class Network:
         """Rejoin all partition groups (broken channels stay broken)."""
         self._partition = None
 
+    @property
+    def partition_active(self):
+        """True while a partition is in force (heal clears it)."""
+        return self._partition is not None
+
     def set_host_down(self, name):
         """Mark a host unreachable (its machine crashed)."""
         self._down.add(str(name))

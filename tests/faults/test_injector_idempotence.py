@@ -1,0 +1,97 @@
+"""Injector idempotence: redundant faults are logged no-ops.
+
+A chaos schedule routinely asks for impossible transitions -- crash a
+crashed machine, heal with no partition up, restart a daemon that never
+died.  Each must be absorbed as an explicit ``no-op:`` log entry, never
+an exception or a double-application, so shrunk subsequences of a
+schedule always remain runnable.
+"""
+
+from repro.core.cluster import Cluster
+from repro.core.session import MeasurementSession
+from repro.faults import FaultInjector, FaultPlan
+
+
+def _run(plan, session=None, until_ms=400.0):
+    cluster = Cluster(seed=11)
+    if session:
+        session = MeasurementSession(cluster, control_machine="yellow")
+    injector = FaultInjector(cluster, plan, session=session).arm()
+    cluster.run(until_ms=until_ms)
+    return injector.describe_applied()
+
+
+def _noops(lines):
+    return [line for line in lines if "no-op:" in line]
+
+
+def test_crashing_a_crashed_machine_is_a_noop():
+    plan = FaultPlan().crash(10.0, "red").crash(20.0, "red")
+    lines = _run(plan)
+    assert len(lines) == 2
+    assert "no-op: already crashed" in lines[1]
+
+
+def test_rebooting_a_running_machine_is_a_noop():
+    lines = _run(FaultPlan().reboot(10.0, "red"))
+    assert "no-op: not crashed" in lines[0]
+
+
+def test_healing_without_a_partition_is_a_noop():
+    lines = _run(FaultPlan().heal(10.0))
+    assert "no-op: no partition active" in lines[0]
+
+
+def test_double_heal_after_one_partition():
+    plan = (
+        FaultPlan()
+        .partition(10.0, [["red"], ["green", "blue", "yellow"]])
+        .heal(20.0)
+        .heal(30.0)
+    )
+    lines = _run(plan)
+    assert _noops(lines) == [lines[2]]
+
+
+def test_killing_a_process_that_never_ran_is_a_noop():
+    lines = _run(FaultPlan().kill_process(10.0, "green", "worker"))
+    assert "no-op: no live 'worker' process" in lines[0]
+
+
+def test_killing_on_a_crashed_machine_is_a_noop():
+    plan = (
+        FaultPlan().crash(10.0, "green").kill_process(20.0, "green", "worker")
+    )
+    lines = _run(plan)
+    assert "no-op: machine crashed" in lines[1]
+
+
+def test_restarting_a_running_daemon_is_a_noop():
+    plan = FaultPlan().restart_daemon(50.0, "green")
+    lines = _run(plan, session=True)
+    assert "no-op: meterdaemon already running" in lines[0]
+
+
+def test_restarting_a_live_controller_is_a_noop():
+    plan = FaultPlan().restart_controller(50.0)
+    lines = _run(plan, session=True)
+    assert "no-op: controller alive" in lines[0]
+
+
+def test_killing_a_dead_controller_is_absorbed():
+    plan = FaultPlan().kill_controller(50.0).kill_controller(80.0)
+    lines = _run(plan, session=True)
+    assert len(lines) == 2
+    assert "controller already dead" in lines[1]
+
+
+def test_noop_runs_stay_deterministic():
+    plan = (
+        FaultPlan()
+        .crash(10.0, "red")
+        .crash(20.0, "red")
+        .heal(30.0)
+        .reboot(40.0, "red")
+        .reboot(50.0, "red")
+    )
+    assert _run(plan) == _run(plan)

@@ -1,0 +1,126 @@
+"""Construction-time FaultPlan validation.
+
+A malformed schedule must raise ``ValueError`` while the plan is being
+built -- never as a KeyError or TypeError from deep inside a scheduled
+simulator event hundreds of virtual milliseconds into a chaos run.
+"""
+
+import math
+
+import pytest
+
+from repro.faults.plan import FaultPlan
+
+MACHINES = ("red", "green", "blue", "yellow")
+
+
+def _plan():
+    return FaultPlan(machines=MACHINES)
+
+
+@pytest.mark.parametrize("at_ms", [float("nan"), float("inf"), -0.5, "soon"])
+def test_bad_times_rejected(at_ms):
+    with pytest.raises((ValueError, TypeError)):
+        _plan().heal(at_ms)
+
+
+def test_unknown_machine_rejected_at_build_time():
+    with pytest.raises(ValueError):
+        _plan().crash(10.0, "mauve")
+
+
+def test_empty_machine_name_rejected():
+    with pytest.raises(ValueError):
+        _plan().crash(10.0, "")
+
+
+@pytest.mark.parametrize("loss", [-0.1, 1.1, 2.0])
+def test_loss_outside_unit_interval_rejected(loss):
+    with pytest.raises(ValueError):
+        _plan().loss_burst(10.0, duration_ms=20.0, loss=loss)
+
+
+@pytest.mark.parametrize("duration_ms", [0.0, -5.0])
+def test_nonpositive_durations_rejected(duration_ms):
+    with pytest.raises(ValueError):
+        _plan().loss_burst(10.0, duration_ms=duration_ms, loss=0.5)
+    with pytest.raises(ValueError):
+        _plan().latency_spike(10.0, duration_ms=duration_ms, extra_ms=5.0)
+
+
+def test_empty_partition_groups_rejected():
+    with pytest.raises(ValueError):
+        _plan().partition(10.0, [])
+    with pytest.raises(ValueError):
+        _plan().partition(10.0, [["red"], []])
+
+
+def test_machine_in_two_partition_groups_rejected():
+    with pytest.raises(ValueError):
+        _plan().partition(10.0, [["red", "green"], ["green", "blue"]])
+
+
+def test_kill_process_needs_a_program_name():
+    with pytest.raises(ValueError):
+        _plan().kill_process(10.0, "red", "")
+
+
+@pytest.mark.parametrize("flips", [0, -1])
+def test_bit_rot_flips_must_be_positive(flips):
+    with pytest.raises(ValueError):
+        _plan().storage_bit_rot(10.0, "blue", "/usr/tmp/f1.store", flips=flips)
+
+
+@pytest.mark.parametrize("drop_bytes", [0, -4])
+def test_torn_write_drop_bytes_must_be_positive(drop_bytes):
+    with pytest.raises(ValueError):
+        _plan().storage_torn_write(
+            10.0, "blue", "/usr/tmp/f1.store", drop_bytes=drop_bytes
+        )
+
+
+def test_storage_faults_need_a_path_prefix():
+    with pytest.raises(ValueError):
+        _plan().storage_drop_flush(10.0, "blue", "")
+
+
+def test_rejected_events_leave_the_plan_unchanged():
+    plan = _plan().heal(10.0)
+    with pytest.raises(ValueError):
+        plan.loss_burst(20.0, duration_ms=30.0, loss=7.0)
+    assert len(plan) == 1
+
+
+def test_from_jsonable_rejects_unknown_kinds():
+    with pytest.raises(ValueError):
+        FaultPlan.from_jsonable(
+            [{"kind": "meteor_strike", "at_ms": 10.0, "args": {}}],
+            machines=MACHINES,
+        )
+
+
+def test_from_jsonable_rejects_missing_fields():
+    with pytest.raises(ValueError):
+        FaultPlan.from_jsonable([{"kind": "heal"}], machines=MACHINES)
+
+
+def test_from_jsonable_revalidates_machines():
+    entries = FaultPlan().crash(10.0, "mauve").to_jsonable()
+    with pytest.raises(ValueError):
+        FaultPlan.from_jsonable(entries, machines=MACHINES)
+
+
+def test_shifted_keeps_validation_and_order():
+    plan = _plan().partition(90.0, [["red"], ["green", "blue", "yellow"]])
+    plan.heal(140.0)
+    moved = plan.shifted(-50.0)
+    assert [event.at_ms for event in moved.events] == [40.0, 90.0]
+    with pytest.raises(ValueError):
+        plan.shifted(-100.0)  # would push the partition below t=0
+
+
+def test_to_json_is_canonical():
+    plan = _plan().partition(90.0, [["red"], ["green", "blue", "yellow"]])
+    rebuilt = FaultPlan.from_jsonable(plan.to_jsonable(), machines=MACHINES)
+    assert plan.to_json() == rebuilt.to_json()
+    assert not math.isnan(plan.events[0].at_ms)
